@@ -1,0 +1,77 @@
+//! Fig 11 — end-to-end weighted-speedup distribution over random
+//! multiprogrammed server mixes: Hawkeye, Hawkeye+Garibaldi, Mockingjay,
+//! Mockingjay+Garibaldi, each normalized to LRU and sorted by
+//! Mockingjay+Garibaldi's speedup (the paper's S-curve).
+//!
+//! `GARIBALDI_MIXES` overrides the mix count (default 20 scaled; paper: 60).
+
+use garibaldi_bench::*;
+use garibaldi_cache::PolicyKind;
+use garibaldi_trace::random_server_mixes;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let n_mixes: usize = std::env::var("GARIBALDI_MIXES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let mixes = random_server_mixes(n_mixes, scale.cores, 77);
+
+    let schemes = [
+        LlcScheme::plain(PolicyKind::Lru),
+        LlcScheme::plain(PolicyKind::Hawkeye),
+        LlcScheme::with_garibaldi(PolicyKind::Hawkeye),
+        LlcScheme::plain(PolicyKind::Mockingjay),
+        LlcScheme::mockingjay_garibaldi(),
+    ];
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = Vec::new();
+    for mix in &mixes {
+        for scheme in &schemes {
+            let mix = mix.clone();
+            let scheme = scheme.clone();
+            jobs.push(Box::new(move || {
+                // IPC throughput normalization happens against the LRU run
+                // of the same mix, so per-workload single-core IPCs cancel.
+                run_mix(&scale, scheme, &mix, 42).ipc_sum()
+            }));
+        }
+    }
+    let flat = parallel_runs(jobs);
+
+    // Rows: one per mix, normalized to its LRU run.
+    let mut rows_raw: Vec<[f64; 4]> = Vec::new();
+    for m in 0..mixes.len() {
+        let base = flat[m * schemes.len()];
+        rows_raw.push([
+            speedup_over(base, flat[m * schemes.len() + 1]),
+            speedup_over(base, flat[m * schemes.len() + 2]),
+            speedup_over(base, flat[m * schemes.len() + 3]),
+            speedup_over(base, flat[m * schemes.len() + 4]),
+        ]);
+    }
+    rows_raw.sort_by(|a, b| a[3].partial_cmp(&b[3]).expect("finite"));
+
+    let headers = ["mix#", "Hawkeye", "Hawkeye+G", "Mockingjay", "Mockingjay+G"];
+    let rows: Vec<Vec<String>> = rows_raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                i.to_string(),
+                format!("{:.4}", r[0]),
+                format!("{:.4}", r[1]),
+                format!("{:.4}", r[2]),
+                format!("{:.4}", r[3]),
+            ]
+        })
+        .collect();
+    print_table("Fig 11: speedup over LRU across server mixes (sorted)", &headers, &rows);
+    write_csv("fig11_end_to_end.csv", &headers, &rows);
+
+    for (i, name) in ["Hawkeye", "Hawkeye+G", "Mockingjay", "Mockingjay+G"].iter().enumerate() {
+        let gm = geomean(&rows_raw.iter().map(|r| r[i]).collect::<Vec<_>>());
+        println!("geomean {name}: {gm:.4}");
+    }
+    println!("(paper geomeans: Hawkeye 1.013, Hawkeye+G 1.056, Mockingjay 1.040, Mockingjay+G 1.093)");
+}

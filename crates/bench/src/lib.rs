@@ -1,0 +1,124 @@
+//! Shared harness utilities for the figure/table benchmarks.
+//!
+//! Every `benches/figNN_*.rs` target regenerates one table or figure of the
+//! paper: it runs the necessary simulations (in parallel across a thread
+//! pool), prints the series as an aligned text table, and writes a CSV next
+//! to it under `target/garibaldi-results/`.
+//!
+//! Scale: targets default to [`ExperimentScale::from_env`] — the
+//! half-size 8-core configuration — and switch to the paper's full Table 1
+//! system under `GARIBALDI_FULL=1`.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::PathBuf;
+
+pub use garibaldi_sim::experiment::{
+    geomean, ipc_single, run_homogeneous, run_mix, weighted_speedup,
+};
+pub use garibaldi_sim::{ExperimentScale, LlcScheme, RunResult, SystemConfig};
+
+/// Directory where harness CSVs are written (the workspace-level
+/// `target/garibaldi-results/`, regardless of the bench binary's CWD).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join("garibaldi-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file into [`out_dir`].
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = out_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).expect("write csv");
+    for r in rows {
+        writeln!(f, "{}", r.join(",")).expect("write csv");
+    }
+    println!("[csv] {}", path.display());
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Runs `jobs` closures in parallel (bounded by available cores) and
+/// returns their results in input order.
+pub fn parallel_runs<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((i, f)) => {
+                        let r = f();
+                        results.lock()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_inner().into_iter().map(|r| r.expect("job ran")).collect()
+}
+
+/// Formats a speedup as the paper's "speedup over LRU" delta (e.g. 0.132).
+pub fn speedup_over(base: f64, x: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        x / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_runs_preserve_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..16usize).map(|i| Box::new(move || i * 2) as _).collect();
+        let out = parallel_runs(jobs);
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup_over(2.0, 2.2) - 1.1).abs() < 1e-12);
+        assert_eq!(speedup_over(0.0, 1.0), 0.0);
+    }
+}

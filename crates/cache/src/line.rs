@@ -1,0 +1,94 @@
+//! Per-line cache metadata.
+
+use garibaldi_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// MESI coherence state, tracked at the LLC (directory) granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MesiState {
+    /// Dirty and exclusively owned.
+    Modified,
+    /// Clean and exclusively owned.
+    Exclusive,
+    /// Clean, possibly multiple sharers.
+    Shared,
+    /// Not present (only used transiently).
+    Invalid,
+}
+
+/// Metadata of one cache line frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineMeta {
+    /// The cached physical line address (full address kept; real hardware
+    /// stores only the tag, but the simulator needs it back on eviction).
+    pub line: LineAddr,
+    /// Frame holds a valid line.
+    pub valid: bool,
+    /// Line has been written and must be written back on eviction.
+    pub dirty: bool,
+    /// Line was brought in by a prefetch and has not yet been demanded.
+    /// The paper assumes "modern caches distinguish prefetched lines from
+    /// regular ones" (§5.3) — this is that bit.
+    pub prefetched: bool,
+    /// 1-bit instruction indicator (§4.2): request originated at an L1I.
+    pub is_instr: bool,
+    /// Coherence state (meaningful at the LLC).
+    pub state: MesiState,
+    /// Bitmask of L2 clusters holding a copy (LLC directory).
+    pub sharers: u64,
+}
+
+impl LineMeta {
+    /// An invalid (empty) frame.
+    pub const fn empty() -> Self {
+        Self {
+            line: LineAddr::new(0),
+            valid: false,
+            dirty: false,
+            prefetched: false,
+            is_instr: false,
+            state: MesiState::Invalid,
+            sharers: 0,
+        }
+    }
+
+    /// Resets the frame to empty.
+    pub fn clear(&mut self) {
+        *self = Self::empty();
+    }
+
+    /// Number of sharer clusters recorded in the directory mask.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+}
+
+impl Default for LineMeta {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_invalid() {
+        let m = LineMeta::empty();
+        assert!(!m.valid);
+        assert_eq!(m.state, MesiState::Invalid);
+        assert_eq!(m.sharer_count(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = LineMeta::empty();
+        m.valid = true;
+        m.dirty = true;
+        m.sharers = 0b101;
+        assert_eq!(m.sharer_count(), 2);
+        m.clear();
+        assert_eq!(m, LineMeta::empty());
+    }
+}

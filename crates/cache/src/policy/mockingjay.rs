@@ -1,0 +1,326 @@
+//! Mockingjay: effective mimicry of Belady's MIN (Shah, Jain & Lin,
+//! HPCA'22 — paper ref [56]).
+//!
+//! A sampled-set reuse-distance predictor (RDP) learns, per PC signature,
+//! how many set accesses elapse until a line is reused. Resident lines carry
+//! an *estimated time remaining* (ETR) that is refreshed from the RDP on
+//! every touch and decremented as the set is accessed; the victim is the
+//! line whose |ETR| is largest (reuse farthest in the future **or** most
+//! overdue). Lines whose predicted reuse exceeds the window are treated as
+//! scans and bypass the (non-inclusive) cache.
+
+use super::{PolicyCtx, ReplacementPolicy};
+use std::collections::HashMap;
+
+/// History window per sampled set (× associativity), as configured in §6.
+const WINDOW_ASSOC_MULT: usize = 8;
+/// Sample one out of `SAMPLE_STRIDE` sets.
+const SAMPLE_STRIDE: usize = 8;
+/// log2 of RDP entries.
+const RDP_BITS: u32 = 14;
+/// ETR magnitude clamp. The paper's hardware uses 5-bit signed counters
+/// with a coarse aging granularity; the simulator keeps full resolution
+/// (the clamp only bounds saturation) because the quantisation is a
+/// hardware-cost tradeoff, not part of the algorithm.
+const ETR_MAX: i32 = 1 << 14;
+/// Reuse distance recorded for lines that age out of the sampler.
+const SCAN_DISTANCE: u32 = u32::MAX;
+
+#[derive(Debug, Default, Clone)]
+struct SampledSet {
+    /// line → (last access time, rdp index).
+    last: HashMap<u64, (u64, usize)>,
+    time: u64,
+}
+
+/// Mockingjay replacement policy.
+#[derive(Debug)]
+pub struct Mockingjay {
+    ways: usize,
+    window: u32,
+    /// ETR granularity: one ETR unit = `granularity` set accesses.
+    granularity: u32,
+    /// RDP: predicted reuse distance per signature (`u32::MAX` = scan,
+    /// `0xFFFF_FFFE` = untrained).
+    rdp: Vec<u32>,
+    sampled: HashMap<usize, SampledSet>,
+    etr: Vec<i32>,
+    /// Per-set access countdown for the aging clock.
+    clock: Vec<u32>,
+}
+
+/// RDP value meaning "no information yet".
+const RDP_UNTRAINED: u32 = u32::MAX - 1;
+
+impl Mockingjay {
+    /// Creates Mockingjay state for a `sets × ways` cache.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        let window = (WINDOW_ASSOC_MULT * ways) as u32;
+        let granularity = 1;
+        let mut sampled = HashMap::new();
+        for s in (0..sets).step_by(SAMPLE_STRIDE) {
+            sampled.insert(s, SampledSet::default());
+        }
+        Self {
+            ways,
+            window,
+            granularity,
+            rdp: vec![RDP_UNTRAINED; 1 << RDP_BITS],
+            sampled,
+            etr: vec![0; sets * ways],
+            clock: vec![0; sets],
+        }
+    }
+
+    #[inline]
+    fn rdp_idx(ctx: &PolicyCtx) -> usize {
+        let h = ctx.pc_sig.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        (h >> (64 - RDP_BITS)) as usize
+    }
+
+    #[inline]
+    fn fidx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Predicted reuse distance (set accesses) for the access, or
+    /// `None` for scans.
+    fn predict(&self, ctx: &PolicyCtx) -> Option<u32> {
+        match self.rdp[Self::rdp_idx(ctx)] {
+            SCAN_DISTANCE => None,
+            // Unknown PCs are assumed distant: an untrained line must not
+            // outrank lines with *demonstrated* short reuse.
+            RDP_UNTRAINED => Some(self.window),
+            d => Some(d),
+        }
+    }
+
+    fn predict_etr(&self, ctx: &PolicyCtx) -> i32 {
+        match self.predict(ctx) {
+            Some(d) => ((d / self.granularity) as i32).min(ETR_MAX),
+            None => ETR_MAX,
+        }
+    }
+
+    fn train(&mut self, set: usize, ctx: &PolicyCtx) {
+        let window = self.window;
+        let Some(ss) = self.sampled.get_mut(&set) else { return };
+        let now = ss.time;
+        ss.time += 1;
+        let line = ctx.line.get();
+        if let Some((t_prev, idx)) = ss.last.get(&line).copied() {
+            let observed = ((now - t_prev) as u32).min(window * 2);
+            update_rdp(&mut self.rdp[idx], observed);
+        }
+        ss.last.insert(line, (now, Self::rdp_idx(ctx)));
+        // Lines that age out of the window were effectively scans.
+        if ss.last.len() > window as usize {
+            let cutoff = now.saturating_sub(window as u64);
+            let mut stale = Vec::new();
+            ss.last.retain(|_, (t, idx)| {
+                if *t < cutoff {
+                    stale.push(*idx);
+                    false
+                } else {
+                    true
+                }
+            });
+            for idx in stale {
+                update_rdp(&mut self.rdp[idx], SCAN_DISTANCE);
+            }
+        }
+    }
+
+    /// Ages the set's ETRs: one tick per `granularity` set accesses.
+    fn tick(&mut self, set: usize) {
+        self.clock[set] += 1;
+        if self.clock[set] >= self.granularity {
+            self.clock[set] = 0;
+            for w in 0..self.ways {
+                let i = self.fidx(set, w);
+                self.etr[i] = (self.etr[i] - 1).max(-ETR_MAX);
+            }
+        }
+    }
+}
+
+/// Moves an RDP entry toward an observation (temporal-difference flavour).
+fn update_rdp(entry: &mut u32, observed: u32) {
+    if observed == SCAN_DISTANCE {
+        *entry = SCAN_DISTANCE;
+        return;
+    }
+    if *entry == RDP_UNTRAINED || *entry == SCAN_DISTANCE {
+        *entry = observed;
+        return;
+    }
+    let old = *entry as i64;
+    let diff = observed as i64 - old;
+    let step = diff.signum() * (diff.abs() / 2).max(1);
+    *entry = (old + step).max(0) as u32;
+}
+
+impl ReplacementPolicy for Mockingjay {
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &PolicyCtx) {
+        self.train(set, ctx);
+        self.tick(set);
+        let i = self.fidx(set, way);
+        self.etr[i] = self.predict_etr(ctx);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &PolicyCtx) {
+        self.train(set, ctx);
+        self.tick(set);
+        let i = self.fidx(set, way);
+        self.etr[i] = self.predict_etr(ctx);
+    }
+
+    fn choose_victim(&mut self, set: usize, _ctx: &PolicyCtx, excluded: u64) -> usize {
+        let mut best = usize::MAX;
+        let mut best_mag = -1i32;
+        for w in 0..self.ways {
+            if excluded & (1 << w) != 0 {
+                continue;
+            }
+            let e = self.etr[self.fidx(set, w)];
+            let mag = e.abs();
+            // Ties prefer overdue (negative) lines: their predicted reuse
+            // already passed, so the prediction was wrong.
+            if best == usize::MAX
+                || mag > best_mag
+                || (mag == best_mag && e < self.etr[self.fidx(set, best)])
+            {
+                best = w;
+                best_mag = mag;
+            }
+        }
+        debug_assert!(best != usize::MAX);
+        best
+    }
+
+    fn reset_priority(&mut self, set: usize, way: usize) {
+        // Garibaldi protection: reuse imminent ⇒ smallest possible |ETR|.
+        let i = self.fidx(set, way);
+        self.etr[i] = 0;
+    }
+
+    fn should_bypass(&mut self, set: usize, ctx: &PolicyCtx) -> bool {
+        // Scans (predicted reuse beyond the window) skip the non-inclusive
+        // LLC unless their ETR would beat the current best victim anyway.
+        if self.predict(ctx).is_none() {
+            // Demand accesses still train the sampler via on_insert when
+            // they are not bypassed; train here so scans keep learning.
+            self.train(set, ctx);
+            return true;
+        }
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "Mockingjay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garibaldi_types::LineAddr;
+
+    fn ctx(line: u64, pc: u64) -> PolicyCtx {
+        PolicyCtx::data(LineAddr::new(line), pc)
+    }
+
+    #[test]
+    fn rdp_update_converges() {
+        let mut e = RDP_UNTRAINED;
+        update_rdp(&mut e, 10);
+        assert_eq!(e, 10);
+        update_rdp(&mut e, 20);
+        assert!(e > 10 && e <= 20, "moved toward observation: {e}");
+        for _ in 0..20 {
+            update_rdp(&mut e, 20);
+        }
+        assert_eq!(e, 20);
+    }
+
+    #[test]
+    fn scan_marks_entry() {
+        let mut e = 5u32;
+        update_rdp(&mut e, SCAN_DISTANCE);
+        assert_eq!(e, SCAN_DISTANCE);
+        // A real observation recovers the entry.
+        update_rdp(&mut e, 7);
+        assert_eq!(e, 7);
+    }
+
+    #[test]
+    fn short_reuse_yields_small_etr() {
+        let mut m = Mockingjay::new(8, 4);
+        let pc = 0x42;
+        // Train a short reuse distance in sampled set 0.
+        for i in 0..30 {
+            let c = ctx(0x99, pc);
+            if i == 0 {
+                m.on_insert(0, 0, &c);
+            } else {
+                m.on_hit(0, 0, &c);
+            }
+        }
+        let c = ctx(0x99, pc);
+        assert!(m.predict_etr(&c) <= 1, "etr={}", m.predict_etr(&c));
+    }
+
+    #[test]
+    fn victim_is_max_abs_etr() {
+        let mut m = Mockingjay::new(8, 3);
+        let __i = m.fidx(2, 0);
+        m.etr[__i] = 3;
+        let __i = m.fidx(2, 1);
+        m.etr[__i] = -9;
+        let __i = m.fidx(2, 2);
+        m.etr[__i] = 7;
+        assert_eq!(m.choose_victim(2, &ctx(0, 0), 0), 1);
+        assert_eq!(m.choose_victim(2, &ctx(0, 0), 0b010), 2);
+    }
+
+    #[test]
+    fn overdue_preferred_on_tie() {
+        let mut m = Mockingjay::new(8, 2);
+        let __i = m.fidx(1, 0);
+        m.etr[__i] = 5;
+        let __i = m.fidx(1, 1);
+        m.etr[__i] = -5;
+        assert_eq!(m.choose_victim(1, &ctx(0, 0), 0), 1);
+    }
+
+    #[test]
+    fn aging_decrements_etr() {
+        let mut m = Mockingjay::new(8, 2);
+        let __i = m.fidx(0, 0);
+        m.etr[__i] = 5;
+        let g = m.granularity;
+        for _ in 0..g {
+            m.tick(0);
+        }
+        assert_eq!(m.etr[m.fidx(0, 0)], 4);
+    }
+
+    #[test]
+    fn reset_priority_zeroes_etr() {
+        let mut m = Mockingjay::new(8, 2);
+        let __i = m.fidx(0, 1);
+        m.etr[__i] = -12;
+        m.reset_priority(0, 1);
+        assert_eq!(m.etr[m.fidx(0, 1)], 0);
+    }
+
+    #[test]
+    fn trained_scan_bypasses() {
+        let mut m = Mockingjay::new(8, 2);
+        let c = ctx(0x5, 0x1234);
+        m.rdp[Mockingjay::rdp_idx(&c)] = SCAN_DISTANCE;
+        assert!(m.should_bypass(0, &c));
+        let c2 = ctx(0x5, 0x777);
+        assert!(!m.should_bypass(0, &c2));
+    }
+}

@@ -1,0 +1,24 @@
+//! Hardware prefetchers of the baseline configuration (Table 1):
+//! next-line at L1D, GHB at L2, and a temporal successor prefetcher at L1I
+//! standing in for I-SPY.
+
+mod ghb;
+mod nextline;
+mod temporal;
+
+pub use ghb::GhbPrefetcher;
+pub use nextline::NextLinePrefetcher;
+pub use temporal::TemporalPrefetcher;
+
+use garibaldi_types::LineAddr;
+
+/// A hardware prefetcher observing the demand stream of one cache.
+pub trait Prefetcher: Send {
+    /// Observes a demand access and appends prefetch candidates to `out`.
+    /// `pc_sig` is the (hashed) PC of the access, `hit` its outcome at the
+    /// observed cache level.
+    fn on_access(&mut self, line: LineAddr, pc_sig: u64, hit: bool, out: &mut Vec<LineAddr>);
+
+    /// Prefetcher name for reports.
+    fn name(&self) -> &'static str;
+}

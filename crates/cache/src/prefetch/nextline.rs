@@ -1,0 +1,73 @@
+//! Next-line prefetcher (baseline L1D prefetcher, Table 1).
+
+use super::Prefetcher;
+use garibaldi_types::LineAddr;
+
+/// Prefetches the next `degree` sequential lines on every miss.
+#[derive(Debug, Clone)]
+pub struct NextLinePrefetcher {
+    degree: u32,
+    on_hits: bool,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher issuing `degree` lines per miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: u32) -> Self {
+        assert!(degree > 0, "zero-degree prefetcher");
+        Self { degree, on_hits: false }
+    }
+
+    /// Also trigger on hits (more aggressive; not the default).
+    pub fn trigger_on_hits(mut self) -> Self {
+        self.on_hits = true;
+        self
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn on_access(&mut self, line: LineAddr, _pc_sig: u64, hit: bool, out: &mut Vec<LineAddr>) {
+        if hit && !self.on_hits {
+            return;
+        }
+        for i in 1..=self.degree as u64 {
+            out.push(LineAddr::new(line.get().wrapping_add(i)));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetches_sequential_lines_on_miss() {
+        let mut p = NextLinePrefetcher::new(2);
+        let mut out = Vec::new();
+        p.on_access(LineAddr::new(100), 0, false, &mut out);
+        assert_eq!(out, vec![LineAddr::new(101), LineAddr::new(102)]);
+    }
+
+    #[test]
+    fn silent_on_hits_by_default() {
+        let mut p = NextLinePrefetcher::new(2);
+        let mut out = Vec::new();
+        p.on_access(LineAddr::new(100), 0, true, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hit_triggering_opt_in() {
+        let mut p = NextLinePrefetcher::new(1).trigger_on_hits();
+        let mut out = Vec::new();
+        p.on_access(LineAddr::new(7), 0, true, &mut out);
+        assert_eq!(out, vec![LineAddr::new(8)]);
+    }
+}

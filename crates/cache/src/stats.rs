@@ -1,0 +1,157 @@
+//! Per-cache event counters.
+
+use garibaldi_types::AccessKind;
+use serde::{Deserialize, Serialize};
+
+/// Event counters for one cache, split by instruction/data where relevant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand instruction accesses.
+    pub i_accesses: u64,
+    /// Demand instruction hits.
+    pub i_hits: u64,
+    /// Demand data accesses.
+    pub d_accesses: u64,
+    /// Demand data hits.
+    pub d_hits: u64,
+    /// Lines evicted (valid victim replaced).
+    pub evictions: u64,
+    /// Dirty evictions (writebacks to the next level).
+    pub writebacks: u64,
+    /// Prefetch fills inserted.
+    pub prefetch_fills: u64,
+    /// Demand hits on lines still carrying the prefetched bit.
+    pub prefetch_useful: u64,
+    /// Fills bypassed by the replacement policy.
+    pub bypasses: u64,
+    /// Victim candidates protected by an external guard (Garibaldi QBS).
+    pub guarded_protections: u64,
+    /// Lines invalidated by coherence.
+    pub invalidations: u64,
+    /// Instruction lines evicted.
+    pub i_evictions: u64,
+}
+
+impl CacheStats {
+    /// Records a demand access outcome.
+    pub fn record_access(&mut self, kind: AccessKind, hit: bool) {
+        match kind {
+            AccessKind::Instr => {
+                self.i_accesses += 1;
+                if hit {
+                    self.i_hits += 1;
+                }
+            }
+            AccessKind::Data => {
+                self.d_accesses += 1;
+                if hit {
+                    self.d_hits += 1;
+                }
+            }
+        }
+    }
+
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.i_accesses + self.d_accesses
+    }
+
+    /// Total demand hits.
+    pub fn hits(&self) -> u64 {
+        self.i_hits + self.d_hits
+    }
+
+    /// Total demand misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Instruction miss count.
+    pub fn i_misses(&self) -> u64 {
+        self.i_accesses - self.i_hits
+    }
+
+    /// Data miss count.
+    pub fn d_misses(&self) -> u64 {
+        self.d_accesses - self.d_hits
+    }
+
+    /// Overall miss rate in [0,1]; 0 when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        ratio(self.misses(), self.accesses())
+    }
+
+    /// Instruction miss rate in [0,1].
+    pub fn i_miss_rate(&self) -> f64 {
+        ratio(self.i_misses(), self.i_accesses)
+    }
+
+    /// Data miss rate in [0,1].
+    pub fn d_miss_rate(&self) -> f64 {
+        ratio(self.d_misses(), self.d_accesses)
+    }
+
+    /// Fraction of demand accesses that are instruction fetches.
+    pub fn instr_access_ratio(&self) -> f64 {
+        ratio(self.i_accesses, self.accesses())
+    }
+
+    /// Merges counters from another cache (for cluster/system aggregation).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.i_accesses += other.i_accesses;
+        self.i_hits += other.i_hits;
+        self.d_accesses += other.d_accesses;
+        self.d_hits += other.d_hits;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_useful += other.prefetch_useful;
+        self.bypasses += other.bypasses;
+        self.guarded_protections += other.guarded_protections;
+        self.invalidations += other.invalidations;
+        self.i_evictions += other.i_evictions;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = CacheStats::default();
+        s.record_access(AccessKind::Instr, false);
+        s.record_access(AccessKind::Instr, true);
+        s.record_access(AccessKind::Data, false);
+        assert_eq!(s.accesses(), 3);
+        assert_eq!(s.misses(), 2);
+        assert!((s.i_miss_rate() - 0.5).abs() < 1e-12);
+        assert!((s.d_miss_rate() - 1.0).abs() < 1e-12);
+        assert!((s.instr_access_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.instr_access_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CacheStats { i_accesses: 1, d_hits: 2, writebacks: 3, ..Default::default() };
+        let b = CacheStats { i_accesses: 10, d_hits: 20, writebacks: 30, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.i_accesses, 11);
+        assert_eq!(a.d_hits, 22);
+        assert_eq!(a.writebacks, 33);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the cache substrate.
+
+use garibaldi_cache::{AccessCtx, CacheConfig, MshrQueue, PolicyKind, SatCounter, SetAssocCache};
+use garibaldi_types::LineAddr;
+use proptest::prelude::*;
+
+proptest! {
+    /// Occupancy never exceeds capacity and resident lines are findable,
+    /// under arbitrary access/insert/invalidate sequences, for every policy.
+    #[test]
+    fn cache_occupancy_and_lookup_consistency(
+        ops in prop::collection::vec((0u8..3, 0u64..4096), 1..400),
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        sets in 1usize..32,
+        ways in 1usize..8,
+    ) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let mut cache = SetAssocCache::new(CacheConfig::new("p", sets, ways), kind);
+        for (op, line) in ops {
+            let la = LineAddr::new(line);
+            let ctx = AccessCtx::data(la, line ^ 0xabc);
+            match op {
+                0 => { cache.access(&ctx, false); }
+                1 => {
+                    let out = cache.insert(la, &ctx, false);
+                    if out.way.is_some() {
+                        prop_assert!(cache.lookup(la).is_some(), "{kind}: inserted line must be resident");
+                    }
+                }
+                _ => { cache.invalidate(la); }
+            }
+            prop_assert!(cache.occupancy() <= sets * ways, "{kind}: capacity exceeded");
+        }
+        let s = cache.stats();
+        prop_assert!(s.hits() <= s.accesses());
+        prop_assert!(s.writebacks <= s.evictions + s.invalidations);
+    }
+
+    /// LRU never evicts the most-recently-touched line in a set.
+    #[test]
+    fn lru_never_evicts_mru(lines in prop::collection::vec(0u64..64, 2..200)) {
+        let mut cache = SetAssocCache::new(CacheConfig::new("lru", 1, 4), PolicyKind::Lru);
+        let mut last_touched: Option<LineAddr> = None;
+        for line in lines {
+            let la = LineAddr::new(line);
+            let ctx = AccessCtx::data(la, 0);
+            if !cache.access(&ctx, false) {
+                let out = cache.insert(la, &ctx, false);
+                if let (Some(ev), Some(mru)) = (out.evicted, last_touched) {
+                    if mru != la {
+                        prop_assert_ne!(ev.meta.line, mru, "evicted the MRU line");
+                    }
+                }
+            }
+            last_touched = Some(la);
+        }
+    }
+
+    /// Saturating counters stay within their range under arbitrary ops.
+    #[test]
+    fn sat_counter_bounds(bits in 1u32..12, init in 0u32..5000, ops in prop::collection::vec(0u8..4, 0..200)) {
+        let mut c = SatCounter::new(bits, init);
+        let max = (1u32 << bits) - 1;
+        prop_assert!(c.get() <= max);
+        for op in ops {
+            match op {
+                0 => c.inc(),
+                1 => c.dec(),
+                2 => c.add(3),
+                _ => c.sub(3),
+            }
+            prop_assert!(c.get() <= max);
+        }
+    }
+
+    /// The MSHR queue's completions are causally consistent: requests never
+    /// start before arrival and queueing only happens at capacity.
+    #[test]
+    fn mshr_admission_is_causal(
+        cap in 1usize..8,
+        arrivals in prop::collection::vec((0u64..1000, 1u64..100), 1..100),
+    ) {
+        let mut q = MshrQueue::new(cap);
+        let mut now = 0u64;
+        for (gap, service) in arrivals {
+            now += gap;
+            let (delay, completion) = q.admit(now, service);
+            prop_assert_eq!(completion, now + delay + service);
+            prop_assert!(q.in_flight(now) <= cap);
+        }
+    }
+
+    /// The victim-exclusion contract holds for arbitrary masks.
+    #[test]
+    fn victim_respects_arbitrary_exclusions(
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        seed_lines in prop::collection::vec(0u64..512, 8..64),
+        excl in 0u64..0b1110,
+    ) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let mut cache = SetAssocCache::new(CacheConfig::new("x", 4, 4), kind);
+        for l in seed_lines {
+            let la = LineAddr::new(l);
+            let ctx = AccessCtx::data(la, l);
+            if !cache.access(&ctx, false) {
+                cache.insert(la, &ctx, false);
+            }
+        }
+        // Partition-style restricted insert must land in an allowed way.
+        let allowed = !excl & 0b1111;
+        prop_assume!(allowed != 0);
+        let la = LineAddr::new(9999);
+        let out = cache.insert_restricted(la, &AccessCtx::data(la, 1), false, allowed);
+        if let Some(w) = out.way {
+            prop_assert!(allowed & (1 << w) != 0, "{kind}: landed outside the partition");
+        }
+    }
+}
+
+mod opt_bound {
+    use garibaldi_cache::{simulate_opt, AccessCtx, CacheConfig, PolicyKind, SetAssocCache};
+    use garibaldi_types::LineAddr;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Belady's MIN is an upper bound: no online policy may beat OPT's
+        /// hit count on the same stream.
+        #[test]
+        fn no_policy_beats_opt(
+            stream in prop::collection::vec(0u64..128, 10..500),
+            policy_idx in 0usize..PolicyKind::ALL.len(),
+        ) {
+            let kind = PolicyKind::ALL[policy_idx];
+            let sets = 4usize;
+            let ways = 3usize;
+            let lines: Vec<LineAddr> = stream.iter().map(|&l| LineAddr::new(l)).collect();
+            let opt = simulate_opt(&lines, sets, ways);
+
+            let mut cache = SetAssocCache::new(CacheConfig::new("o", sets, ways), kind);
+            for &la in &lines {
+                let ctx = AccessCtx::data(la, la.get() ^ 7);
+                if !cache.access(&ctx, false) {
+                    cache.insert(la, &ctx, false);
+                }
+            }
+            prop_assert!(
+                cache.stats().hits() <= opt.hits,
+                "{kind}: {} hits beats OPT's {}",
+                cache.stats().hits(),
+                opt.hits
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Decoupled D_PPN table (Fig 10a).
+//!
+//! DL_PA fields in the pair table store only a page *offset* plus a short
+//! index into this shared, tagless table of data page-frame numbers — the
+//! storage optimisation that keeps each DL_PA field at 23 bits. Entries are
+//! replaced under a 3-bit saturating counter; because the table is tagless,
+//! an index can be repointed while stale fields still reference it, which
+//! simply turns the eventual prefetch into a harmless mis-prefetch (exactly
+//! as in the hardware proposal).
+
+use garibaldi_cache::SatCounter;
+use garibaldi_types::PageNum;
+
+#[derive(Debug, Clone, Copy)]
+struct DppnEntry {
+    ppn: u64,
+    sctr: SatCounter,
+    valid: bool,
+}
+
+/// The shared data-PPN table.
+#[derive(Debug, Clone)]
+pub struct DppnTable {
+    entries: Vec<DppnEntry>,
+    replacements: u64,
+}
+
+impl DppnTable {
+    /// Creates a table with `entries` slots (power of two recommended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "empty D_PPN table");
+        Self {
+            entries: vec![DppnEntry { ppn: 0, sctr: SatCounter::new(3, 0), valid: false }; entries],
+            replacements: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no slots (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn index_of(&self, ppn: u64) -> usize {
+        (ppn.wrapping_mul(0xd6e8_feb8_6659_fd93) >> 24) as usize % self.entries.len()
+    }
+
+    /// Records a data page frame, returning the index DL_PA fields should
+    /// store. If the hashed slot holds a different frame, its counter is
+    /// decremented and the frame only replaced once the counter exhausts
+    /// (3-bit sctr replacement, "without an old bit", §5.3).
+    pub fn insert(&mut self, ppn: PageNum) -> u16 {
+        let idx = self.index_of(ppn.get());
+        let e = &mut self.entries[idx];
+        if !e.valid {
+            *e = DppnEntry { ppn: ppn.get(), sctr: SatCounter::new(3, 4), valid: true };
+        } else if e.ppn == ppn.get() {
+            e.sctr.inc();
+        } else {
+            e.sctr.dec();
+            if e.sctr.get() == 0 {
+                *e = DppnEntry { ppn: ppn.get(), sctr: SatCounter::new(3, 4), valid: true };
+                self.replacements += 1;
+            }
+        }
+        idx as u16
+    }
+
+    /// Reads the frame currently stored at `idx`, if any.
+    pub fn get(&self, idx: u16) -> Option<PageNum> {
+        let e = self.entries.get(idx as usize)?;
+        if e.valid {
+            Some(PageNum::new(e.ppn))
+        } else {
+            None
+        }
+    }
+
+    /// True if `idx` currently stores exactly `ppn` (prefetch validity).
+    pub fn matches(&self, idx: u16, ppn: PageNum) -> bool {
+        self.get(idx) == Some(ppn)
+    }
+
+    /// Replacement count (diagnostics).
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = DppnTable::new(64);
+        let idx = t.insert(PageNum::new(0xdeed_b));
+        assert_eq!(t.get(idx), Some(PageNum::new(0xdeed_b)));
+        assert!(t.matches(idx, PageNum::new(0xdeed_b)));
+    }
+
+    #[test]
+    fn conflicting_frame_needs_persistence() {
+        let mut t = DppnTable::new(1); // force collisions
+        let a = PageNum::new(10);
+        let b = PageNum::new(20);
+        t.insert(a);
+        // One insertion of b decrements but does not replace.
+        let idx = t.insert(b);
+        assert_eq!(t.get(idx), Some(a));
+        // Persistent b eventually claims the slot.
+        for _ in 0..4 {
+            t.insert(b);
+        }
+        assert_eq!(t.get(idx), Some(b));
+        assert_eq!(t.replacements(), 1);
+    }
+
+    #[test]
+    fn reinforcement_protects_entry() {
+        let mut t = DppnTable::new(1);
+        let a = PageNum::new(1);
+        let b = PageNum::new(2);
+        for _ in 0..8 {
+            t.insert(a); // saturate a's counter
+        }
+        for _ in 0..5 {
+            t.insert(b);
+        }
+        // a had counter 7; five decrements leave it alive.
+        assert_eq!(t.get(0), Some(a));
+    }
+
+    #[test]
+    fn out_of_range_index_is_none() {
+        let t = DppnTable::new(4);
+        assert_eq!(t.get(100), None);
+    }
+}

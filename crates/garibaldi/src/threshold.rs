@@ -1,0 +1,278 @@
+//! Dynamic threshold management and the coloring timer (§5.2, Fig 9).
+//!
+//! A synchronized l-bit timer advances one *color* per `N` LLC accesses.
+//! During each color period a small PMU measures the conditional probability
+//! `P(D_miss | I_miss)`: every instruction miss records its 64 B-aligned PC
+//! in a per-thread 10-entry ring; data accesses whose PC matches a ring
+//! entry update the conditional hit/miss counters. At the period boundary
+//! the protection threshold moves by ±1:
+//!
+//! * `P(D_miss|I_miss)` **below** the overall LLC miss rate → data behind
+//!   instruction misses is being served well → *decrease* the threshold
+//!   (protect more instructions);
+//! * **above** → protection is indiscriminate and hurting → *increase* it.
+
+use crate::config::{GaribaldiConfig, ThresholdMode};
+use garibaldi_types::{ThreadId, VirtAddr};
+
+/// Per-thread ring of recent instruction-miss PCs (64 B-aligned).
+#[derive(Debug, Clone)]
+struct PcRing {
+    pcs: Vec<u64>,
+    next: usize,
+}
+
+impl PcRing {
+    fn new(capacity: usize) -> Self {
+        Self { pcs: vec![u64::MAX; capacity], next: 0 }
+    }
+
+    fn record(&mut self, pc_line: u64) {
+        self.pcs[self.next] = pc_line;
+        self.next = (self.next + 1) % self.pcs.len();
+    }
+
+    fn contains(&self, pc_line: u64) -> bool {
+        self.pcs.contains(&pc_line)
+    }
+
+    fn clear(&mut self) {
+        self.pcs.fill(u64::MAX);
+        self.next = 0;
+    }
+}
+
+/// The threshold unit: coloring timer + PMU + threshold register.
+#[derive(Debug, Clone)]
+pub struct ThresholdUnit {
+    mode: ThresholdMode,
+    threshold: u32,
+    margin: f64,
+    max_cost: u32,
+    color: u8,
+    colors: u32,
+    period: u64,
+    // Period-local counters.
+    accesses_in_period: u64,
+    misses_in_period: u64,
+    cond_total: u64,
+    cond_miss: u64,
+    rings: Vec<PcRing>,
+    // Lifetime diagnostics.
+    color_ticks: u64,
+    threshold_min: u32,
+    threshold_max: u32,
+}
+
+impl ThresholdUnit {
+    /// Creates the unit for `n_threads` hardware threads.
+    pub fn new(cfg: &GaribaldiConfig, n_threads: usize) -> Self {
+        let threshold = match cfg.threshold_mode {
+            ThresholdMode::Dynamic => cfg.init_threshold,
+            ThresholdMode::Fixed(delta) => {
+                (cfg.init_threshold as i64 + delta as i64).clamp(0, cfg.max_cost() as i64) as u32
+            }
+            ThresholdMode::AllProtect => 0,
+        };
+        Self {
+            mode: cfg.threshold_mode,
+            threshold,
+            margin: cfg.threshold_margin,
+            max_cost: cfg.max_cost(),
+            color: 0,
+            colors: cfg.colors(),
+            period: cfg.color_period,
+            accesses_in_period: 0,
+            misses_in_period: 0,
+            cond_total: 0,
+            cond_miss: 0,
+            rings: vec![PcRing::new(cfg.pmu_recent_pcs.max(1)); n_threads.max(1)],
+            color_ticks: 0,
+            threshold_min: threshold,
+            threshold_max: threshold,
+        }
+    }
+
+    /// Current protection threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Current color of the l-bit timer.
+    pub fn color(&self) -> u8 {
+        self.color
+    }
+
+    /// Number of completed color periods.
+    pub fn color_ticks(&self) -> u64 {
+        self.color_ticks
+    }
+
+    /// (min, max) threshold observed over the run.
+    pub fn threshold_range(&self) -> (u32, u32) {
+        (self.threshold_min, self.threshold_max)
+    }
+
+    /// Records an instruction miss PC into the requester thread's ring.
+    pub fn record_instr_miss(&mut self, thread: ThreadId, pc: VirtAddr) {
+        let n = self.rings.len();
+        self.rings[thread.index() % n].record(pc.get() & !63);
+    }
+
+    /// Records a data access; returns whether the PMU matched its PC
+    /// against a recent instruction miss (diagnostics).
+    pub fn record_data_access(&mut self, thread: ThreadId, pc: VirtAddr, hit: bool) -> bool {
+        let n = self.rings.len();
+        if self.rings[thread.index() % n].contains(pc.get() & !63) {
+            self.cond_total += 1;
+            if !hit {
+                self.cond_miss += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Registers one LLC access (any type) with its hit/miss outcome; at
+    /// each period boundary the threshold updates and the color advances.
+    /// Returns `true` when a color tick happened.
+    pub fn on_llc_access(&mut self, hit: bool) -> bool {
+        self.accesses_in_period += 1;
+        if !hit {
+            self.misses_in_period += 1;
+        }
+        if self.accesses_in_period < self.period {
+            return false;
+        }
+        self.end_period();
+        true
+    }
+
+    fn end_period(&mut self) {
+        if self.mode == ThresholdMode::Dynamic && self.cond_total > 0 {
+            let p_cond = self.cond_miss as f64 / self.cond_total as f64;
+            let p_total = self.misses_in_period as f64 / self.accesses_in_period.max(1) as f64;
+            if p_cond < p_total + self.margin {
+                self.threshold = self.threshold.saturating_sub(1);
+            } else {
+                self.threshold = (self.threshold + 1).min(self.max_cost);
+            }
+            self.threshold_min = self.threshold_min.min(self.threshold);
+            self.threshold_max = self.threshold_max.max(self.threshold);
+        }
+        // Advance the color and reset the PMU (Fig 9b).
+        self.color = ((self.color as u32 + 1) % self.colors) as u8;
+        self.color_ticks += 1;
+        self.accesses_in_period = 0;
+        self.misses_in_period = 0;
+        self.cond_total = 0;
+        self.cond_miss = 0;
+        for r in &mut self.rings {
+            r.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(period: u64) -> GaribaldiConfig {
+        GaribaldiConfig { color_period: period, ..Default::default() }
+    }
+
+    #[test]
+    fn fixed_mode_applies_delta() {
+        let c = GaribaldiConfig { threshold_mode: ThresholdMode::Fixed(-16), ..Default::default() };
+        assert_eq!(ThresholdUnit::new(&c, 1).threshold(), 16);
+        let c = GaribaldiConfig { threshold_mode: ThresholdMode::Fixed(16), ..Default::default() };
+        assert_eq!(ThresholdUnit::new(&c, 1).threshold(), 48);
+        let c = GaribaldiConfig { threshold_mode: ThresholdMode::AllProtect, ..Default::default() };
+        assert_eq!(ThresholdUnit::new(&c, 1).threshold(), 0);
+    }
+
+    #[test]
+    fn color_advances_each_period_and_wraps() {
+        let mut u = ThresholdUnit::new(&cfg(10), 2);
+        for tick in 1..=9 {
+            for _ in 0..10 {
+                u.on_llc_access(true);
+            }
+            assert_eq!(u.color_ticks(), tick);
+            assert_eq!(u.color(), (tick % 8) as u8);
+        }
+    }
+
+    #[test]
+    fn threshold_decreases_when_data_served_despite_i_misses() {
+        let mut u = ThresholdUnit::new(&cfg(100), 1);
+        let t = ThreadId::new(0);
+        let pc = VirtAddr::new(0x4000);
+        u.record_instr_miss(t, pc);
+        // Conditional accesses all hit; overall misses are high.
+        for i in 0..100 {
+            if i < 20 {
+                u.record_data_access(t, pc, true);
+            }
+            u.on_llc_access(i % 2 == 0); // 50% overall miss rate
+        }
+        assert_eq!(u.threshold(), 31, "threshold decreased to protect more");
+    }
+
+    #[test]
+    fn threshold_increases_when_protection_hurts() {
+        let mut u = ThresholdUnit::new(&cfg(100), 1);
+        let t = ThreadId::new(0);
+        let pc = VirtAddr::new(0x4000);
+        u.record_instr_miss(t, pc);
+        for i in 0..100 {
+            if i < 20 {
+                u.record_data_access(t, pc, false); // conditional misses
+            }
+            u.on_llc_access(true); // overall miss rate 0
+        }
+        assert_eq!(u.threshold(), 33);
+    }
+
+    #[test]
+    fn no_adjustment_without_conditional_samples() {
+        let mut u = ThresholdUnit::new(&cfg(10), 1);
+        for _ in 0..10 {
+            u.on_llc_access(false);
+        }
+        assert_eq!(u.threshold(), 32);
+        assert_eq!(u.color_ticks(), 1);
+    }
+
+    #[test]
+    fn pmu_ring_keeps_only_recent_pcs() {
+        let mut u = ThresholdUnit::new(&cfg(1000), 1);
+        let t = ThreadId::new(0);
+        for i in 0..11u64 {
+            u.record_instr_miss(t, VirtAddr::new(i * 64));
+        }
+        // PC 0 was pushed out of the 10-entry ring.
+        assert!(!u.record_data_access(t, VirtAddr::new(0), true));
+        assert!(u.record_data_access(t, VirtAddr::new(5 * 64), true));
+    }
+
+    #[test]
+    fn rings_are_per_thread() {
+        let mut u = ThresholdUnit::new(&cfg(1000), 2);
+        u.record_instr_miss(ThreadId::new(0), VirtAddr::new(0x40));
+        assert!(!u.record_data_access(ThreadId::new(1), VirtAddr::new(0x40), true));
+        assert!(u.record_data_access(ThreadId::new(0), VirtAddr::new(0x40), true));
+    }
+
+    #[test]
+    fn pmu_resets_at_period_boundary() {
+        let mut u = ThresholdUnit::new(&cfg(5), 1);
+        let t = ThreadId::new(0);
+        u.record_instr_miss(t, VirtAddr::new(0x40));
+        for _ in 0..5 {
+            u.on_llc_access(true);
+        }
+        assert!(!u.record_data_access(t, VirtAddr::new(0x40), true), "ring cleared");
+    }
+}

@@ -1,0 +1,66 @@
+//! Calibration probe: prints the key population statistics the workload
+//! profiles must reproduce (Fig 3 aggregates) and the policy ordering
+//! (LRU < Mockingjay < Mockingjay+Garibaldi on server workloads).
+//!
+//! Usage: `cargo run -p garibaldi-sim --release --bin calibrate [workload…]`
+
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::experiment::run_homogeneous;
+use garibaldi_sim::{ExperimentScale, LlcScheme};
+
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<&str> = if args.is_empty() {
+        vec!["verilator", "kafka", "tpcc", "noop", "xalan", "gcc", "lbm"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let scale = ExperimentScale::default_scaled();
+
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9}",
+        "workload", "I%LLC", "ImissR", "DmissR", "L1I-mr", "L2-mr", "IPC-lru", "IPC-mj", "IPC-mjG", "ifetchCPI"
+    );
+    for w in &workloads {
+        let lru = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Lru), w, 42);
+        let mj = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
+        let mjg = run_homogeneous(&scale, LlcScheme::mockingjay_garibaldi(), w, 42);
+        let llc = &lru.llc;
+        let stack = lru.mean_cpi_stack();
+        println!(
+            "{:<16} {:>6.2}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.4} {:>8.4} {:>8.4} {:>9.3}",
+            w,
+            llc.instr_access_ratio() * 100.0,
+            llc.i_miss_rate() * 100.0,
+            llc.d_miss_rate() * 100.0,
+            lru.l1i.i_miss_rate() * 100.0,
+            lru.l2.miss_rate() * 100.0,
+            lru.harmonic_mean_ipc(),
+            mj.harmonic_mean_ipc(),
+            mjg.harmonic_mean_ipc(),
+            stack.ifetch,
+        );
+        if let Some(g) = &mjg.garibaldi {
+            println!(
+                "  garibaldi: protects={} declines={} prefetches={} helper_hr={:.2} thr={} pair_upd={}",
+                g.stats.protections,
+                g.stats.declines,
+                g.stats.prefetches_issued,
+                g.helper_hit_rate,
+                g.final_threshold,
+                g.stats.pair_updates,
+            );
+            println!(
+                "  mj-llc: I%={:.1} ImissR={:.1}% DmissR={:.1}% bypass={} | mjG DmissR={:.1}% | cond(mj): P(Imiss|Dhit)={:.2} P(Imiss|Dmiss)={:.2}",
+                mj.llc.instr_access_ratio() * 100.0,
+                mj.llc.i_miss_rate() * 100.0,
+                mj.llc.d_miss_rate() * 100.0,
+                mj.llc.bypasses,
+                mjg.llc.d_miss_rate() * 100.0,
+                mj.conditional.miss_rate_data_hit(),
+                mj.conditional.miss_rate_data_miss(),
+            );
+        }
+    }
+}

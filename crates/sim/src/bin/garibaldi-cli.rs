@@ -1,0 +1,203 @@
+//! `garibaldi-cli` — run any workload/mix/policy combination from the
+//! command line and get the full metric report.
+//!
+//! ```text
+//! USAGE:
+//!   garibaldi-cli [OPTIONS]
+//!
+//! OPTIONS:
+//!   --workload NAME[,NAME…]  workloads, one per core, cycled (default tpcc)
+//!   --policy   NAME          lru|random|srrip|brrip|drrip|ship|hawkeye|mockingjay
+//!   --garibaldi              attach the Garibaldi module
+//!   --cores N                core count (default 8)
+//!   --factor F               cache/footprint scale factor (default 0.5)
+//!   --records N              measured records per core (default 200000)
+//!   --warmup N               warmup records per core (default 50000)
+//!   --seed N                 experiment seed (default 42)
+//!   --oracle                 I-oracle mode (instructions hit after first touch)
+//!   --partition N            reserve N LLC ways for instruction lines
+//!   --list                   list available workloads and exit
+//! ```
+//!
+//! Example:
+//! `cargo run --release -p garibaldi-sim --bin garibaldi-cli -- \`
+//! `    --workload verilator --policy mockingjay --garibaldi --cores 8`
+
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::{ExperimentScale, LlcScheme, SimRunner, SystemConfig};
+use garibaldi_trace::{registry, WorkloadMix};
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "lru" => PolicyKind::Lru,
+        "random" => PolicyKind::Random,
+        "srrip" => PolicyKind::Srrip,
+        "brrip" => PolicyKind::Brrip,
+        "drrip" => PolicyKind::Drrip,
+        "ship" => PolicyKind::Ship,
+        "hawkeye" => PolicyKind::Hawkeye,
+        "mockingjay" => PolicyKind::Mockingjay,
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+struct Args {
+    workloads: Vec<String>,
+    policy: PolicyKind,
+    garibaldi: bool,
+    cores: usize,
+    factor: f64,
+    records: u64,
+    warmup: u64,
+    seed: u64,
+    oracle: bool,
+    partition: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        workloads: vec!["tpcc".into()],
+        policy: PolicyKind::Mockingjay,
+        garibaldi: false,
+        cores: 8,
+        factor: 0.5,
+        records: 200_000,
+        warmup: 50_000,
+        seed: 42,
+        oracle: false,
+        partition: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                a.workloads = val("--workload")?.split(',').map(str::to_string).collect()
+            }
+            "--policy" => a.policy = parse_policy(&val("--policy")?)?,
+            "--garibaldi" => a.garibaldi = true,
+            "--cores" => a.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--factor" => a.factor = val("--factor")?.parse().map_err(|e| format!("{e}"))?,
+            "--records" => a.records = val("--records")?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup" => a.warmup = val("--warmup")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--oracle" => a.oracle = true,
+            "--partition" => {
+                a.partition = val("--partition")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--list" => {
+                println!("server workloads:");
+                for w in registry::server_workloads() {
+                    println!(
+                        "  {:<16} text {:>6.2} MB, hot {:>5.2} MB",
+                        w.name,
+                        w.instr_footprint_bytes() as f64 / 1048576.0,
+                        w.hot_footprint_bytes() as f64 / 1048576.0
+                    );
+                }
+                println!("SPEC workloads:");
+                for w in registry::spec_workloads() {
+                    println!("  {}", w.name);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("see the module docs at the top of garibaldi-cli.rs");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    for w in &a.workloads {
+        if registry::by_name(w).is_none() {
+            return Err(format!("unknown workload '{w}' (try --list)"));
+        }
+    }
+    Ok(a)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let scheme = if args.garibaldi {
+        LlcScheme::with_garibaldi(args.policy)
+    } else {
+        LlcScheme::plain(args.policy)
+    };
+    let scale = ExperimentScale {
+        factor: args.factor,
+        cores: args.cores,
+        records_per_core: args.records,
+        warmup_per_core: args.warmup,
+        color_period: (args.records / 8).max(1_000),
+    };
+    let mut cfg = SystemConfig::scaled(&scale, scheme);
+    cfg.i_oracle = args.oracle;
+    cfg.partition_instr_ways = args.partition;
+
+    let slots: Vec<String> =
+        (0..args.cores).map(|i| args.workloads[i % args.workloads.len()].clone()).collect();
+    let mix = WorkloadMix { slots };
+
+    eprintln!(
+        "simulating {} cores, {} + {} records/core, scheme {} …",
+        args.cores,
+        args.warmup,
+        args.records,
+        cfg.scheme.label()
+    );
+    let t0 = std::time::Instant::now();
+    let r = SimRunner::new(cfg, mix, args.seed).run(args.records, args.warmup);
+    let dt = t0.elapsed();
+
+    println!("\nscheme: {}", r.scheme);
+    println!(
+        "aggregate: harmonic-mean IPC {:.4}, IPC sum {:.3}, wall {:.0} cycles",
+        r.harmonic_mean_ipc(),
+        r.ipc_sum(),
+        r.wall_cycles()
+    );
+    let s = r.mean_cpi_stack();
+    println!(
+        "CPI stack: base {:.3}  ifetch {:.3}  data {:.3}  branch {:.3}",
+        s.base, s.ifetch, s.data, s.branch
+    );
+    println!(
+        "LLC: {:.2}% instruction accesses; miss rates I {:.1}% / D {:.1}%; {} bypasses",
+        r.llc.instr_access_ratio() * 100.0,
+        r.llc.i_miss_rate() * 100.0,
+        r.llc.d_miss_rate() * 100.0,
+        r.llc.bypasses
+    );
+    println!(
+        "DRAM: {} reads, {} writes, {:.1} MB moved",
+        r.dram.reads,
+        r.dram.writes,
+        r.dram.bytes() as f64 / 1048576.0
+    );
+    println!("energy: {:.4} J ({:.4} dynamic)", r.energy.total_j(), r.energy.dynamic_j);
+    if let Some(g) = &r.garibaldi {
+        println!(
+            "garibaldi: {} pair updates, {} protections, {} prefetches, threshold {} after {} periods, helper hit-rate {:.2}",
+            g.stats.pair_updates,
+            g.stats.protections,
+            g.stats.prefetches_issued,
+            g.final_threshold,
+            g.color_ticks,
+            g.helper_hit_rate
+        );
+    }
+    println!("\nper-core:");
+    for (i, c) in r.cores.iter().enumerate() {
+        println!("  core{i:<2} {:<16} ipc {:.4}", c.workload, c.ipc);
+    }
+    eprintln!("\n[{} records simulated in {dt:.2?}]", args.cores as u64 * (args.records + args.warmup));
+}

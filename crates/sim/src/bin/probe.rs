@@ -1,0 +1,46 @@
+//! Ablation probe: isolates where Garibaldi's benefit channel stands by
+//! comparing LRU, Mockingjay, and Mockingjay+AllProtect (with and without
+//! pairwise prefetch) on one workload.
+use garibaldi::{GaribaldiConfig, ThresholdMode};
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::experiment::run_homogeneous;
+use garibaldi_sim::{ExperimentScale, LlcScheme};
+
+fn main() {
+    let w = std::env::args().nth(1).unwrap_or_else(|| "verilator".into());
+    let scale = ExperimentScale::default_scaled();
+    let mj = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Mockingjay), &w, 42);
+    let all = LlcScheme {
+        policy: PolicyKind::Mockingjay,
+        garibaldi: Some(GaribaldiConfig {
+            threshold_mode: ThresholdMode::AllProtect,
+            ..GaribaldiConfig::default()
+        }),
+    };
+    let mj_all = run_homogeneous(&scale, all, &w, 42);
+    let nopf = LlcScheme {
+        policy: PolicyKind::Mockingjay,
+        garibaldi: Some(GaribaldiConfig {
+            threshold_mode: ThresholdMode::AllProtect,
+            enable_prefetch: false,
+            ..GaribaldiConfig::default()
+        }),
+    };
+    let mj_nopf = run_homogeneous(&scale, nopf, &w, 42);
+    let lru = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Lru), &w, 42);
+    for (name, r) in [("lru", &lru), ("mj", &mj), ("mj+AllProt", &mj_all), ("mj+AllProt-noPf", &mj_nopf)] {
+        let s = r.mean_cpi_stack();
+        println!(
+            "{:<16} ipc={:.4} ifetchCPI={:.3} dataCPI={:.3} llc I%={:.1} ImissR={:.1}% DmissR={:.1}% prot={} i_evic={}",
+            name,
+            r.harmonic_mean_ipc(),
+            s.ifetch,
+            s.data,
+            r.llc.instr_access_ratio() * 100.0,
+            r.llc.i_miss_rate() * 100.0,
+            r.llc.d_miss_rate() * 100.0,
+            r.garibaldi.map(|g| g.stats.protections).unwrap_or(0),
+            r.llc.i_evictions,
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! System configuration (Table 1) and LLC scheme selection.
+
+use crate::experiment::ExperimentScale;
+use garibaldi::GaribaldiConfig;
+use garibaldi_cache::PolicyKind;
+use garibaldi_mem::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which LLC management runs: a host replacement policy plus, optionally,
+/// the Garibaldi module on top (the paper's "orthogonal" composition).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlcScheme {
+    /// Host replacement policy.
+    pub policy: PolicyKind,
+    /// Garibaldi module configuration, if enabled.
+    pub garibaldi: Option<GaribaldiConfig>,
+}
+
+impl LlcScheme {
+    /// Plain host policy, no Garibaldi.
+    pub fn plain(policy: PolicyKind) -> Self {
+        Self { policy, garibaldi: None }
+    }
+
+    /// Host policy + default Garibaldi.
+    pub fn with_garibaldi(policy: PolicyKind) -> Self {
+        Self { policy, garibaldi: Some(GaribaldiConfig::default()) }
+    }
+
+    /// The paper's headline configuration: Mockingjay + Garibaldi.
+    pub fn mockingjay_garibaldi() -> Self {
+        Self::with_garibaldi(PolicyKind::Mockingjay)
+    }
+
+    /// Label for reports ("Mockingjay+Garibaldi").
+    pub fn label(&self) -> String {
+        match &self.garibaldi {
+            Some(_) => format!("{}+Garibaldi", self.policy.label()),
+            None => self.policy.label().to_string(),
+        }
+    }
+}
+
+/// Full system configuration.
+///
+/// Defaults follow Table 1; [`SystemConfig::scaled`] shrinks footprint-
+/// sensitive structures together with the workload scale factor so that
+/// capacity ratios (and therefore the paper's effects) are preserved at
+/// CI-tractable simulation cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core count.
+    pub cores: usize,
+    /// Cores sharing one L2 (Table 1: 4).
+    pub l2_cluster_size: usize,
+    /// L1I capacity per core in bytes (64 KB).
+    pub l1i_bytes: u64,
+    /// L1D capacity per core in bytes (32 KB).
+    pub l1d_bytes: u64,
+    /// L1 associativity (8).
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles (3).
+    pub l1_latency: u64,
+    /// L2 capacity per cluster in bytes (4 MB).
+    pub l2_bytes: u64,
+    /// L2 associativity (16).
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles (18).
+    pub l2_latency: u64,
+    /// LLC capacity in bytes, total (30 MB = 0.75 MB × 40 cores).
+    pub llc_bytes: u64,
+    /// LLC associativity (12).
+    pub llc_ways: usize,
+    /// LLC hit latency in cycles (40).
+    pub llc_latency: u64,
+    /// DRAM model parameters.
+    pub dram: DramConfig,
+    /// LLC scheme under test.
+    pub scheme: LlcScheme,
+    /// Ways reserved for instruction lines (0 = no partitioning; Fig 14d).
+    pub partition_instr_ways: usize,
+    /// Instruction-oracle mode: instructions always hit in the LLC after
+    /// first touch (Fig 3d headroom study).
+    pub i_oracle: bool,
+    /// Enable the L1D next-line prefetcher.
+    pub l1d_prefetcher: bool,
+    /// Enable the L2 GHB prefetcher.
+    pub l2_prefetcher: bool,
+    /// Enable the L1I temporal (I-SPY stand-in) prefetcher.
+    pub l1i_prefetcher: bool,
+    /// Base CPI of the 6-wide OoO core when never stalled on memory.
+    pub base_cpi: f64,
+    /// Branch misprediction penalty in cycles.
+    pub branch_penalty: u64,
+    /// Backend overlap factor: fraction of each *additional* concurrent
+    /// data-miss stall hidden by out-of-order execution (0 = fully serial,
+    /// 1 = all but the longest miss free).
+    pub mlp_overlap: f64,
+    /// Cycles of an isolated data-miss stall hidden by the reorder buffer
+    /// (≈ ROB entries × base CPI / instructions per record window). The
+    /// frontend has no such shadow: instruction misses stall serially —
+    /// the cost asymmetry at the heart of the paper (§3.2).
+    pub rob_shadow: u64,
+    /// Enable the reuse-distance / per-line profiler (Fig 3/4 analyses;
+    /// costs simulation time, off by default).
+    pub profile_reuse: bool,
+    /// Factor applied to workload footprints via
+    /// [`garibaldi_trace::WorkloadProfile::scaled`] so footprint-to-capacity
+    /// ratios track the cache scaling.
+    pub profile_scale: f64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 baseline: 40 cores, 30 MB 12-way LLC, LRU.
+    pub fn paper_baseline() -> Self {
+        Self {
+            cores: 40,
+            l2_cluster_size: 4,
+            l1i_bytes: 64 * 1024,
+            l1d_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_latency: 3,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_ways: 16,
+            l2_latency: 18,
+            llc_bytes: 30 * 1024 * 1024,
+            llc_ways: 12,
+            llc_latency: 40,
+            dram: DramConfig::default(),
+            scheme: LlcScheme::plain(PolicyKind::Lru),
+            partition_instr_ways: 0,
+            i_oracle: false,
+            l1d_prefetcher: true,
+            l2_prefetcher: true,
+            l1i_prefetcher: true,
+            base_cpi: 0.5,
+            branch_penalty: 14,
+            mlp_overlap: 0.85,
+            rob_shadow: 96,
+            profile_reuse: false,
+            profile_scale: 1.0,
+        }
+    }
+
+    /// A scaled configuration: `scale.cores` cores with every per-core
+    /// capacity multiplied by `scale.factor` (LLC stays 0.75 MB × factor
+    /// per core, L2 4 MB × factor per 4-core cluster, etc.). Workload
+    /// profiles must be scaled by the same factor.
+    pub fn scaled(scale: &ExperimentScale, scheme: LlcScheme) -> Self {
+        let f = scale.factor;
+        let mut cfg = Self::paper_baseline();
+        cfg.cores = scale.cores;
+        cfg.l1i_bytes = scale_bytes(cfg.l1i_bytes, f, 8 * 1024);
+        cfg.l1d_bytes = scale_bytes(cfg.l1d_bytes, f, 8 * 1024);
+        cfg.l2_bytes = scale_bytes(cfg.l2_bytes, f, 64 * 1024);
+        cfg.llc_bytes = scale_bytes(786_432 * scale.cores as u64, f, 256 * 1024);
+        let mut scheme = scheme;
+        if let Some(g) = scheme.garibaldi.as_mut() {
+            g.color_period = scale.color_period;
+            // Scaled runs are ~30× shorter than the paper's: compensate the
+            // pair table's per-entry update density (DESIGN.md §5).
+            if scale.factor < 1.0 {
+                g.cost_hit_step = 2;
+            }
+        }
+        cfg.scheme = scheme;
+        cfg.profile_scale = f;
+        cfg
+    }
+
+    /// Cluster index of a core.
+    pub fn cluster_of(&self, core: usize) -> usize {
+        core / self.l2_cluster_size
+    }
+
+    /// Number of L2 clusters.
+    pub fn clusters(&self) -> usize {
+        self.cores.div_ceil(self.l2_cluster_size)
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("zero cores".into());
+        }
+        if self.l2_cluster_size == 0 {
+            return Err("zero cluster size".into());
+        }
+        if self.llc_ways == 0 || self.llc_ways > 64 {
+            return Err("LLC ways out of [1,64]".into());
+        }
+        if self.partition_instr_ways > self.llc_ways {
+            return Err("cannot reserve more ways than the LLC has".into());
+        }
+        if !(0.0..=1.0).contains(&self.mlp_overlap) {
+            return Err("mlp_overlap out of [0,1]".into());
+        }
+        if self.base_cpi <= 0.0 {
+            return Err("non-positive base CPI".into());
+        }
+        if let Some(g) = &self.scheme.garibaldi {
+            g.validate()?;
+        }
+        Ok(())
+    }
+}
+
+fn scale_bytes(bytes: u64, f: f64, min: u64) -> u64 {
+    (((bytes as f64 * f) as u64) / 4096 * 4096).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_table1() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.cores, 40);
+        assert_eq!(c.llc_bytes, 30 * 1024 * 1024);
+        assert_eq!(c.llc_ways, 12);
+        assert_eq!(c.l2_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.clusters(), 10);
+        assert_eq!(c.cluster_of(7), 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_keeps_per_core_llc_ratio() {
+        let scale = ExperimentScale::default_scaled();
+        let c = SystemConfig::scaled(&scale, LlcScheme::plain(PolicyKind::Lru));
+        let per_core = c.llc_bytes as f64 / c.cores as f64;
+        let paper_per_core = 786_432.0;
+        let want = paper_per_core * scale.factor;
+        assert!((per_core - want).abs() / want < 0.1, "{per_core} vs {want}");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(LlcScheme::plain(PolicyKind::Lru).label(), "LRU");
+        assert_eq!(LlcScheme::mockingjay_garibaldi().label(), "Mockingjay+Garibaldi");
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = SystemConfig::paper_baseline();
+        c.partition_instr_ways = 13;
+        assert!(c.validate().is_err());
+        c.partition_instr_ways = 0;
+        c.mlp_overlap = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

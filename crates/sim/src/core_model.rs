@@ -1,0 +1,255 @@
+//! Interval-style core timing model with CPI-stack accounting.
+//!
+//! One trace record = one fetched instruction line (+ its data references).
+//! The model charges:
+//!
+//! * **base** — `instrs × base_cpi` (the 6-wide OoO core's no-stall IPC);
+//! * **ifetch** — fetch latency beyond the pipelined L1I hit latency.
+//!   Frontend stalls are serial: the pipeline cannot run ahead of a missing
+//!   instruction, which is exactly why one instruction miss is "much more
+//!   costly than one data miss" (§1);
+//! * **data** — memory latency beyond L1D, with the longest access charged
+//!   in full and the remainder discounted by the MLP overlap factor
+//!   (out-of-order cores overlap independent misses);
+//! * **branch** — a fixed penalty per mispredicted record.
+
+use crate::config::SystemConfig;
+use crate::hierarchy::MemoryHierarchy;
+use garibaldi_cache::{Prefetcher, TemporalPrefetcher};
+use garibaldi_trace::{AddressSpace, TraceGenerator};
+use garibaldi_types::{CoreId, LineAddr, VirtAddr, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Sequential run-ahead depth of the frontend prefetch engine (FDIP-style).
+const IPF_RUNAHEAD: u64 = 6;
+
+/// Frontend instruction-prefetch engine: temporal successor prediction over
+/// the virtual-address miss stream (the I-SPY stand-in) plus sequential
+/// run-ahead. Operating in VA space keeps prefetches page-safe; each
+/// candidate is translated by the core before being issued.
+#[derive(Debug, Default)]
+pub struct InstrPrefetchEngine {
+    temporal: TemporalPrefetcher,
+    buf: Vec<LineAddr>,
+}
+
+impl InstrPrefetchEngine {
+    /// Candidate VAs to prefetch after an L1I miss at `pc`.
+    pub fn on_miss(&mut self, pc: VirtAddr, out: &mut Vec<VirtAddr>) {
+        let vline = LineAddr::new(pc.get() / LINE_BYTES);
+        self.buf.clear();
+        self.temporal.on_access(vline, 0, false, &mut self.buf);
+        out.clear();
+        for l in &self.buf {
+            out.push(VirtAddr::new(l.get() * LINE_BYTES));
+        }
+        for k in 1..=IPF_RUNAHEAD {
+            let cand = VirtAddr::new((vline.get() + k) * LINE_BYTES);
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+    }
+}
+
+/// Cycle attribution per CPI-stack component (Fig 1's stacks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Useful-work cycles.
+    pub base: f64,
+    /// Frontend (instruction fetch) stall cycles.
+    pub ifetch: f64,
+    /// Backend memory (data) stall cycles.
+    pub data: f64,
+    /// Branch misprediction cycles.
+    pub branch: f64,
+}
+
+impl CpiStack {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.base + self.ifetch + self.data + self.branch
+    }
+
+    /// Per-instruction stack (divide by retired instructions).
+    pub fn per_instr(&self, instrs: u64) -> CpiStack {
+        if instrs == 0 {
+            return CpiStack::default();
+        }
+        let n = instrs as f64;
+        CpiStack {
+            base: self.base / n,
+            ifetch: self.ifetch / n,
+            data: self.data / n,
+            branch: self.branch / n,
+        }
+    }
+
+    fn sub(&self, other: &CpiStack) -> CpiStack {
+        CpiStack {
+            base: self.base - other.base,
+            ifetch: self.ifetch - other.ifetch,
+            data: self.data - other.data,
+            branch: self.branch - other.branch,
+        }
+    }
+}
+
+/// One simulated core: trace walk + address space + clock + CPI stack.
+pub struct CoreState<'p> {
+    /// Core identifier.
+    pub id: CoreId,
+    gen: TraceGenerator<'p>,
+    asp: Rc<RefCell<AddressSpace>>,
+    ipf: InstrPrefetchEngine,
+    ipf_out: Vec<VirtAddr>,
+    /// Local clock in cycles.
+    pub clock: f64,
+    stack: CpiStack,
+    instrs: u64,
+    records: u64,
+    // Snapshots taken when measurement starts (end of warmup).
+    snap_clock: f64,
+    snap_stack: CpiStack,
+    snap_instrs: u64,
+}
+
+impl<'p> CoreState<'p> {
+    /// Creates a core walking `gen` in address space `asp` (threads of one
+    /// server process pass clones of the same `Rc`, sharing translations).
+    pub fn new(id: CoreId, gen: TraceGenerator<'p>, asp: Rc<RefCell<AddressSpace>>) -> Self {
+        Self {
+            id,
+            gen,
+            asp,
+            ipf: InstrPrefetchEngine::default(),
+            ipf_out: Vec::with_capacity(8),
+            clock: 0.0,
+            stack: CpiStack::default(),
+            instrs: 0,
+            records: 0,
+            snap_clock: 0.0,
+            snap_stack: CpiStack::default(),
+            snap_instrs: 0,
+        }
+    }
+
+    /// Records processed so far (including warmup).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Marks the measurement start (end of warmup).
+    pub fn snapshot(&mut self) {
+        self.snap_clock = self.clock;
+        self.snap_stack = self.stack;
+        self.snap_instrs = self.instrs;
+    }
+
+    /// Instructions retired since the snapshot.
+    pub fn measured_instrs(&self) -> u64 {
+        self.instrs - self.snap_instrs
+    }
+
+    /// Cycles elapsed since the snapshot.
+    pub fn measured_cycles(&self) -> f64 {
+        self.clock - self.snap_clock
+    }
+
+    /// CPI stack accumulated since the snapshot.
+    pub fn measured_stack(&self) -> CpiStack {
+        self.stack.sub(&self.snap_stack)
+    }
+
+    /// IPC over the measured region.
+    pub fn ipc(&self) -> f64 {
+        let c = self.measured_cycles();
+        if c <= 0.0 {
+            0.0
+        } else {
+            self.measured_instrs() as f64 / c
+        }
+    }
+
+    /// Executes one trace record against the hierarchy.
+    pub fn step(&mut self, hier: &mut MemoryHierarchy, cfg: &SystemConfig) {
+        let rec = self.gen.next_record();
+        let now = self.clock as u64;
+        let il_pa = self.asp.borrow_mut().translate_line(rec.pc);
+
+        // Frontend: fetch the instruction line.
+        let i_out = hier.access_instr(self.id, rec.pc, il_pa, now);
+        let ifetch_stall = i_out.latency.saturating_sub(cfg.l1_latency) as f64;
+        let i_llc_miss = i_out.llc_hit.map(|h| !h);
+
+        // The frontend prefetch engine reacts to L1I misses, issuing
+        // page-safe VA-space prefetches through normal translation.
+        if cfg.l1i_prefetcher && i_out.latency > cfg.l1_latency {
+            let mut out = std::mem::take(&mut self.ipf_out);
+            self.ipf.on_miss(rec.pc, &mut out);
+            for &va in &out {
+                let pa = self.asp.borrow_mut().translate_line(va);
+                hier.prefetch_instr(self.id, va, pa, now);
+            }
+            self.ipf_out = out;
+        }
+
+        // Backend: serve the data references.
+        let mut stalls: [f64; garibaldi_trace::MAX_DATA_REFS] =
+            [0.0; garibaldi_trace::MAX_DATA_REFS];
+        let mut n = 0;
+        for d in rec.data_refs() {
+            let d_pa = self.asp.borrow_mut().translate_line(d.va);
+            let out = hier.access_data(self.id, rec.pc, d_pa, d.rw, now, i_llc_miss);
+            stalls[n] = out.latency.saturating_sub(cfg.l1_latency) as f64;
+            n += 1;
+        }
+        stalls[..n].sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN stalls"));
+        let mut data_stall = 0.0;
+        for (i, s) in stalls[..n].iter().enumerate() {
+            data_stall += if i == 0 {
+                // The ROB hides the head of an isolated miss; deeper misses
+                // in the same record overlap under the MLP factor.
+                (*s - cfg.rob_shadow as f64).max(0.0)
+            } else {
+                s * (1.0 - cfg.mlp_overlap)
+            };
+        }
+
+        let base = rec.instrs as f64 * cfg.base_cpi;
+        let branch = if rec.mispredict { cfg.branch_penalty as f64 } else { 0.0 };
+
+        self.clock += base + ifetch_stall + data_stall + branch;
+        self.stack.base += base;
+        self.stack.ifetch += ifetch_stall;
+        self.stack.data += data_stall;
+        self.stack.branch += branch;
+        self.instrs += rec.instrs as u64;
+        self.records += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_totals_and_per_instr() {
+        let s = CpiStack { base: 40.0, ifetch: 30.0, data: 20.0, branch: 10.0 };
+        assert!((s.total() - 100.0).abs() < 1e-12);
+        let p = s.per_instr(100);
+        assert!((p.base - 0.4).abs() < 1e-12);
+        assert!((p.total() - 1.0).abs() < 1e-12);
+        assert_eq!(CpiStack::default().per_instr(0), CpiStack::default());
+    }
+
+    #[test]
+    fn sub_computes_deltas() {
+        let a = CpiStack { base: 5.0, ifetch: 4.0, data: 3.0, branch: 2.0 };
+        let b = CpiStack { base: 1.0, ifetch: 1.0, data: 1.0, branch: 1.0 };
+        let d = a.sub(&b);
+        assert!((d.total() - 10.0).abs() < 1e-12);
+    }
+}

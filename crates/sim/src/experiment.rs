@@ -1,0 +1,193 @@
+//! Experiment scaffolding: scales, weighted speedup, common sweeps.
+
+use crate::config::{LlcScheme, SystemConfig};
+use crate::metrics::RunResult;
+use crate::system::SimRunner;
+use garibaldi_trace::WorkloadMix;
+use serde::{Deserialize, Serialize};
+
+/// How large an experiment runs: cache/footprint scale factor, core count,
+/// and per-core record budget.
+///
+/// The paper's own configuration (40 cores, 30 MB LLC, 80 M measured
+/// instructions/core) is `ExperimentScale::full()`; the default scaled
+/// setup preserves every capacity *ratio* while shrinking absolute sizes
+/// so the whole figure suite regenerates in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Multiplier on cache capacities and workload footprints.
+    pub factor: f64,
+    /// Core count.
+    pub cores: usize,
+    /// Measured trace records per core (1 record ≈ 8 instructions).
+    pub records_per_core: u64,
+    /// Warmup records per core.
+    pub warmup_per_core: u64,
+    /// Garibaldi color period (LLC accesses), scaled with the run length.
+    pub color_period: u64,
+}
+
+impl ExperimentScale {
+    /// Default scaled setup: 8 cores at half-size caches/footprints.
+    pub fn default_scaled() -> Self {
+        Self {
+            factor: 0.5,
+            cores: 8,
+            records_per_core: 200_000,
+            warmup_per_core: 50_000,
+            color_period: 25_000,
+        }
+    }
+
+    /// Tiny smoke-test scale for unit/integration tests.
+    pub fn smoke() -> Self {
+        Self {
+            factor: 0.1,
+            cores: 4,
+            records_per_core: 4_000,
+            warmup_per_core: 1_000,
+            color_period: 2_000,
+        }
+    }
+
+    /// The paper's full Table 1 configuration (slow: hours, not minutes).
+    pub fn full() -> Self {
+        Self {
+            factor: 1.0,
+            cores: 40,
+            records_per_core: 10_000_000,
+            warmup_per_core: 2_500_000,
+            color_period: 100_000,
+        }
+    }
+
+    /// Reads `GARIBALDI_FULL=1` to switch the harness to full scale.
+    pub fn from_env() -> Self {
+        match std::env::var("GARIBALDI_FULL").as_deref() {
+            Ok("1") | Ok("true") => Self::full(),
+            _ => Self::default_scaled(),
+        }
+    }
+}
+
+/// Weighted speedup (§6): `Σ IPC_shared / IPC_single` over the mix's cores,
+/// each core's single-run IPC measured alone on the same hierarchy scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSpeedup(pub f64);
+
+/// Runs a homogeneous workload on `scale.cores` cores under `scheme`.
+pub fn run_homogeneous(
+    scale: &ExperimentScale,
+    scheme: LlcScheme,
+    workload: &str,
+    seed: u64,
+) -> RunResult {
+    let cfg = SystemConfig::scaled(scale, scheme);
+    SimRunner::new(cfg, WorkloadMix::homogeneous(workload, scale.cores), seed)
+        .run(scale.records_per_core, scale.warmup_per_core)
+}
+
+/// Runs an arbitrary mix under `scheme`.
+pub fn run_mix(scale: &ExperimentScale, scheme: LlcScheme, mix: &WorkloadMix, seed: u64) -> RunResult {
+    let cfg = SystemConfig::scaled(scale, scheme);
+    SimRunner::new(cfg, mix.clone(), seed).run(scale.records_per_core, scale.warmup_per_core)
+}
+
+/// Single-core IPC of a workload (denominator of weighted speedup); uses
+/// the same per-core cache ratios with a 1-core LLC slice.
+pub fn ipc_single(scale: &ExperimentScale, scheme: LlcScheme, workload: &str, seed: u64) -> f64 {
+    let single = ExperimentScale { cores: 1, ..*scale };
+    let cfg = SystemConfig::scaled(&single, scheme);
+    let r = SimRunner::new(cfg, WorkloadMix::homogeneous(workload, 1), seed)
+        .run(scale.records_per_core.min(60_000), scale.warmup_per_core.min(15_000));
+    r.cores[0].ipc
+}
+
+/// Weighted speedup of a mix result given per-workload single-core IPCs.
+pub fn weighted_speedup(
+    result: &RunResult,
+    singles: &std::collections::HashMap<String, f64>,
+) -> WeightedSpeedup {
+    let sum: f64 = result
+        .cores
+        .iter()
+        .map(|c| c.ipc / singles.get(&c.workload).copied().unwrap_or(1.0).max(1e-12))
+        .sum();
+    WeightedSpeedup(sum)
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garibaldi_cache::PolicyKind;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let smoke = ExperimentScale::smoke();
+        let scaled = ExperimentScale::default_scaled();
+        let full = ExperimentScale::full();
+        assert!(smoke.records_per_core < scaled.records_per_core);
+        assert!(scaled.records_per_core < full.records_per_core);
+        assert!(smoke.cores <= scaled.cores && scaled.cores <= full.cores);
+        assert_eq!(full.factor, 1.0);
+    }
+
+    #[test]
+    fn weighted_speedup_uses_singles() {
+        use crate::core_model::CpiStack;
+        use crate::metrics::CoreResult;
+        let result = RunResult {
+            scheme: "t".into(),
+            cores: vec![
+                CoreResult { workload: "a".into(), instrs: 1, cycles: 1.0, ipc: 0.5, stack: CpiStack::default() },
+                CoreResult { workload: "b".into(), instrs: 1, cycles: 1.0, ipc: 1.0, stack: CpiStack::default() },
+            ],
+            l1: Default::default(),
+            l1i: Default::default(),
+            l2: Default::default(),
+            llc: Default::default(),
+            dram: Default::default(),
+            garibaldi: None,
+            conditional: Default::default(),
+            reuse: None,
+            energy: Default::default(),
+            qbs_cycles: 0,
+            invalidations: 0,
+        };
+        let mut singles = std::collections::HashMap::new();
+        singles.insert("a".to_string(), 1.0);
+        singles.insert("b".to_string(), 2.0);
+        let ws = weighted_speedup(&result, &singles);
+        assert!((ws.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_smoke_run() {
+        let scale = ExperimentScale::smoke();
+        let r = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Lru), "gcc", 3);
+        assert!(r.harmonic_mean_ipc() > 0.0);
+    }
+}

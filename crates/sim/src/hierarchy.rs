@@ -1,0 +1,783 @@
+//! The modeled memory hierarchy (Table 1 / Fig 6a).
+//!
+//! Per-core L1I/L1D → per-4-core-cluster L2 → shared non-inclusive LLC →
+//! DDR5. The LLC carries a MESI-lite directory (sharer mask per line at L2
+//! granularity, writes invalidate remote copies). The Garibaldi module, when
+//! configured, observes every demand access that reaches the LLC and guards
+//! victim selection (QBS); its pairwise prefetches are installed as
+//! prefetched LLC lines whose DRAM fetch overlaps the triggering
+//! instruction miss.
+
+use crate::config::SystemConfig;
+use crate::energy::EnergyEvents;
+use crate::metrics::ConditionalMatrix;
+use crate::reuse::ReuseProfiler;
+use garibaldi::{instruction_way_mask, GaribaldiModule};
+use garibaldi_cache::{
+    AccessCtx, CacheConfig, GhbPrefetcher, NextLinePrefetcher, PolicyKind, Prefetcher,
+    SetAssocCache,
+};
+use garibaldi_mem::DramModel;
+use garibaldi_types::{
+    AccessKind, AccessOutcome, CoreId, HitLevel, LineAddr, RwKind, VirtAddr,
+};
+use std::collections::HashSet;
+
+/// The full cache/memory hierarchy of the socket.
+pub struct MemoryHierarchy {
+    cfg: SystemConfig,
+    l1i: Vec<SetAssocCache>,
+    l1d: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    dram: DramModel,
+    garibaldi: Option<GaribaldiModule>,
+    l1d_pf: Vec<NextLinePrefetcher>,
+    l2_pf: Vec<GhbPrefetcher>,
+    /// I-oracle: instruction lines seen at the LLC at least once.
+    oracle_seen: HashSet<u64>,
+    /// Optional reuse/per-line profiler (Fig 3/4 analyses).
+    profiler: Option<ReuseProfiler>,
+    /// Fig 4(c) conditional instruction/data outcome matrix.
+    cond: ConditionalMatrix,
+    /// Extra cycles spent on QBS pair-table queries.
+    qbs_cycles: u64,
+    /// Coherence invalidations performed.
+    invalidations: u64,
+    pf_buf: Vec<LineAddr>,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from a validated system configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SystemConfig::validate`].
+    pub fn new(cfg: &SystemConfig) -> Self {
+        cfg.validate().expect("valid system configuration");
+        // Private caches always use LRU; the scheme under test applies to
+        // the shared LLC (as in the paper).
+        let l1i: Vec<_> = (0..cfg.cores)
+            .map(|c| {
+                SetAssocCache::new(
+                    CacheConfig::from_capacity(format!("l1i{c}"), cfg.l1i_bytes, cfg.l1_ways),
+                    PolicyKind::Lru,
+                )
+            })
+            .collect();
+        let l1d: Vec<_> = (0..cfg.cores)
+            .map(|c| {
+                SetAssocCache::new(
+                    CacheConfig::from_capacity(format!("l1d{c}"), cfg.l1d_bytes, cfg.l1_ways),
+                    PolicyKind::Lru,
+                )
+            })
+            .collect();
+        let l2: Vec<_> = (0..cfg.clusters())
+            .map(|k| {
+                SetAssocCache::new(
+                    CacheConfig::from_capacity(format!("l2c{k}"), cfg.l2_bytes, cfg.l2_ways),
+                    PolicyKind::Lru,
+                )
+            })
+            .collect();
+        let llc = SetAssocCache::new(
+            CacheConfig::from_capacity("llc", cfg.llc_bytes, cfg.llc_ways),
+            cfg.scheme.policy,
+        );
+        let garibaldi =
+            cfg.scheme.garibaldi.clone().map(|g| GaribaldiModule::new(g, cfg.cores));
+        let profiler =
+            cfg.profile_reuse.then(|| ReuseProfiler::new(llc.config().sets));
+        Self {
+            l1i,
+            l1d,
+            l2,
+            llc,
+            dram: DramModel::new(cfg.dram),
+            garibaldi,
+            l1d_pf: (0..cfg.cores).map(|_| NextLinePrefetcher::new(2).trigger_on_hits()).collect(),
+            l2_pf: (0..cfg.clusters()).map(|_| GhbPrefetcher::new(2)).collect(),
+            oracle_seen: HashSet::new(),
+            profiler,
+            cond: ConditionalMatrix::default(),
+            qbs_cycles: 0,
+            invalidations: 0,
+            pf_buf: Vec::with_capacity(8),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// PC signature mixing the core id (distinct address spaces must not
+    /// alias in PC-indexed predictors).
+    #[inline]
+    fn sig(core: CoreId, pc: VirtAddr) -> u64 {
+        (pc.get() & !63).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (core.get() as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+    }
+
+    /// Instruction fetch of `line` (physical) at `pc` from `core`.
+    pub fn access_instr(&mut self, core: CoreId, pc: VirtAddr, line: LineAddr, now: u64) -> AccessOutcome {
+        let sig = Self::sig(core, pc);
+        let ctx = AccessCtx::instr(line, sig);
+        let c = core.index();
+
+        // L1I.
+        if self.l1i[c].access(&ctx, false) {
+            return AccessOutcome {
+                level: HitLevel::L1,
+                latency: self.cfg.l1_latency,
+                llc_hit: None,
+                covered_by_prefetch: false,
+            };
+        }
+        // L2.
+        let cluster = self.cfg.cluster_of(c);
+        if self.l2[cluster].access(&ctx, false) {
+            let covered = false;
+            self.fill_l1i(c, line, &ctx);
+            self.record_sharer(line, cluster);
+            return AccessOutcome {
+                level: HitLevel::L2,
+                latency: self.cfg.l1_latency + self.cfg.l2_latency,
+                llc_hit: None,
+                covered_by_prefetch: covered,
+            };
+        }
+
+        // LLC (with the I-oracle shortcut for the Fig 3d study).
+        if self.cfg.i_oracle {
+            let seen = !self.oracle_seen.insert(line.get());
+            let llc_stats = self.llc.stats_mut();
+            llc_stats.record_access(AccessKind::Instr, seen);
+            if seen {
+                self.fill_l2(cluster, line, &ctx, false, now);
+                self.fill_l1i(c, line, &ctx);
+                return AccessOutcome {
+                    level: HitLevel::Llc,
+                    latency: self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.llc_latency,
+                    llc_hit: Some(true),
+                    covered_by_prefetch: false,
+                };
+            }
+            let lat = self.dram.access(line, now, false);
+            self.fill_l2(cluster, line, &ctx, false, now);
+            self.fill_l1i(c, line, &ctx);
+            return AccessOutcome {
+                level: HitLevel::Memory,
+                latency: self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.llc_latency + lat,
+                llc_hit: Some(false),
+                covered_by_prefetch: false,
+            };
+        }
+
+        if let Some(p) = self.profiler.as_mut() {
+            p.on_access(line, AccessKind::Instr, sig);
+        }
+        let llc_hit = self.llc.access(&ctx, false);
+        // Garibaldi observes the access; on unprotected misses it answers
+        // with pairwise prefetch candidates (§4.3).
+        let mut pairwise: Vec<LineAddr> = Vec::new();
+        if let Some(g) = self.garibaldi.as_mut() {
+            pairwise = g.on_instr_access(core, pc, line, llc_hit, true);
+        }
+        if llc_hit {
+            self.fill_l2(cluster, line, &ctx, false, now);
+            self.fill_l1i(c, line, &ctx);
+            self.record_sharer(line, cluster);
+            return AccessOutcome {
+                level: HitLevel::Llc,
+                latency: self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.llc_latency,
+                llc_hit: Some(true),
+                covered_by_prefetch: false,
+            };
+        }
+
+        // Miss path: DRAM fetch + guarded LLC insertion.
+        let dram_lat = self.dram.access(line, now, false);
+        let qbs = self.insert_llc_guarded(line, &ctx, false);
+        // Pairwise data prefetches overlap the instruction fetch: they cost
+        // DRAM bandwidth/energy but add nothing to this miss's latency.
+        for dl in pairwise {
+            self.pairwise_prefetch_fill(dl, sig, now);
+        }
+        self.fill_l2(cluster, line, &ctx, false, now);
+        self.fill_l1i(c, line, &ctx);
+        self.record_sharer(line, cluster);
+        AccessOutcome {
+            level: HitLevel::Memory,
+            latency: self.cfg.l1_latency
+                + self.cfg.l2_latency
+                + self.cfg.llc_latency
+                + dram_lat
+                + qbs,
+            llc_hit: Some(false),
+            covered_by_prefetch: false,
+        }
+    }
+
+    /// Demand data access. `i_llc_miss` carries the LLC outcome of the
+    /// triggering instruction fetch when it reached the LLC (feeds the
+    /// Fig 4c conditional matrix).
+    pub fn access_data(
+        &mut self,
+        core: CoreId,
+        pc: VirtAddr,
+        line: LineAddr,
+        rw: RwKind,
+        now: u64,
+        i_llc_miss: Option<bool>,
+    ) -> AccessOutcome {
+        let sig = Self::sig(core, pc);
+        let ctx = AccessCtx::data(line, sig);
+        let c = core.index();
+        let is_write = rw.is_write();
+
+        let cluster0 = self.cfg.cluster_of(c);
+        if self.l1d[c].access(&ctx, is_write) {
+            if is_write {
+                // MESI upgrade: a write to a potentially-shared line must
+                // invalidate remote copies even on a private-cache hit.
+                self.invalidate_remote(line, cluster0);
+            }
+            return AccessOutcome {
+                level: HitLevel::L1,
+                latency: self.cfg.l1_latency,
+                llc_hit: None,
+                covered_by_prefetch: false,
+            };
+        }
+        if self.cfg.l1d_prefetcher {
+            let mut buf = std::mem::take(&mut self.pf_buf);
+            buf.clear();
+            self.l1d_pf[c].on_access(line, sig, false, &mut buf);
+            for cand in buf.drain(..) {
+                self.prefetch_fill_l1d(c, cand, now);
+            }
+            self.pf_buf = buf;
+        }
+
+        let cluster = self.cfg.cluster_of(c);
+        if self.l2[cluster].access(&ctx, false) {
+            self.fill_l1d(c, line, &ctx, is_write);
+            self.record_sharer(line, cluster);
+            if is_write {
+                self.invalidate_remote(line, cluster);
+            }
+            return AccessOutcome {
+                level: HitLevel::L2,
+                latency: self.cfg.l1_latency + self.cfg.l2_latency,
+                llc_hit: None,
+                covered_by_prefetch: false,
+            };
+        }
+        // GHB observes the L2 data-miss stream.
+        if self.cfg.l2_prefetcher {
+            let mut buf = std::mem::take(&mut self.pf_buf);
+            buf.clear();
+            self.l2_pf[cluster].on_access(line, sig, false, &mut buf);
+            for cand in buf.drain(..) {
+                self.prefetch_fill_l2(cluster, cand, now);
+            }
+            self.pf_buf = buf;
+        }
+
+        if let Some(p) = self.profiler.as_mut() {
+            p.on_access(line, AccessKind::Data, sig);
+        }
+        let was_prefetched = self.llc.peek(line).map(|m| m.prefetched).unwrap_or(false);
+        let llc_hit = self.llc.access(&ctx, is_write);
+        if let Some(g) = self.garibaldi.as_mut() {
+            g.on_data_access(core, pc, line, llc_hit);
+        }
+        if let Some(i_miss) = i_llc_miss {
+            self.cond.record(i_miss, llc_hit);
+        }
+        if llc_hit {
+            self.fill_l2(cluster, line, &ctx, false, now);
+            self.fill_l1d(c, line, &ctx, is_write);
+            self.record_sharer(line, cluster);
+            if is_write {
+                self.invalidate_remote(line, cluster);
+            }
+            return AccessOutcome {
+                level: HitLevel::Llc,
+                latency: self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.llc_latency,
+                llc_hit: Some(true),
+                covered_by_prefetch: was_prefetched,
+            };
+        }
+
+        let dram_lat = self.dram.access(line, now, false);
+        let qbs = self.insert_llc_guarded(line, &ctx, false);
+        self.fill_l2(cluster, line, &ctx, false, now);
+        self.fill_l1d(c, line, &ctx, is_write);
+        self.record_sharer(line, cluster);
+        if is_write {
+            self.invalidate_remote(line, cluster);
+        }
+        AccessOutcome {
+            level: HitLevel::Memory,
+            latency: self.cfg.l1_latency
+                + self.cfg.l2_latency
+                + self.cfg.llc_latency
+                + dram_lat
+                + qbs,
+            llc_hit: Some(false),
+            covered_by_prefetch: false,
+        }
+    }
+
+    /// Guarded LLC insertion: Garibaldi's QBS hook plus way partitioning.
+    /// Returns the extra cycles spent on pair-table queries.
+    fn insert_llc_guarded(&mut self, line: LineAddr, ctx: &AccessCtx, dirty: bool) -> u64 {
+        // Fig 14(d) baseline: strict way partitioning replaces QBS.
+        if self.cfg.partition_instr_ways > 0 {
+            let (i_mask, d_mask) =
+                instruction_way_mask(self.cfg.llc_ways, self.cfg.partition_instr_ways);
+            let mask = if ctx.is_instr { i_mask } else { d_mask };
+            let out = self.llc.insert_restricted(line, ctx, dirty, mask);
+            if let Some(ev) = out.evicted {
+                self.on_llc_evict(ev.meta);
+            }
+            return 0;
+        }
+
+        let Some(g) = self.garibaldi.as_mut() else {
+            let out = self.llc.insert(line, ctx, dirty);
+            if let Some(ev) = out.evicted {
+                self.on_llc_evict(ev.meta);
+            }
+            return 0;
+        };
+
+        let max_protects = g.qbs_max_attempts();
+        let no_bypass = ctx.is_instr && g.would_protect(line);
+        let mut queries = 0u32;
+        let out = self.llc.insert_with_guard_opts(line, ctx, dirty, max_protects, !no_bypass, |meta| {
+            queries += 1;
+            g.should_protect(meta.line)
+        });
+        let qbs_lat = g.qbs_latency(queries);
+        self.qbs_cycles += qbs_lat;
+        if no_bypass && out.way.is_some() {
+            // The pair table defends this instruction line: it enters at
+            // the lowest eviction priority (§4.2).
+            self.llc.protect_line(line);
+        }
+        if let Some(ev) = out.evicted {
+            self.on_llc_evict(ev.meta);
+        }
+        qbs_lat
+    }
+
+    fn on_llc_evict(&mut self, meta: garibaldi_cache::LineMeta) {
+        if meta.dirty {
+            // Writeback bandwidth is off the critical path; timestamp 0 is
+            // fine for channel-occupancy accounting at this granularity.
+            self.dram.access(meta.line, 0, true);
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.on_evict(meta.line, meta.is_instr);
+        }
+    }
+
+    fn fill_l1i(&mut self, core: usize, line: LineAddr, ctx: &AccessCtx) {
+        let _ = self.l1i[core].insert(line, ctx, false);
+    }
+
+    fn fill_l1d(&mut self, core: usize, line: LineAddr, ctx: &AccessCtx, dirty: bool) {
+        let _ = self.l1d[core].insert(line, ctx, dirty);
+    }
+
+    /// Fill into a cluster L2, propagating dirty writebacks to the LLC
+    /// (non-inclusive: the LLC write-allocates clean of the guard path).
+    fn fill_l2(&mut self, cluster: usize, line: LineAddr, ctx: &AccessCtx, dirty: bool, now: u64) {
+        let out = self.l2[cluster].insert(line, ctx, dirty);
+        if let Some(ev) = out.evicted {
+            if ev.meta.dirty {
+                let wb_ctx = AccessCtx {
+                    line: ev.meta.line,
+                    pc_sig: ctx.pc_sig,
+                    is_instr: ev.meta.is_instr,
+                    is_prefetch: false,
+                };
+                if let Some(m) = self.llc.peek_mut(ev.meta.line) {
+                    m.dirty = true;
+                } else {
+                    let _ = now;
+                    let _qbs = self.insert_llc_guarded(ev.meta.line, &wb_ctx, true);
+                }
+            }
+        }
+    }
+
+    /// Instruction-prefetch request from a core's frontend engine (the
+    /// I-SPY/FDIP stand-in). Prefetches carry their own PC/VA and take the
+    /// normal translation+lookup path, so the helper tables observe them
+    /// and prefetched instruction lines enter pair-table tracking (§5.3).
+    /// No latency is charged — the engine runs ahead of fetch.
+    pub fn prefetch_instr(&mut self, core: CoreId, pc: VirtAddr, line: LineAddr, now: u64) {
+        let c = core.index();
+        if self.l1i[c].lookup(line).is_some() {
+            return;
+        }
+        let sig = Self::sig(core, pc);
+        let ctx = AccessCtx { line, pc_sig: sig, is_instr: true, is_prefetch: true };
+        let cluster = self.cfg.cluster_of(c);
+        if self.l2[cluster].lookup(line).is_some() {
+            let _ = self.l1i[c].insert(line, &ctx, false);
+            return;
+        }
+        if self.cfg.i_oracle {
+            // The oracle study models ideal instruction residency: a
+            // prefetched line is "seen" and fills the private levels so the
+            // oracle is never handicapped relative to the real prefetcher.
+            self.oracle_seen.insert(line.get());
+            self.fill_l2(cluster, line, &ctx, false, now);
+            let _ = self.l1i[c].insert(line, &ctx, false);
+            return;
+        }
+        // Prefetch lookups do not count as demand accesses (demand miss
+        // rates are what the paper's figures and the threshold unit use).
+        let llc_hit = self.llc.lookup(line).is_some();
+        if let Some(g) = self.garibaldi.as_mut() {
+            let _ = g.on_instr_access(core, pc, line, llc_hit, false);
+        }
+        if !llc_hit {
+            self.dram.access(line, now, false);
+            let _ = self.insert_llc_guarded(line, &ctx, false);
+        }
+        self.fill_l2(cluster, line, &ctx, false, now);
+        let _ = self.l1i[c].insert(line, &ctx, false);
+        self.record_sharer(line, cluster);
+    }
+
+    fn prefetch_fill_l1d(&mut self, core: usize, line: LineAddr, now: u64) {
+        if self.l1d[core].lookup(line).is_some() {
+            return;
+        }
+        let ctx = AccessCtx { line, pc_sig: 0, is_instr: false, is_prefetch: true };
+        let cluster_hit = self.l2.iter().any(|l2| l2.lookup(line).is_some());
+        if !cluster_hit && self.llc.lookup(line).is_none() {
+            self.dram.access(line, now, false);
+        }
+        let _ = self.l1d[core].insert(line, &ctx, false);
+    }
+
+    fn prefetch_fill_l2(&mut self, cluster: usize, line: LineAddr, now: u64) {
+        if self.l2[cluster].lookup(line).is_some() {
+            return;
+        }
+        let ctx = AccessCtx { line, pc_sig: 0, is_instr: false, is_prefetch: true };
+        if self.llc.lookup(line).is_none() {
+            self.dram.access(line, now, false);
+        }
+        let _ = self.l2[cluster].insert(line, &ctx, false);
+    }
+
+    /// Pairwise prefetch fill (§4.3): straight into the LLC with the
+    /// prefetched bit; per §5.3 these fills do not update the pair table.
+    fn pairwise_prefetch_fill(&mut self, line: LineAddr, sig: u64, now: u64) {
+        if self.llc.lookup(line).is_some() {
+            return;
+        }
+        let ctx = AccessCtx { line, pc_sig: sig, is_instr: false, is_prefetch: true };
+        self.dram.access(line, now, false);
+        let _ = self.insert_llc_guarded(line, &ctx, false);
+    }
+
+    /// Directory upkeep: record that `cluster` now holds `line`.
+    fn record_sharer(&mut self, line: LineAddr, cluster: usize) {
+        use garibaldi_cache::MesiState;
+        if let Some(m) = self.llc.peek_mut(line) {
+            m.sharers |= 1 << cluster;
+            m.state = if m.sharers.count_ones() > 1 {
+                MesiState::Shared
+            } else if m.dirty {
+                MesiState::Modified
+            } else {
+                MesiState::Exclusive
+            };
+        }
+    }
+
+    /// Write from `cluster`: invalidate every other cluster's copies.
+    fn invalidate_remote(&mut self, line: LineAddr, cluster: usize) {
+        use garibaldi_cache::MesiState;
+        let Some(m) = self.llc.peek_mut(line) else { return };
+        let others = m.sharers & !(1 << cluster);
+        if others == 0 {
+            m.state = MesiState::Modified;
+            return;
+        }
+        m.sharers = 1 << cluster;
+        m.state = MesiState::Modified;
+        for k in 0..self.l2.len() {
+            if others & (1 << k) != 0 {
+                if self.l2[k].invalidate(line).is_some() {
+                    self.invalidations += 1;
+                }
+                let lo = k * self.cfg.l2_cluster_size;
+                let hi = (lo + self.cfg.l2_cluster_size).min(self.cfg.cores);
+                for core in lo..hi {
+                    self.l1d[core].invalidate(line);
+                    self.l1i[core].invalidate(line);
+                }
+            }
+        }
+    }
+
+    // ---- reporting -------------------------------------------------------
+
+    /// LLC cache (read-only).
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
+    /// Garibaldi module, if configured.
+    pub fn garibaldi(&self) -> Option<&GaribaldiModule> {
+        self.garibaldi.as_ref()
+    }
+
+    /// DRAM model.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// Reuse profiler, if enabled.
+    pub fn profiler(&self) -> Option<&ReuseProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Fig 4(c) conditional matrix.
+    pub fn conditional(&self) -> &ConditionalMatrix {
+        &self.cond
+    }
+
+    /// Total coherence invalidations.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Cycles spent in QBS queries.
+    pub fn qbs_cycles(&self) -> u64 {
+        self.qbs_cycles
+    }
+
+    /// Aggregated L1 stats (I and D, all cores).
+    pub fn l1_stats(&self) -> garibaldi_cache::CacheStats {
+        let mut s = garibaldi_cache::CacheStats::default();
+        for c in self.l1i.iter().chain(self.l1d.iter()) {
+            s.merge(c.stats());
+        }
+        s
+    }
+
+    /// Aggregated L1I stats only.
+    pub fn l1i_stats(&self) -> garibaldi_cache::CacheStats {
+        let mut s = garibaldi_cache::CacheStats::default();
+        for c in &self.l1i {
+            s.merge(c.stats());
+        }
+        s
+    }
+
+    /// Aggregated L2 stats (all clusters).
+    pub fn l2_stats(&self) -> garibaldi_cache::CacheStats {
+        let mut s = garibaldi_cache::CacheStats::default();
+        for c in &self.l2 {
+            s.merge(c.stats());
+        }
+        s
+    }
+
+    /// LLC stats.
+    pub fn llc_stats(&self) -> garibaldi_cache::CacheStats {
+        *self.llc.stats()
+    }
+
+    /// Event counts for the energy model.
+    pub fn energy_events(&self, cycles: u64) -> EnergyEvents {
+        let l1 = self.l1_stats();
+        let l2 = self.l2_stats();
+        let llc = self.llc_stats();
+        let pair_ops = self
+            .garibaldi
+            .as_ref()
+            .map(|g| {
+                let s = g.stats();
+                s.instr_accesses + s.data_accesses + s.protections + s.declines
+            })
+            .unwrap_or(0);
+        EnergyEvents {
+            l1_accesses: l1.accesses() + l1.prefetch_fills,
+            l2_accesses: l2.accesses() + l2.prefetch_fills,
+            llc_accesses: llc.accesses() + llc.prefetch_fills,
+            dram_accesses: self.dram.stats().accesses(),
+            pair_table_ops: pair_ops,
+            cycles,
+            cores: self.cfg.cores as u64,
+        }
+    }
+
+    /// Test-only: drop a line from the LLC.
+    #[doc(hidden)]
+    pub fn llc_invalidate_for_test(&mut self, line: LineAddr) {
+        self.llc.invalidate(line);
+    }
+
+    /// Test-only: drop a line from every L2.
+    #[doc(hidden)]
+    pub fn l2_invalidate_for_test(&mut self, line: LineAddr) {
+        for l2 in &mut self.l2 {
+            l2.invalidate(line);
+        }
+    }
+
+    /// Test-only: drop a line from one core's L1D.
+    #[doc(hidden)]
+    pub fn l1d_invalidate_for_test(&mut self, core: usize, line: LineAddr) {
+        self.l1d[core].invalidate(line);
+    }
+
+    /// Test-only: drop a line from one core's L1I.
+    #[doc(hidden)]
+    pub fn l1i_invalidate_for_test(&mut self, core: usize, line: LineAddr) {
+        self.l1i[core].invalidate(line);
+    }
+
+    /// Clears all statistics (end of warmup) while keeping cache contents,
+    /// predictor state, and Garibaldi tables.
+    pub fn reset_stats(&mut self) {
+        for c in self.l1i.iter_mut().chain(self.l1d.iter_mut()).chain(self.l2.iter_mut()) {
+            *c.stats_mut() = Default::default();
+        }
+        *self.llc.stats_mut() = Default::default();
+        self.dram.reset_stats();
+        if let Some(g) = self.garibaldi.as_mut() {
+            g.reset_stats();
+        }
+        if self.profiler.is_some() {
+            self.profiler = Some(ReuseProfiler::new(self.llc.config().sets));
+        }
+        self.cond = ConditionalMatrix::default();
+        self.qbs_cycles = 0;
+        self.invalidations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LlcScheme;
+    use crate::experiment::ExperimentScale;
+    use garibaldi_cache::PolicyKind;
+
+    fn cfg(scheme: LlcScheme) -> SystemConfig {
+        let mut c = SystemConfig::scaled(&ExperimentScale::smoke(), scheme);
+        c.cores = 8;
+        c.l1i_prefetcher = false;
+        c.l1d_prefetcher = false;
+        c.l2_prefetcher = false;
+        c
+    }
+
+    #[test]
+    fn instruction_fetch_walks_the_hierarchy() {
+        let mut h = MemoryHierarchy::new(&cfg(LlcScheme::plain(PolicyKind::Lru)));
+        let core = CoreId::new(0);
+        let pc = VirtAddr::new(0x40_0000);
+        let line = LineAddr::new(0x1234);
+        // Cold: DRAM.
+        let o1 = h.access_instr(core, pc, line, 0);
+        assert_eq!(o1.level, HitLevel::Memory);
+        assert_eq!(o1.llc_hit, Some(false));
+        // Warm: L1I.
+        let o2 = h.access_instr(core, pc, line, 10);
+        assert_eq!(o2.level, HitLevel::L1);
+        assert_eq!(o2.latency, h.cfg.l1_latency);
+        assert!(o1.latency > o2.latency);
+    }
+
+    #[test]
+    fn sibling_core_hits_shared_l2() {
+        let mut h = MemoryHierarchy::new(&cfg(LlcScheme::plain(PolicyKind::Lru)));
+        let pc = VirtAddr::new(0x40_0000);
+        let line = LineAddr::new(0x9999);
+        h.access_data(CoreId::new(0), pc, line, RwKind::Read, 0, None);
+        // Core 1 shares core 0's L2 cluster: the line is already there.
+        let o = h.access_data(CoreId::new(1), pc, line, RwKind::Read, 0, None);
+        assert_eq!(o.level, HitLevel::L2);
+        // Core 4 is in another cluster: it must go to the LLC.
+        let o = h.access_data(CoreId::new(4), pc, line, RwKind::Read, 0, None);
+        assert_eq!(o.level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn llc_records_sharers_across_clusters() {
+        let mut h = MemoryHierarchy::new(&cfg(LlcScheme::plain(PolicyKind::Lru)));
+        let pc = VirtAddr::new(0x40_0000);
+        let line = LineAddr::new(0x42);
+        h.access_data(CoreId::new(0), pc, line, RwKind::Read, 0, None);
+        h.access_data(CoreId::new(4), pc, line, RwKind::Read, 0, None);
+        let meta = h.llc().peek(line).expect("resident");
+        assert_eq!(meta.sharer_count(), 2);
+        assert_eq!(meta.state, garibaldi_cache::MesiState::Shared);
+    }
+
+    #[test]
+    fn garibaldi_sees_only_llc_level_traffic() {
+        let mut h = MemoryHierarchy::new(&cfg(LlcScheme::mockingjay_garibaldi()));
+        let core = CoreId::new(0);
+        let pc = VirtAddr::new(0x40_0000);
+        let line = LineAddr::new(0x777);
+        h.access_instr(core, pc, line, 0); // reaches LLC (cold)
+        h.access_instr(core, pc, line, 1); // L1I hit: invisible to the module
+        let g = h.garibaldi().unwrap();
+        assert_eq!(g.stats().instr_accesses, 1);
+    }
+
+    #[test]
+    fn pairwise_prefetch_installs_llc_lines() {
+        let mut h = MemoryHierarchy::new(&cfg(LlcScheme::mockingjay_garibaldi()));
+        let core = CoreId::new(0);
+        let pc = VirtAddr::new(0x40_0000);
+        let il = LineAddr::new(0x100);
+        let dl = LineAddr::new(0x200);
+        // Teach the pair: instruction access then repeated cold data.
+        h.access_instr(core, pc, il, 0);
+        for t in 0..4 {
+            // Evict dl from private caches between touches so it reaches
+            // the LLC... simplest: invalidate-like new lines in between is
+            // overkill; the pair table only needs the LLC data accesses.
+            h.access_data(core, pc, dl, RwKind::Read, t, Some(true));
+            h.llc_invalidate_for_test(dl);
+            h.l2_invalidate_for_test(dl);
+            h.l1d_invalidate_for_test(core.index(), dl);
+        }
+        // Evict il everywhere, then refetch: the miss should prefetch dl.
+        h.llc_invalidate_for_test(il);
+        h.l2_invalidate_for_test(il);
+        h.l1i_invalidate_for_test(core.index(), il);
+        let before = h.llc_stats().prefetch_fills;
+        h.access_instr(core, pc, il, 100);
+        assert!(
+            h.llc_stats().prefetch_fills > before,
+            "pairwise prefetch installed the paired data line"
+        );
+        assert!(h.llc().peek(dl).is_some(), "paired line resident");
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_but_keeps_contents() {
+        let mut h = MemoryHierarchy::new(&cfg(LlcScheme::plain(PolicyKind::Lru)));
+        let pc = VirtAddr::new(0x40_0000);
+        let line = LineAddr::new(0x31);
+        h.access_data(CoreId::new(0), pc, line, RwKind::Read, 0, None);
+        assert!(h.llc_stats().accesses() > 0);
+        h.reset_stats();
+        assert_eq!(h.llc_stats().accesses(), 0);
+        assert!(h.llc().peek(line).is_some(), "contents survive the reset");
+    }
+}

@@ -1,0 +1,254 @@
+//! Run results and derived metrics.
+
+use crate::core_model::CpiStack;
+use crate::energy::EnergyReport;
+use garibaldi::GaribaldiStats;
+use garibaldi_cache::CacheStats;
+use garibaldi_mem::DramStats;
+use serde::{Deserialize, Serialize};
+
+/// Fig 4(c): instruction-miss rates conditioned on the paired data access's
+/// LLC outcome. `record(i_miss, d_hit)` is called once per (instruction
+/// LLC access, data LLC access) pair within a record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConditionalMatrix {
+    /// Pairs where the data access hit and the instruction missed.
+    pub dhit_imiss: u64,
+    /// Pairs where the data access hit (total).
+    pub dhit_total: u64,
+    /// Pairs where the data access missed and the instruction missed.
+    pub dmiss_imiss: u64,
+    /// Pairs where the data access missed (total).
+    pub dmiss_total: u64,
+}
+
+impl ConditionalMatrix {
+    /// Records one instruction/data outcome pair.
+    pub fn record(&mut self, i_miss: bool, d_hit: bool) {
+        if d_hit {
+            self.dhit_total += 1;
+            if i_miss {
+                self.dhit_imiss += 1;
+            }
+        } else {
+            self.dmiss_total += 1;
+            if i_miss {
+                self.dmiss_imiss += 1;
+            }
+        }
+    }
+
+    /// `MissRate_DataHit`: P(instruction miss | data hit).
+    pub fn miss_rate_data_hit(&self) -> f64 {
+        ratio(self.dhit_imiss, self.dhit_total)
+    }
+
+    /// `MissRate_DataMiss`: P(instruction miss | data miss).
+    pub fn miss_rate_data_miss(&self) -> f64 {
+        ratio(self.dmiss_imiss, self.dmiss_total)
+    }
+
+    /// Total conditioned pairs.
+    pub fn pairs(&self) -> u64 {
+        self.dhit_total + self.dmiss_total
+    }
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Per-core outcome of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Workload the core ran.
+    pub workload: String,
+    /// Instructions retired in the measured region.
+    pub instrs: u64,
+    /// Cycles elapsed in the measured region.
+    pub cycles: f64,
+    /// IPC over the measured region.
+    pub ipc: f64,
+    /// CPI stack over the measured region.
+    pub stack: CpiStack,
+}
+
+/// Garibaldi-side observability of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaribaldiReport {
+    /// Module event counters.
+    #[serde(skip)]
+    pub stats: GaribaldiStats,
+    /// Final dynamic threshold.
+    pub final_threshold: u32,
+    /// Color periods completed.
+    pub color_ticks: u64,
+    /// Helper-table hit rate.
+    pub helper_hit_rate: f64,
+}
+
+/// Reuse-profiler summary (only when `profile_reuse` was on).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReuseSummary {
+    /// Mean instruction reuse distance (unique lines per set).
+    pub instr_mean_distance: f64,
+    /// Mean data reuse distance.
+    pub data_mean_distance: f64,
+    /// Fraction of instruction reuses within the LLC associativity.
+    pub instr_within_assoc: f64,
+    /// Fraction of data reuses within the LLC associativity.
+    pub data_within_assoc: f64,
+    /// Mean accesses per instruction line (Fig 3c).
+    pub accesses_per_instr_line: f64,
+    /// Mean accesses per data line (Fig 3c).
+    pub accesses_per_data_line: f64,
+    /// Fraction of data-line lifecycles shared by >1 PC (§3.2).
+    pub shared_lifecycle_fraction: f64,
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Scheme label ("Mockingjay+Garibaldi", …).
+    pub scheme: String,
+    /// Per-core results.
+    pub cores: Vec<CoreResult>,
+    /// Aggregated L1 stats (I+D).
+    #[serde(skip)]
+    pub l1: CacheStats,
+    /// Aggregated L1I stats.
+    #[serde(skip)]
+    pub l1i: CacheStats,
+    /// Aggregated L2 stats.
+    #[serde(skip)]
+    pub l2: CacheStats,
+    /// LLC stats.
+    #[serde(skip)]
+    pub llc: CacheStats,
+    /// DRAM stats.
+    #[serde(skip)]
+    pub dram: DramStats,
+    /// Garibaldi report, when the module was configured.
+    pub garibaldi: Option<GaribaldiReport>,
+    /// Fig 4(c) conditional matrix.
+    pub conditional: ConditionalMatrix,
+    /// Reuse summary, when profiling was on.
+    pub reuse: Option<ReuseSummary>,
+    /// Energy estimate.
+    pub energy: EnergyReport,
+    /// Cycles spent on QBS queries.
+    pub qbs_cycles: u64,
+    /// Coherence invalidations.
+    pub invalidations: u64,
+}
+
+impl RunResult {
+    /// Wall-clock cycles: the slowest core's measured region.
+    pub fn wall_cycles(&self) -> f64 {
+        self.cores.iter().map(|c| c.cycles).fold(0.0, f64::max)
+    }
+
+    /// Sum of per-core IPCs (the throughput view used for weighted
+    /// speedup's numerator).
+    pub fn ipc_sum(&self) -> f64 {
+        self.cores.iter().map(|c| c.ipc).sum()
+    }
+
+    /// Harmonic mean of per-core IPCs (the paper's homogeneous metric).
+    pub fn harmonic_mean_ipc(&self) -> f64 {
+        let n = self.cores.len() as f64;
+        let inv: f64 = self.cores.iter().map(|c| 1.0 / c.ipc.max(1e-12)).sum();
+        n / inv
+    }
+
+    /// Aggregate IPC: total instructions over wall cycles.
+    pub fn aggregate_ipc(&self) -> f64 {
+        let instrs: u64 = self.cores.iter().map(|c| c.instrs).sum();
+        let wall = self.wall_cycles();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            instrs as f64 / wall
+        }
+    }
+
+    /// Mean CPI stack across cores, normalized per instruction.
+    pub fn mean_cpi_stack(&self) -> CpiStack {
+        let mut acc = CpiStack::default();
+        for c in &self.cores {
+            let s = c.stack.per_instr(c.instrs);
+            acc.base += s.base;
+            acc.ifetch += s.ifetch;
+            acc.data += s.data;
+            acc.branch += s.branch;
+        }
+        let n = self.cores.len().max(1) as f64;
+        CpiStack { base: acc.base / n, ifetch: acc.ifetch / n, data: acc.data / n, branch: acc.branch / n }
+    }
+
+    /// Total ifetch stall cycles across cores (Fig 13's metric).
+    pub fn total_ifetch_stall(&self) -> f64 {
+        self.cores.iter().map(|c| c.stack.ifetch).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_matrix_rates() {
+        let mut m = ConditionalMatrix::default();
+        m.record(true, true);
+        m.record(false, true);
+        m.record(true, false);
+        assert!((m.miss_rate_data_hit() - 0.5).abs() < 1e-12);
+        assert!((m.miss_rate_data_miss() - 1.0).abs() < 1e-12);
+        assert_eq!(m.pairs(), 3);
+    }
+
+    fn mk_result(ipcs: &[f64]) -> RunResult {
+        RunResult {
+            scheme: "test".into(),
+            cores: ipcs
+                .iter()
+                .map(|&ipc| CoreResult {
+                    workload: "w".into(),
+                    instrs: 1000,
+                    cycles: 1000.0 / ipc,
+                    ipc,
+                    stack: CpiStack::default(),
+                })
+                .collect(),
+            l1: Default::default(),
+            l1i: Default::default(),
+            l2: Default::default(),
+            llc: Default::default(),
+            dram: Default::default(),
+            garibaldi: None,
+            conditional: Default::default(),
+            reuse: None,
+            energy: Default::default(),
+            qbs_cycles: 0,
+            invalidations: 0,
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_penalizes_laggards() {
+        let r = mk_result(&[1.0, 0.25]);
+        assert!((r.harmonic_mean_ipc() - 0.4).abs() < 1e-12);
+        assert!((r.ipc_sum() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_cycles_is_slowest_core() {
+        let r = mk_result(&[1.0, 0.5]);
+        assert!((r.wall_cycles() - 2000.0).abs() < 1e-9);
+        assert!((r.aggregate_ipc() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,293 @@
+//! Reuse-distance and per-line access profiling (Fig 3 / Fig 4 analyses).
+//!
+//! Reuse distance follows the paper's definition (§3.1): the number of
+//! *unique* lines accessed in an LLC set between consecutive accesses to
+//! the same line. The profiler samples one out of eight sets (profiling
+//! every set would dominate simulation time) and separates instruction
+//! from data accesses. It also tracks per-line access counts (Fig 3c) and
+//! insertion-to-eviction PC sharing (the §3.2 "73.7 % of data lines shared
+//! by multiple instructions" measurement).
+
+use garibaldi_types::{AccessKind, LineAddr};
+use std::collections::{HashMap, HashSet};
+
+/// Sample one of this many sets.
+const SAMPLE_STRIDE: u64 = 8;
+/// Reuse distances at or above this bound land in the overflow bucket.
+const MAX_TRACKED_DISTANCE: usize = 512;
+
+/// Distance histogram for one access kind.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceHistogram {
+    /// `buckets[d]` counts reuses at unique-line distance `d`.
+    pub buckets: Vec<u64>,
+    /// Reuses whose distance exceeded [`MAX_TRACKED_DISTANCE`].
+    pub overflow: u64,
+    /// First-touch accesses (no previous access to the line).
+    pub cold: u64,
+}
+
+impl DistanceHistogram {
+    fn record(&mut self, d: usize) {
+        if d >= MAX_TRACKED_DISTANCE {
+            self.overflow += 1;
+        } else {
+            if self.buckets.len() <= d {
+                self.buckets.resize(d + 1, 0);
+            }
+            self.buckets[d] += 1;
+        }
+    }
+
+    /// Number of reuses recorded (excluding cold first touches).
+    pub fn reuses(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Mean reuse distance; overflow reuses count as
+    /// [`MAX_TRACKED_DISTANCE`] (a lower bound, as in the paper's "beyond
+    /// associativity" reading).
+    pub fn mean(&self) -> f64 {
+        let n = self.reuses();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum::<u64>()
+            + self.overflow * MAX_TRACKED_DISTANCE as u64;
+        sum as f64 / n as f64
+    }
+
+    /// Fraction of reuses with distance below `ways` (retainable by an
+    /// ideal replacement policy — the "within associativity" squares of
+    /// Fig 3a).
+    pub fn within(&self, ways: usize) -> f64 {
+        let n = self.reuses();
+        if n == 0 {
+            return 0.0;
+        }
+        let ok: u64 = self.buckets.iter().take(ways).sum();
+        ok as f64 / n as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct SetState {
+    /// Recency list of (line, kind); front = most recent.
+    stack: Vec<(u64, AccessKind)>,
+}
+
+/// The sampling reuse profiler.
+#[derive(Debug)]
+pub struct ReuseProfiler {
+    sets: u64,
+    set_state: HashMap<u64, SetState>,
+    instr: DistanceHistogram,
+    data: DistanceHistogram,
+    /// Per-line demand access counts (i_count, d_count), sampled sets only.
+    line_counts: HashMap<u64, (u64, u64)>,
+    /// PCs that touched each resident data line since its fill.
+    lifecycle_pcs: HashMap<u64, HashSet<u64>>,
+    /// Evicted data lines that had been touched by >1 distinct PC.
+    shared_lifecycles: u64,
+    /// Evicted data lines total (with lifecycle tracking).
+    total_lifecycles: u64,
+}
+
+impl ReuseProfiler {
+    /// Creates a profiler for an LLC with `sets` sets.
+    pub fn new(sets: usize) -> Self {
+        Self {
+            sets: sets as u64,
+            set_state: HashMap::new(),
+            instr: DistanceHistogram::default(),
+            data: DistanceHistogram::default(),
+            line_counts: HashMap::new(),
+            lifecycle_pcs: HashMap::new(),
+            shared_lifecycles: 0,
+            total_lifecycles: 0,
+        }
+    }
+
+    #[inline]
+    fn sampled(&self, line: LineAddr) -> bool {
+        (line.get() % self.sets) % SAMPLE_STRIDE == 0
+    }
+
+    /// Records a demand LLC access.
+    pub fn on_access(&mut self, line: LineAddr, kind: AccessKind, pc_sig: u64) {
+        if !self.sampled(line) {
+            return;
+        }
+        let set = line.get() % self.sets;
+        let state = self.set_state.entry(set).or_default();
+        let key = line.get();
+
+        // Unique-line distance = position in the recency stack.
+        match state.stack.iter().position(|&(l, _)| l == key) {
+            Some(pos) => {
+                let hist = match kind {
+                    AccessKind::Instr => &mut self.instr,
+                    AccessKind::Data => &mut self.data,
+                };
+                hist.record(pos);
+                state.stack.remove(pos);
+            }
+            None => {
+                match kind {
+                    AccessKind::Instr => self.instr.cold += 1,
+                    AccessKind::Data => self.data.cold += 1,
+                }
+            }
+        }
+        state.stack.insert(0, (key, kind));
+        if state.stack.len() > MAX_TRACKED_DISTANCE + 1 {
+            state.stack.pop();
+        }
+
+        let counts = self.line_counts.entry(key).or_insert((0, 0));
+        match kind {
+            AccessKind::Instr => counts.0 += 1,
+            AccessKind::Data => {
+                counts.1 += 1;
+                self.lifecycle_pcs.entry(key).or_default().insert(pc_sig);
+            }
+        }
+    }
+
+    /// Records the eviction of a data line (lifecycle sharing closes).
+    pub fn on_evict(&mut self, line: LineAddr, is_instr: bool) {
+        if is_instr || !self.sampled(line) {
+            return;
+        }
+        if let Some(pcs) = self.lifecycle_pcs.remove(&line.get()) {
+            self.total_lifecycles += 1;
+            if pcs.len() > 1 {
+                self.shared_lifecycles += 1;
+            }
+        }
+    }
+
+    /// Instruction reuse-distance histogram.
+    pub fn instr_hist(&self) -> &DistanceHistogram {
+        &self.instr
+    }
+
+    /// Data reuse-distance histogram.
+    pub fn data_hist(&self) -> &DistanceHistogram {
+        &self.data
+    }
+
+    /// Mean demand accesses per touched line: `(instr, data)` (Fig 3c).
+    pub fn accesses_per_line(&self) -> (f64, f64) {
+        let mut i_lines = 0u64;
+        let mut i_acc = 0u64;
+        let mut d_lines = 0u64;
+        let mut d_acc = 0u64;
+        for &(i, d) in self.line_counts.values() {
+            if i > 0 {
+                i_lines += 1;
+                i_acc += i;
+            }
+            if d > 0 {
+                d_lines += 1;
+                d_acc += d;
+            }
+        }
+        (
+            if i_lines == 0 { 0.0 } else { i_acc as f64 / i_lines as f64 },
+            if d_lines == 0 { 0.0 } else { d_acc as f64 / d_lines as f64 },
+        )
+    }
+
+    /// Fraction of completed data-line lifecycles shared by >1 PC (§3.2).
+    pub fn shared_lifecycle_fraction(&self) -> f64 {
+        if self.total_lifecycles == 0 {
+            0.0
+        } else {
+            self.shared_lifecycles as f64 / self.total_lifecycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiler() -> ReuseProfiler {
+        // One set ⇒ everything sampled, distances global.
+        ReuseProfiler::new(1)
+    }
+
+    #[test]
+    fn distance_counts_unique_lines() {
+        let mut p = profiler();
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(8);
+        let c = LineAddr::new(16);
+        for l in [a, b, c, a] {
+            p.on_access(l, AccessKind::Data, 1);
+        }
+        // a reused after touching b and c: distance 2.
+        assert_eq!(p.data_hist().buckets.get(2), Some(&1));
+        assert_eq!(p.data_hist().cold, 3);
+    }
+
+    #[test]
+    fn duplicate_intervening_lines_count_once() {
+        let mut p = profiler();
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(8);
+        for l in [a, b, b, b, a] {
+            p.on_access(l, AccessKind::Data, 1);
+        }
+        assert_eq!(p.data_hist().buckets.get(1), Some(&1), "b counted once");
+    }
+
+    #[test]
+    fn kinds_are_separated() {
+        let mut p = profiler();
+        let a = LineAddr::new(0);
+        p.on_access(a, AccessKind::Instr, 1);
+        p.on_access(a, AccessKind::Instr, 1);
+        assert_eq!(p.instr_hist().buckets.first(), Some(&1));
+        assert_eq!(p.data_hist().reuses(), 0);
+    }
+
+    #[test]
+    fn mean_and_within() {
+        let mut h = DistanceHistogram::default();
+        h.record(0);
+        h.record(10);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!((h.within(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifecycle_sharing_tracked() {
+        let mut p = profiler();
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(8);
+        p.on_access(a, AccessKind::Data, 111);
+        p.on_access(a, AccessKind::Data, 222); // second distinct PC
+        p.on_access(b, AccessKind::Data, 111); // single PC
+        p.on_evict(a, false);
+        p.on_evict(b, false);
+        assert!((p.shared_lifecycle_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accesses_per_line_averages() {
+        let mut p = profiler();
+        p.on_access(LineAddr::new(0), AccessKind::Instr, 1);
+        p.on_access(LineAddr::new(0), AccessKind::Instr, 1);
+        p.on_access(LineAddr::new(8), AccessKind::Data, 1);
+        let (i, d) = p.accesses_per_line();
+        assert!((i - 2.0).abs() < 1e-12);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Trace generation: a seeded random walk over a [`SyntheticProgram`].
+//!
+//! The walk models a server thread: pick a function by popularity, execute
+//! its body line by line (optionally looping), emit one [`TraceRecord`] per
+//! fetched instruction line, and attach the data references dictated by each
+//! line's static behaviour. Cold-behaviour lines stream through the cold
+//! region with a per-walk cursor; hot-behaviour lines touch their bound
+//! pairs (with a little noise so hot popularity stays Zipfian).
+
+use crate::program::{LineBehavior, SyntheticProgram};
+use crate::record::TraceRecord;
+use garibaldi_types::RwKind;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Probability that a hot-behaviour reference ignores its bound pair and
+/// draws fresh from the hot Zipf: keeps the popularity tail alive without
+/// destroying the pairing the pair table learns.
+const HOT_NOISE: f64 = 0.10;
+
+/// An infinite, deterministic stream of [`TraceRecord`]s.
+///
+/// Implements [`Iterator`] (never returns `None`); use
+/// [`TraceGenerator::next_record`] when an unconditional record is wanted.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator<'p> {
+    program: &'p SyntheticProgram,
+    rng: SmallRng,
+    func: usize,
+    line_in_func: u32,
+    iters_left: u32,
+    cold_cursor: u64,
+    cold_salt: u64,
+    emitted: u64,
+}
+
+impl<'p> TraceGenerator<'p> {
+    /// Creates a walk over `program` seeded with `seed` (normally the core
+    /// id mixed with the experiment seed, so sibling cores diverge).
+    pub fn new(program: &'p SyntheticProgram, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x2545_f491_4f6c_dd1d);
+        let func = program.func_zipf().sample(&mut rng);
+        let iters_left = draw_iters(program, &mut rng);
+        // Stagger the cold-stream start per walk so homogeneous cores do not
+        // touch identical cold addresses in lock-step.
+        let cold_cursor = rng.gen_range(0..program.profile().cold_data_lines);
+        Self { program, rng, func, line_in_func: 0, iters_left, cold_cursor, cold_salt: 0, emitted: 0 }
+    }
+
+    /// Offsets this walk's cold-region addresses into a private VA range.
+    ///
+    /// Threads of one server process share text and hot data but stream
+    /// through private buffers; the salt keeps each thread's cold pages
+    /// disjoint inside the shared address space.
+    pub fn with_private_cold(mut self, thread_index: u64) -> Self {
+        self.cold_salt = thread_index << 38;
+        self
+    }
+
+    /// Number of records produced so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Produces the next record (the iterator never ends).
+    pub fn next_record(&mut self) -> TraceRecord {
+        let prof = self.program.profile();
+        let f = self.program.func(self.func);
+        let line_idx = f.first_line + self.line_in_func;
+        let mut rec = TraceRecord::fetch_only(self.program.text_va(line_idx), prof.instrs_per_line);
+
+        // Number of data references this fetch performs: integer part is
+        // guaranteed, the fractional part is a Bernoulli draw.
+        let want = prof.data_refs_per_line;
+        let mut n = want as u32;
+        if self.rng.gen::<f64>() < want.fract() {
+            n += 1;
+        }
+        for _ in 0..n.min(crate::record::MAX_DATA_REFS as u32) {
+            let (va, rw) = self.gen_data_ref(line_idx);
+            rec.push_data(va, rw);
+        }
+
+        // Branch misprediction at record granularity.
+        let p_miss = prof.branch_mpki * prof.instrs_per_line as f64 / 1000.0;
+        rec.mispredict = self.rng.gen::<f64>() < p_miss;
+
+        self.advance(f.n_lines);
+        self.emitted += 1;
+        rec
+    }
+
+    fn gen_data_ref(&mut self, line_idx: u32) -> (garibaldi_types::VirtAddr, RwKind) {
+        let prof = self.program.profile();
+        let rw = if self.rng.gen::<f64>() < prof.write_frac { RwKind::Write } else { RwKind::Read };
+        let va = match self.program.behavior(line_idx) {
+            LineBehavior::Hot { pairs, n } => {
+                if self.rng.gen::<f64>() < HOT_NOISE {
+                    self.program.hot_va(self.program.hot_zipf().sample(&mut self.rng) as u32)
+                } else {
+                    let k = self.rng.gen_range(0..n as usize);
+                    self.program.hot_va(pairs[k])
+                }
+            }
+            LineBehavior::Cold => {
+                let va = self.program.cold_va(self.cold_cursor);
+                self.cold_cursor = self.cold_cursor.wrapping_add(1);
+                garibaldi_types::VirtAddr::new(va.get() + self.cold_salt)
+            }
+        };
+        (va, rw)
+    }
+
+    fn advance(&mut self, body_lines: u32) {
+        self.line_in_func += 1;
+        if self.line_in_func < body_lines {
+            return;
+        }
+        self.line_in_func = 0;
+        if self.iters_left > 1 {
+            self.iters_left -= 1;
+            return;
+        }
+        self.func = self.program.func_zipf().sample(&mut self.rng);
+        self.iters_left = draw_iters(self.program, &mut self.rng);
+    }
+}
+
+fn draw_iters(program: &SyntheticProgram, rng: &mut SmallRng) -> u32 {
+    let mean = program.profile().loop_iters.max(1);
+    if mean == 1 {
+        1
+    } else {
+        // Geometric-ish spread around the mean, in [1, 4*mean].
+        rng.gen_range(1..=mean * 2).max(1).min(mean * 4)
+    }
+}
+
+impl Iterator for TraceGenerator<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        Some(self.next_record())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{COLD_BASE, HOT_BASE, TEXT_BASE};
+    use crate::registry;
+    use crate::SyntheticProgram;
+    use std::collections::HashSet;
+
+    fn program(name: &str) -> SyntheticProgram {
+        SyntheticProgram::build(registry::by_name(name).unwrap(), 3)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let prog = program("tpcc");
+        let a: Vec<_> = TraceGenerator::new(&prog, 9).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(&prog, 9).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_decorrelate_walks() {
+        let prog = program("tpcc");
+        let a: Vec<_> = TraceGenerator::new(&prog, 1).take(200).collect();
+        let b: Vec<_> = TraceGenerator::new(&prog, 2).take(200).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pcs_stay_in_text_segment() {
+        let prog = program("noop");
+        let top = TEXT_BASE + prog.text_lines() as u64 * 64;
+        for rec in TraceGenerator::new(&prog, 4).take(5_000) {
+            assert!(rec.pc.get() >= TEXT_BASE && rec.pc.get() < top);
+            assert_eq!(rec.pc.get() % 64, 0, "record PCs are line-aligned");
+        }
+    }
+
+    #[test]
+    fn data_refs_stay_in_data_regions() {
+        let prog = program("noop");
+        for rec in TraceGenerator::new(&prog, 4).take(5_000) {
+            for d in rec.data_refs() {
+                let a = d.va.get();
+                let in_hot = (HOT_BASE..HOT_BASE + prog.profile().hot_data_lines * 64).contains(&a);
+                let in_cold =
+                    (COLD_BASE..COLD_BASE + prog.profile().cold_data_lines * 64).contains(&a);
+                assert!(in_hot || in_cold, "stray address {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_data_refs_tracks_profile() {
+        let prog = program("tpcc");
+        let n = 40_000;
+        let total: usize =
+            TraceGenerator::new(&prog, 5).take(n).map(|r| r.data_refs().len()).sum();
+        let mean = total as f64 / n as f64;
+        let want = prog.profile().data_refs_per_line;
+        assert!((mean - want).abs() < 0.05, "want≈{want}, got {mean}");
+    }
+
+    #[test]
+    fn server_walk_covers_many_instruction_lines() {
+        // Many-to-few: a server walk spreads over a large fraction of its
+        // (large) text footprint rather than looping over a few lines.
+        let prog = program("verilator");
+        let pcs: HashSet<u64> =
+            TraceGenerator::new(&prog, 6).take(50_000).map(|r| r.pc.get()).collect();
+        assert!(pcs.len() > 10_000, "only {} distinct lines", pcs.len());
+    }
+
+    #[test]
+    fn spec_walk_stays_compact() {
+        // Few-to-many: SPEC loops keep the instruction working set small.
+        let prog = program("lbm");
+        let pcs: HashSet<u64> =
+            TraceGenerator::new(&prog, 6).take(50_000).map(|r| r.pc.get()).collect();
+        assert!(pcs.len() < 2_500, "{} distinct lines", pcs.len());
+    }
+
+    #[test]
+    fn hot_data_concentrates_for_server() {
+        // The hot region should see most accesses land on few lines.
+        let prog = program("verilator");
+        let mut counts = std::collections::HashMap::new();
+        for rec in TraceGenerator::new(&prog, 7).take(50_000) {
+            for d in rec.data_refs() {
+                if d.va.get() < COLD_BASE && d.va.get() >= HOT_BASE {
+                    *counts.entry(d.va.get()).or_insert(0u64) += 1;
+                }
+            }
+        }
+        let mut v: Vec<u64> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = v.iter().sum();
+        let top100: u64 = v.iter().take(100).sum();
+        assert!(top100 as f64 / total as f64 > 0.3, "hot data not concentrated");
+    }
+
+    #[test]
+    fn emitted_counts_records() {
+        let prog = program("noop");
+        let mut g = TraceGenerator::new(&prog, 8);
+        for _ in 0..123 {
+            g.next_record();
+        }
+        assert_eq!(g.emitted(), 123);
+    }
+}

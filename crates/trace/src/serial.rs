@@ -1,0 +1,140 @@
+//! Compact binary (de)serialization of trace segments.
+//!
+//! Generated traces are normally streamed straight into the simulator, but
+//! the harness can also dump a segment to disk (for debugging or replaying
+//! identical streams across policy configurations) using a small fixed
+//! binary layout built on the `bytes` crate.
+
+use crate::record::{TraceRecord, MAX_DATA_REFS};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use garibaldi_types::{RwKind, VirtAddr};
+
+/// Magic bytes identifying a Garibaldi trace segment ("GRB1").
+pub const MAGIC: u32 = 0x4752_4231;
+
+/// Serialization/deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer does not start with [`MAGIC`].
+    BadMagic(u32),
+    /// Buffer ended mid-record.
+    Truncated,
+    /// A record declared more data refs than [`MAX_DATA_REFS`].
+    BadRecord,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad trace magic {m:#010x}"),
+            DecodeError::Truncated => write!(f, "truncated trace segment"),
+            DecodeError::BadRecord => write!(f, "malformed trace record"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a trace segment into a byte buffer.
+pub fn encode(records: &[TraceRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + records.len() * 24);
+    buf.put_u32(MAGIC);
+    buf.put_u64(records.len() as u64);
+    for r in records {
+        buf.put_u64(r.pc.get());
+        buf.put_u8(r.instrs);
+        buf.put_u8(r.n_data);
+        buf.put_u8(r.mispredict as u8);
+        for d in r.data_refs() {
+            buf.put_u64(d.va.get());
+            buf.put_u8(d.rw.is_write() as u8);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a segment produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on magic mismatch, truncation, or an impossible
+/// per-record data-reference count.
+pub fn decode(mut buf: impl Buf) -> Result<Vec<TraceRecord>, DecodeError> {
+    if buf.remaining() < 12 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = buf.get_u32();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let n = buf.get_u64() as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        if buf.remaining() < 11 {
+            return Err(DecodeError::Truncated);
+        }
+        let pc = VirtAddr::new(buf.get_u64());
+        let instrs = buf.get_u8();
+        let n_data = buf.get_u8();
+        let mispredict = buf.get_u8() != 0;
+        if n_data as usize > MAX_DATA_REFS {
+            return Err(DecodeError::BadRecord);
+        }
+        let mut rec = TraceRecord::fetch_only(pc, instrs);
+        rec.mispredict = mispredict;
+        for _ in 0..n_data {
+            if buf.remaining() < 9 {
+                return Err(DecodeError::Truncated);
+            }
+            let va = VirtAddr::new(buf.get_u64());
+            let rw = if buf.get_u8() != 0 { RwKind::Write } else { RwKind::Read };
+            rec.push_data(va, rw);
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{registry, SyntheticProgram, TraceGenerator};
+
+    #[test]
+    fn round_trip() {
+        let prog = SyntheticProgram::build(registry::by_name("tpcc").unwrap(), 1);
+        let records: Vec<_> = TraceGenerator::new(&prog, 2).take(1000).collect();
+        let bytes = encode(&records);
+        let back = decode(bytes).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xdead_beef);
+        b.put_u64(0);
+        assert_eq!(decode(b.freeze()), Err(DecodeError::BadMagic(0xdead_beef)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let prog = SyntheticProgram::build(registry::by_name("noop").unwrap(), 1);
+        let records: Vec<_> = TraceGenerator::new(&prog, 2).take(10).collect();
+        let bytes = encode(&records);
+        let cut = bytes.slice(0..bytes.len() - 3);
+        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let bytes = encode(&[]);
+        assert_eq!(decode(bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(DecodeError::BadMagic(1).to_string().contains("magic"));
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+}

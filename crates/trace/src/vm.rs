@@ -1,0 +1,133 @@
+//! Virtual-memory page mapping.
+//!
+//! Each core runs its workload in a private address space (the paper's
+//! homogeneous multi-programmed setup: one process per core). Pages are
+//! allocated physical frames on first touch by a deterministic bump
+//! allocator, so a given (seed, workload, core) triple always produces the
+//! same physical layout — a requirement for reproducible experiments.
+
+use garibaldi_types::{LineAddr, PageNum, PhysAddr, VirtAddr, PAGE_OFFSET_BITS, PHYS_ADDR_BITS};
+use std::collections::HashMap;
+
+/// Frames reserved per address space: 2^24 pages = 64 GiB of VA-to-PA churn,
+/// far beyond any modeled footprint.
+const SPACE_FRAME_BITS: u32 = 24;
+
+/// Deterministic physical-frame allocator shared by all address spaces.
+///
+/// Each space receives a disjoint frame range (`space_id << 24`), so two
+/// cores never map to the same physical page unless they explicitly share an
+/// [`AddressSpace`]. The 44-bit physical space fits 2^(44-12) = 4 M frames…
+/// far more than the 2^20 spaces×frames product used here.
+#[derive(Debug, Clone, Default)]
+pub struct PpnAllocator {
+    next_space: u64,
+}
+
+impl PpnAllocator {
+    /// Creates an allocator with no spaces handed out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the next address-space id.
+    pub fn alloc_space(&mut self) -> u64 {
+        let s = self.next_space;
+        self.next_space += 1;
+        assert!(
+            (s << SPACE_FRAME_BITS) >> (PHYS_ADDR_BITS - PAGE_OFFSET_BITS) == 0,
+            "physical address space exhausted"
+        );
+        s
+    }
+}
+
+/// A per-process VPN → PPN mapping with first-touch allocation.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    space_id: u64,
+    map: HashMap<u64, u64>,
+    next_frame: u64,
+}
+
+impl AddressSpace {
+    /// Creates the address space with the given id (from [`PpnAllocator`]).
+    pub fn new(space_id: u64) -> Self {
+        Self { space_id, map: HashMap::new(), next_frame: 0 }
+    }
+
+    /// Identifier of this space.
+    pub fn space_id(&self) -> u64 {
+        self.space_id
+    }
+
+    /// Number of pages touched so far.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Translates a virtual address, allocating a frame on first touch.
+    pub fn translate(&mut self, va: VirtAddr) -> PhysAddr {
+        let ppn = self.translate_page(va.vpn());
+        PhysAddr::new(ppn.base_phys().get() | va.page_offset())
+    }
+
+    /// Translates a virtual page, allocating a frame on first touch.
+    pub fn translate_page(&mut self, vpn: PageNum) -> PageNum {
+        let space = self.space_id;
+        let next = &mut self.next_frame;
+        let frame = *self.map.entry(vpn.get()).or_insert_with(|| {
+            let f = *next;
+            *next += 1;
+            assert!(f < (1 << SPACE_FRAME_BITS), "address space {space} exhausted");
+            f
+        });
+        PageNum::new((space << SPACE_FRAME_BITS) | frame)
+    }
+
+    /// Translates a virtual address directly to its physical cache line.
+    pub fn translate_line(&mut self, va: VirtAddr) -> LineAddr {
+        self.translate(va).line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_stable() {
+        let mut asp = AddressSpace::new(0);
+        let a = asp.translate(VirtAddr::new(0x40_0000));
+        let b = asp.translate(VirtAddr::new(0x40_0008));
+        assert_eq!(a.ppn(), b.ppn());
+        let again = asp.translate(VirtAddr::new(0x40_0000));
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut asp = AddressSpace::new(1);
+        let a = asp.translate(VirtAddr::new(0x1000));
+        let b = asp.translate(VirtAddr::new(0x2000));
+        assert_ne!(a.ppn(), b.ppn());
+        assert_eq!(asp.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn spaces_are_disjoint() {
+        let mut alloc = PpnAllocator::new();
+        let mut s0 = AddressSpace::new(alloc.alloc_space());
+        let mut s1 = AddressSpace::new(alloc.alloc_space());
+        let a = s0.translate(VirtAddr::new(0x1234));
+        let b = s1.translate(VirtAddr::new(0x1234));
+        assert_ne!(a.ppn(), b.ppn());
+    }
+
+    #[test]
+    fn offset_preserved_through_translation() {
+        let mut asp = AddressSpace::new(3);
+        let pa = asp.translate(VirtAddr::new(0xdead_bc0));
+        assert_eq!(pa.page_offset(), 0xdead_bc0 % 4096);
+    }
+}

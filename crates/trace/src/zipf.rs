@@ -1,0 +1,123 @@
+//! Zipfian sampling over ranked items.
+//!
+//! Server-workload hot-data popularity and function-call popularity are both
+//! modeled as Zipf distributions; the exponent is the knob that moves a
+//! workload between "few hot items" (steep) and "flat, long-tailed" access.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` using a precomputed CDF.
+///
+/// Sampling is O(log n) via binary search; construction is O(n). For the
+/// footprints used here (≤ a few hundred thousand items) this is both fast
+/// and exact, which keeps trace generation deterministic across platforms.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// `alpha == 0.0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf over zero items");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid zipf exponent {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler has exactly one rank.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn steep_alpha_concentrates_on_rank_zero() {
+        let z = Zipf::new(1000, 1.5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With alpha=1.5 the top-10 of 1000 carry well over half the mass.
+        assert!(head > N / 2, "head draws: {head}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(7, 0.9);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf over zero items")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Address newtypes and constants.
+//!
+//! The modeled machine follows the paper's configuration: 64-byte cache
+//! lines, 4 KiB pages, and a 44-bit physical address space (16 TB).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes per cache line (64 B, Table 1).
+pub const LINE_BYTES: u64 = 64;
+/// log2 of [`LINE_BYTES`].
+pub const LINE_OFFSET_BITS: u32 = 6;
+/// Bytes per page (4 KiB base pages, four-level page table, §6).
+pub const PAGE_BYTES: u64 = 4096;
+/// log2 of [`PAGE_BYTES`].
+pub const PAGE_OFFSET_BITS: u32 = 12;
+/// Physical address width in bits (44-bit / 16 TB machine, §6).
+pub const PHYS_ADDR_BITS: u32 = 44;
+
+/// A virtual byte address (e.g. a program counter).
+///
+/// Virtual addresses are full 64-bit values; only the workload generator and
+/// the per-core page mappers deal in them. Everything at the LLC level is
+/// physically addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Wraps a raw 64-bit virtual byte address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// Raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Virtual page number (address / 4096).
+    #[inline]
+    pub const fn vpn(self) -> PageNum {
+        PageNum(self.0 >> PAGE_OFFSET_BITS)
+    }
+
+    /// Byte offset within the 4 KiB page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// Byte offset of the containing 64 B line within its page
+    /// (i.e. the page offset with the low 6 bits cleared).
+    #[inline]
+    pub const fn line_page_offset(self) -> u64 {
+        self.page_offset() & !(LINE_BYTES - 1)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A physical byte address, at most [`PHYS_ADDR_BITS`] wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Wraps a raw physical byte address, masking it to the 44-bit space.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Self(addr & ((1 << PHYS_ADDR_BITS) - 1))
+    }
+
+    /// Raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The containing 64 B cache line.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_OFFSET_BITS)
+    }
+
+    /// Physical page frame number.
+    #[inline]
+    pub const fn ppn(self) -> PageNum {
+        PageNum(self.0 >> PAGE_OFFSET_BITS)
+    }
+
+    /// Byte offset within the 4 KiB page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A physical cache-line number (physical byte address / 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line number.
+    #[inline]
+    pub const fn new(line: u64) -> Self {
+        Self(line)
+    }
+
+    /// Raw line number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    #[inline]
+    pub const fn byte_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << LINE_OFFSET_BITS)
+    }
+
+    /// Physical page frame the line belongs to.
+    #[inline]
+    pub const fn ppn(self) -> PageNum {
+        PageNum(self.0 >> (PAGE_OFFSET_BITS - LINE_OFFSET_BITS))
+    }
+
+    /// Index of the line within its page (0..64).
+    #[inline]
+    pub const fn line_in_page(self) -> u64 {
+        self.0 & ((PAGE_BYTES / LINE_BYTES) - 1)
+    }
+
+    /// Builds a line number from a page frame and the line index inside it.
+    ///
+    /// This is the address deduction the helper table performs (Fig 8): the
+    /// page frame comes from the table, the in-page index from the PC.
+    #[inline]
+    pub const fn from_page_parts(ppn: PageNum, line_in_page: u64) -> Self {
+        Self((ppn.0 << (PAGE_OFFSET_BITS - LINE_OFFSET_BITS)) | (line_in_page & 63))
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A page number, virtual (VPN) or physical (PPN) depending on context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PageNum(u64);
+
+impl PageNum {
+    /// Wraps a raw page number.
+    #[inline]
+    pub const fn new(pn: u64) -> Self {
+        Self(pn)
+    }
+
+    /// Raw page number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the page, interpreted physically.
+    #[inline]
+    pub const fn base_phys(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_OFFSET_BITS)
+    }
+}
+
+impl fmt::LowerHex for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_masks_to_44_bits() {
+        let pa = PhysAddr::new(u64::MAX);
+        assert_eq!(pa.get(), (1 << PHYS_ADDR_BITS) - 1);
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let pa = PhysAddr::new(0x0d1a_b916_0c40);
+        let line = pa.line();
+        assert_eq!(line.byte_addr().get(), 0x0d1a_b916_0c40);
+        assert_eq!(line.ppn(), pa.ppn());
+    }
+
+    #[test]
+    fn line_in_page_and_reassembly() {
+        let pa = PhysAddr::new(0xdeed_beef_0000 | 0xc40);
+        let line = pa.line();
+        let rebuilt = LineAddr::from_page_parts(pa.ppn(), line.line_in_page());
+        assert_eq!(rebuilt, line);
+    }
+
+    #[test]
+    fn virt_page_offset_matches_fig8_example() {
+        // Fig 8: PC 0xff..f3cd19c00 has page offset 0xc00.
+        let pc = VirtAddr::new(0xffff_fff3_cd19_c00);
+        assert_eq!(pc.page_offset(), 0xc00);
+        assert_eq!(pc.line_page_offset(), 0xc00);
+    }
+
+    #[test]
+    fn helper_table_deduction_example() {
+        // Fig 8: helper table maps VPN 0xff..f3cd19 -> PPN 0x0d1ab916; data
+        // access with PC page offset 0xc00 deduces IL_PA 0x0d1ab916c00.
+        let pc = VirtAddr::new(0xffff_fff3_cd19_c00);
+        let i_ppn = PageNum::new(0x0d1a_b916);
+        let il = LineAddr::from_page_parts(i_ppn, pc.line_page_offset() / LINE_BYTES);
+        assert_eq!(il.byte_addr().get(), 0x0d1a_b916_c00);
+    }
+
+    #[test]
+    fn page_base_addr() {
+        assert_eq!(PageNum::new(2).base_phys().get(), 2 * PAGE_BYTES);
+    }
+}

@@ -1,0 +1,92 @@
+//! Identifier newtypes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a core in the modeled socket (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Wraps a raw core index.
+    #[inline]
+    pub const fn new(id: u16) -> Self {
+        Self(id)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+
+    /// Index usable directly for `Vec` addressing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A hardware thread identifier. The modeled machine runs one thread per
+/// core, so this mirrors [`CoreId`], but the PMU in §5.2 tracks recent
+/// instruction-miss PCs *per thread*, so the distinction is kept in the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ThreadId(u16);
+
+impl ThreadId {
+    /// Wraps a raw thread index.
+    #[inline]
+    pub const fn new(id: u16) -> Self {
+        Self(id)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+
+    /// Index usable directly for `Vec` addressing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<CoreId> for ThreadId {
+    fn from(c: CoreId) -> Self {
+        ThreadId(c.get())
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_round_trip() {
+        let c = CoreId::new(39);
+        assert_eq!(c.get(), 39);
+        assert_eq!(c.index(), 39);
+        assert_eq!(c.to_string(), "core39");
+    }
+
+    #[test]
+    fn thread_from_core() {
+        let t: ThreadId = CoreId::new(7).into();
+        assert_eq!(t.get(), 7);
+        assert_eq!(t.to_string(), "t7");
+    }
+}

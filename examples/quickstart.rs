@@ -1,0 +1,46 @@
+//! Quickstart: build a small multi-core system, run a server workload under
+//! Mockingjay with and without Garibaldi, and print the headline metrics.
+//!
+//! Run with: `cargo run --release -p garibaldi-sim --example quickstart`
+
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::experiment::run_homogeneous;
+use garibaldi_sim::{ExperimentScale, LlcScheme};
+
+fn main() {
+    // A CI-sized configuration: 4 cores, one-tenth-scale caches/footprints.
+    let scale = ExperimentScale::smoke();
+    let workload = "tpcc";
+
+    println!("running '{workload}' on {} cores ({} records/core)...", scale.cores, scale.records_per_core);
+
+    for scheme in [
+        LlcScheme::plain(PolicyKind::Lru),
+        LlcScheme::plain(PolicyKind::Mockingjay),
+        LlcScheme::mockingjay_garibaldi(),
+    ] {
+        let r = run_homogeneous(&scale, scheme.clone(), workload, 42);
+        let stack = r.mean_cpi_stack();
+        println!(
+            "{:<22} IPC={:.4}  CPI[base={:.2} ifetch={:.2} data={:.2} branch={:.2}]  LLC[I-miss={:.1}% D-miss={:.1}%]",
+            scheme.label(),
+            r.harmonic_mean_ipc(),
+            stack.base,
+            stack.ifetch,
+            stack.data,
+            stack.branch,
+            r.llc.i_miss_rate() * 100.0,
+            r.llc.d_miss_rate() * 100.0,
+        );
+        if let Some(g) = &r.garibaldi {
+            println!(
+                "{:<22} pair updates={}  protections={}  pairwise prefetches={}  final threshold={}",
+                "  garibaldi:",
+                g.stats.pair_updates,
+                g.stats.protections,
+                g.stats.prefetches_issued,
+                g.final_threshold
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Server consolidation scenario: a socket running a mixed bag of server
+//! services (the paper's Fig 11 situation). Compares LLC schemes on a
+//! randomly drawn multiprogrammed mix and reports per-core fairness.
+//!
+//! Run with: `cargo run --release -p garibaldi-sim --example server_consolidation`
+
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::experiment::run_mix;
+use garibaldi_sim::{ExperimentScale, LlcScheme};
+use garibaldi_trace::random_server_mixes;
+
+fn main() {
+    let scale = ExperimentScale::smoke();
+    let mix = random_server_mixes(1, scale.cores, 2026).remove(0);
+    println!("consolidated mix: {:?}\n", mix.slots);
+
+    let mut baseline_sum = 0.0;
+    for scheme in [
+        LlcScheme::plain(PolicyKind::Lru),
+        LlcScheme::plain(PolicyKind::Hawkeye),
+        LlcScheme::plain(PolicyKind::Mockingjay),
+        LlcScheme::mockingjay_garibaldi(),
+    ] {
+        let r = run_mix(&scale, scheme.clone(), &mix, 7);
+        let sum = r.ipc_sum();
+        if scheme.label() == "LRU" {
+            baseline_sum = sum;
+        }
+        let worst =
+            r.cores.iter().map(|c| c.ipc).fold(f64::INFINITY, f64::min);
+        println!(
+            "{:<22} throughput(sum IPC)={:.3} ({:+.1}% vs LRU)  slowest core IPC={:.3}",
+            scheme.label(),
+            sum,
+            (sum / baseline_sum - 1.0) * 100.0,
+            worst
+        );
+        for c in &r.cores {
+            println!("    {:>14} ipc={:.3} ifetch-stall={:.0}", c.workload, c.ipc, c.stack.ifetch);
+        }
+    }
+}

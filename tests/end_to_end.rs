@@ -1,0 +1,80 @@
+//! End-to-end integration: every LLC scheme runs a multi-core simulation to
+//! completion with internally consistent statistics.
+
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::experiment::run_homogeneous;
+use garibaldi_sim::{ExperimentScale, LlcScheme};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+#[test]
+fn every_policy_completes_with_plausible_metrics() {
+    for kind in PolicyKind::ALL {
+        let r = run_homogeneous(&scale(), LlcScheme::plain(kind), "noop", 3);
+        assert_eq!(r.cores.len(), scale().cores, "{kind}");
+        for c in &r.cores {
+            assert!(c.instrs > 0, "{kind}: no instructions retired");
+            assert!(c.ipc > 0.01 && c.ipc < 8.0, "{kind}: implausible IPC {}", c.ipc);
+            let stack_total = c.stack.total();
+            assert!(
+                (stack_total - c.cycles).abs() / c.cycles < 1e-6,
+                "{kind}: CPI stack ({stack_total}) must add up to cycles ({})",
+                c.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn every_policy_completes_with_garibaldi_attached() {
+    for kind in PolicyKind::ALL {
+        let r = run_homogeneous(&scale(), LlcScheme::with_garibaldi(kind), "tpcc", 3);
+        let g = r.garibaldi.expect("garibaldi configured");
+        assert!(g.stats.instr_accesses > 0, "{kind}: module saw no traffic");
+        assert!(g.color_ticks > 0, "{kind}: coloring timer never ticked");
+    }
+}
+
+#[test]
+fn cache_stats_are_internally_consistent() {
+    let r = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Lru), "cassandra", 5);
+    for (name, s) in [("l1", &r.l1), ("l2", &r.l2), ("llc", &r.llc)] {
+        assert!(s.hits() <= s.accesses(), "{name}: hits exceed accesses");
+        assert!(s.i_hits <= s.i_accesses, "{name}");
+        assert!(s.d_hits <= s.d_accesses, "{name}");
+        assert!(s.writebacks <= s.evictions, "{name}: writebacks exceed evictions");
+        assert!(s.i_evictions <= s.evictions, "{name}");
+    }
+    // Traffic funnels: L2 sees at most what L1 misses (demand), plus
+    // writeback/prefetch side channels are bounded by totals.
+    assert!(r.l2.accesses() <= r.l1.misses() + r.l1.prefetch_fills + 10);
+    assert!(r.dram.reads + r.dram.writes > 0, "memory saw traffic");
+}
+
+#[test]
+fn heterogeneous_mix_runs_and_reports_per_core_workloads() {
+    use garibaldi_sim::SimRunner;
+    use garibaldi_sim::SystemConfig;
+    use garibaldi_trace::WorkloadMix;
+    let s = scale();
+    let cfg = SystemConfig::scaled(&s, LlcScheme::mockingjay_garibaldi());
+    let mix = WorkloadMix {
+        slots: vec!["tpcc".into(), "gcc".into(), "verilator".into(), "lbm".into()],
+    };
+    let r = SimRunner::new(cfg, mix, 9).run(s.records_per_core, s.warmup_per_core);
+    assert_eq!(r.cores[0].workload, "tpcc");
+    assert_eq!(r.cores[1].workload, "gcc");
+    assert!(r.ipc_sum() > 0.0);
+    assert!(r.harmonic_mean_ipc() <= r.cores.iter().map(|c| c.ipc).fold(0.0, f64::max));
+}
+
+#[test]
+fn energy_scales_with_runtime() {
+    let short = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Lru), "noop", 3);
+    let mut bigger = scale();
+    bigger.records_per_core *= 2;
+    let long = run_homogeneous(&bigger, LlcScheme::plain(PolicyKind::Lru), "noop", 3);
+    assert!(long.energy.total_j() > short.energy.total_j());
+}

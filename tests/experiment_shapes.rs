@@ -1,0 +1,110 @@
+//! Shape tests: the qualitative results the paper's figures rest on must
+//! hold at test scale. These are the reproduction's regression guard.
+
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::experiment::{geomean, run_homogeneous};
+use garibaldi_sim::{ExperimentScale, LlcScheme, SimRunner, SystemConfig};
+use garibaldi_trace::WorkloadMix;
+
+/// A slightly larger scale than `smoke` so populations stabilise.
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        factor: 0.25,
+        cores: 8,
+        records_per_core: 40_000,
+        warmup_per_core: 10_000,
+        color_period: 10_000,
+    }
+}
+
+#[test]
+fn server_has_higher_llc_instruction_ratio_than_spec() {
+    let server = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "tpcc", 42);
+    let spec = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "lbm", 42);
+    let s = server.llc.instr_access_ratio();
+    let p = spec.llc.instr_access_ratio();
+    assert!(
+        s > 5.0 * p.max(1e-6) && s > 0.02,
+        "Fig 3(b) shape: server {s:.4} vs SPEC {p:.4}"
+    );
+}
+
+#[test]
+fn server_ifetch_cpi_dwarfs_spec() {
+    let server = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "kafka", 42);
+    let spec = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "bwaves", 42);
+    assert!(
+        server.mean_cpi_stack().ifetch > 4.0 * spec.mean_cpi_stack().ifetch,
+        "Fig 1 shape: server ifetch {} vs SPEC {}",
+        server.mean_cpi_stack().ifetch,
+        spec.mean_cpi_stack().ifetch
+    );
+}
+
+#[test]
+fn smart_policies_beat_lru_on_server_geomean() {
+    let workloads = ["noop", "tpcc", "twitter", "voter"];
+    let mut speedups = Vec::new();
+    for w in workloads {
+        let lru = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Lru), w, 42);
+        let mj = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
+        speedups.push(mj.harmonic_mean_ipc() / lru.harmonic_mean_ipc());
+    }
+    let gm = geomean(&speedups);
+    assert!(gm > 0.99, "Fig 12 shape: Mockingjay geomean vs LRU = {gm:.4}");
+}
+
+#[test]
+fn i_oracle_bounds_instruction_side_gains() {
+    let w = "verilator";
+    let mj = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
+    let mut cfg = SystemConfig::scaled(&scale(), LlcScheme::plain(PolicyKind::Mockingjay));
+    cfg.i_oracle = true;
+    let s = scale();
+    let oracle = SimRunner::new(cfg, WorkloadMix::homogeneous(w, s.cores), 42)
+        .run(s.records_per_core, s.warmup_per_core);
+    assert!(
+        oracle.mean_cpi_stack().ifetch <= mj.mean_cpi_stack().ifetch,
+        "Fig 3(d): the I-oracle cannot have more ifetch stalls"
+    );
+    assert!(
+        oracle.harmonic_mean_ipc() >= mj.harmonic_mean_ipc() * 0.98,
+        "the oracle is an upper bound (within noise)"
+    );
+}
+
+#[test]
+fn garibaldi_reduces_ifetch_stalls_on_server_aggregate() {
+    let workloads = ["tpcc", "noop", "verilator"];
+    let mut with_g = 0.0;
+    let mut without = 0.0;
+    for w in workloads {
+        without +=
+            run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42).total_ifetch_stall();
+        with_g += run_homogeneous(&scale(), LlcScheme::mockingjay_garibaldi(), w, 42)
+            .total_ifetch_stall();
+    }
+    assert!(
+        with_g <= without * 1.03,
+        "Fig 13 shape: Garibaldi must not inflate ifetch stalls ({with_g:.0} vs {without:.0})"
+    );
+}
+
+#[test]
+fn bigger_llc_never_hurts() {
+    let s = scale();
+    let mut small_cfg = SystemConfig::scaled(&s, LlcScheme::plain(PolicyKind::Lru));
+    let mut big_cfg = small_cfg.clone();
+    big_cfg.llc_bytes *= 2;
+    small_cfg.llc_bytes /= 2;
+    let small = SimRunner::new(small_cfg, WorkloadMix::homogeneous("voter", s.cores), 42)
+        .run(s.records_per_core, s.warmup_per_core);
+    let big = SimRunner::new(big_cfg, WorkloadMix::homogeneous("voter", s.cores), 42)
+        .run(s.records_per_core, s.warmup_per_core);
+    assert!(
+        big.harmonic_mean_ipc() >= small.harmonic_mean_ipc() * 0.98,
+        "Fig 16 sanity: 4x LLC capacity must not lose ({} vs {})",
+        big.harmonic_mean_ipc(),
+        small.harmonic_mean_ipc()
+    );
+}

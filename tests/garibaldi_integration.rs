@@ -1,0 +1,115 @@
+//! Garibaldi-specific integration: the pairing → protection → prefetch
+//! chain engages on server workloads and the ablation switches do what
+//! they say.
+
+use garibaldi::{GaribaldiConfig, ThresholdMode};
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::experiment::run_homogeneous;
+use garibaldi_sim::{ExperimentScale, LlcScheme};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+fn with_cfg(f: impl FnOnce(&mut GaribaldiConfig)) -> LlcScheme {
+    let mut g = GaribaldiConfig::default();
+    f(&mut g);
+    LlcScheme { policy: PolicyKind::Mockingjay, garibaldi: Some(g) }
+}
+
+#[test]
+fn pair_tracking_engages_on_server_workloads() {
+    let r = run_homogeneous(&scale(), LlcScheme::mockingjay_garibaldi(), "tpcc", 42);
+    let g = r.garibaldi.unwrap();
+    assert!(g.stats.pair_updates > 100, "pair table fed: {}", g.stats.pair_updates);
+    assert!(g.helper_hit_rate > 0.3, "helper table deduces IL_PAs: {}", g.helper_hit_rate);
+    assert!(
+        g.stats.protections + g.stats.declines > 0,
+        "QBS queries happen during evictions"
+    );
+}
+
+#[test]
+fn all_protect_mode_reduces_llc_instruction_misses() {
+    let mj = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "tpcc", 42);
+    let allp = run_homogeneous(
+        &scale(),
+        with_cfg(|g| g.threshold_mode = ThresholdMode::AllProtect),
+        "tpcc",
+        42,
+    );
+    assert!(
+        allp.llc.i_miss_rate() <= mj.llc.i_miss_rate() + 0.02,
+        "protection must not increase the LLC instruction miss rate: {} vs {}",
+        allp.llc.i_miss_rate(),
+        mj.llc.i_miss_rate()
+    );
+    assert!(allp.garibaldi.unwrap().stats.protections > 0, "protection fired");
+}
+
+#[test]
+fn protection_reduces_ifetch_stalls_vs_prefetch_only() {
+    let protect =
+        run_homogeneous(&scale(), with_cfg(|g| g.threshold_mode = ThresholdMode::AllProtect), "verilator", 42);
+    let none = run_homogeneous(
+        &scale(),
+        with_cfg(|g| {
+            g.enable_protection = false;
+            g.enable_prefetch = false;
+        }),
+        "verilator",
+        42,
+    );
+    assert!(
+        protect.total_ifetch_stall() <= none.total_ifetch_stall() * 1.05,
+        "protection should not inflate ifetch stalls: {} vs {}",
+        protect.total_ifetch_stall(),
+        none.total_ifetch_stall()
+    );
+}
+
+#[test]
+fn disabled_module_matches_zero_stats() {
+    let r = run_homogeneous(
+        &scale(),
+        with_cfg(|g| {
+            g.enable_protection = false;
+            g.enable_prefetch = false;
+        }),
+        "noop",
+        42,
+    );
+    let g = r.garibaldi.unwrap();
+    assert_eq!(g.stats.protections, 0);
+    assert_eq!(g.stats.prefetches_issued, 0);
+    // The module still observes and tracks (it is attached), it just never
+    // intervenes.
+    assert!(g.stats.pair_updates > 0);
+}
+
+#[test]
+fn pairwise_prefetches_are_issued_and_some_are_useful() {
+    let r = run_homogeneous(&scale(), LlcScheme::mockingjay_garibaldi(), "kafka", 42);
+    let g = r.garibaldi.unwrap();
+    assert!(g.stats.prefetches_issued > 0, "pairwise prefetch fired");
+    // Prefetch fills recorded at the LLC.
+    assert!(r.llc.prefetch_fills > 0);
+}
+
+#[test]
+fn fixed_thresholds_order_protection_aggressiveness() {
+    let low = run_homogeneous(&scale(), with_cfg(|g| g.threshold_mode = ThresholdMode::Fixed(-16)), "tpcc", 42);
+    let high = run_homogeneous(&scale(), with_cfg(|g| g.threshold_mode = ThresholdMode::Fixed(16)), "tpcc", 42);
+    let pl = low.garibaldi.unwrap().stats.protections;
+    let ph = high.garibaldi.unwrap().stats.protections;
+    assert!(pl >= ph, "lower threshold must protect at least as much: {pl} vs {ph}");
+}
+
+#[test]
+fn qbs_latency_is_accounted() {
+    let r = run_homogeneous(&scale(), LlcScheme::mockingjay_garibaldi(), "tpcc", 42);
+    let g = r.garibaldi.unwrap();
+    if g.stats.protections > 0 {
+        assert!(r.qbs_cycles > 0, "protections imply query cycles");
+    }
+}

@@ -9,13 +9,14 @@
 use garibaldi_bench::*;
 use garibaldi_cache::PolicyKind;
 
+type Job = Box<dyn FnOnce() -> (String, usize, garibaldi_sim::CpiStack) + Send>;
+
 fn main() {
     let scale = ExperimentScale::from_env();
     let spec = ["gcc", "gobmk", "bwaves", "lbm", "cam4", "wrf"];
     let server = ["noop", "tpcc", "cassandra", "kafka", "tomcat", "verilator", "dotty", "xalan"];
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> (String, usize, garibaldi_sim::CpiStack) + Send>> =
-        Vec::new();
+    let mut jobs: Vec<Job> = Vec::new();
     for &w in spec.iter().chain(server.iter()) {
         for cores in [1usize, scale.cores] {
             let mut s = scale;

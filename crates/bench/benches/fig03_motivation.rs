@@ -11,6 +11,12 @@ use garibaldi_cache::PolicyKind;
 use garibaldi_sim::SimRunner;
 use garibaldi_trace::WorkloadMix;
 
+/// A deferred run producing one labeled result row.
+type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// One Fig 3(d) row: workload, then LRU / Mockingjay / I-oracle IPC.
+type SpeedupRow = (String, f64, f64, f64);
+
 fn profiled(scale: &ExperimentScale, scheme: LlcScheme, w: &str, cores: usize) -> RunResult {
     let mut s = *scale;
     s.cores = cores;
@@ -33,7 +39,7 @@ fn main() {
     let server = ["noop", "tpcc", "cassandra", "kafka", "verilator", "xalan", "dotty", "tomcat"];
 
     // (a)-(c): profiled Mockingjay runs at 1 and N cores.
-    let mut jobs: Vec<Box<dyn FnOnce() -> (String, usize, RunResult) + Send>> = Vec::new();
+    let mut jobs: Vec<Job<(String, usize, RunResult)>> = Vec::new();
     for &w in spec.iter().chain(server.iter()) {
         for cores in [1usize, scale.cores] {
             jobs.push(Box::new(move || {
@@ -111,13 +117,18 @@ fn main() {
     );
 
     // (d): LRU vs Mockingjay vs Mockingjay+I-oracle.
-    let mut jobs: Vec<Box<dyn FnOnce() -> (String, f64, f64, f64) + Send>> = Vec::new();
+    let mut jobs: Vec<Job<SpeedupRow>> = Vec::new();
     for &w in spec.iter().chain(server.iter()) {
         jobs.push(Box::new(move || {
             let lru = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Lru), w, 42);
             let mj = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
             let ora = oracle(&scale, w);
-            (w.to_string(), lru.harmonic_mean_ipc(), mj.harmonic_mean_ipc(), ora.harmonic_mean_ipc())
+            (
+                w.to_string(),
+                lru.harmonic_mean_ipc(),
+                mj.harmonic_mean_ipc(),
+                ora.harmonic_mean_ipc(),
+            )
         }));
     }
     let d = parallel_runs(jobs);
@@ -135,7 +146,7 @@ fn main() {
     print_table("Fig 3(d): Mockingjay vs I-oracle headroom (speedup over LRU)", &headers, &rows);
     write_csv("fig03_d.csv", &headers, &rows);
 
-    let gm = |sel: &dyn Fn(&(String, f64, f64, f64)) -> f64, names: &[&str]| {
+    let gm = |sel: &dyn Fn(&SpeedupRow) -> f64, names: &[&str]| {
         geomean(
             &d.iter().filter(|(w, ..)| names.contains(&w.as_str())).map(sel).collect::<Vec<_>>(),
         )

@@ -11,10 +11,8 @@ use garibaldi_trace::random_server_mixes;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let n_mixes: usize = std::env::var("GARIBALDI_MIXES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
+    let n_mixes: usize =
+        std::env::var("GARIBALDI_MIXES").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
     let mixes = random_server_mixes(n_mixes, scale.cores, 77);
 
     let schemes = [
@@ -73,5 +71,7 @@ fn main() {
         let gm = geomean(&rows_raw.iter().map(|r| r[i]).collect::<Vec<_>>());
         println!("geomean {name}: {gm:.4}");
     }
-    println!("(paper geomeans: Hawkeye 1.013, Hawkeye+G 1.056, Mockingjay 1.040, Mockingjay+G 1.093)");
+    println!(
+        "(paper geomeans: Hawkeye 1.013, Hawkeye+G 1.056, Mockingjay 1.040, Mockingjay+G 1.093)"
+    );
 }

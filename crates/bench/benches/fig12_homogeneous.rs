@@ -21,9 +21,7 @@ fn main() {
     for &w in registry::SERVER_NAMES.iter() {
         for scheme in &schemes {
             let scheme = scheme.clone();
-            jobs.push(Box::new(move || {
-                run_homogeneous(&scale, scheme, w, 42).harmonic_mean_ipc()
-            }));
+            jobs.push(Box::new(move || run_homogeneous(&scale, scheme, w, 42).harmonic_mean_ipc()));
         }
     }
     let flat = parallel_runs(jobs);

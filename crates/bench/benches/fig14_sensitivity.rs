@@ -34,7 +34,11 @@ fn main() {
     for k in [0u8, 1, 2, 4] {
         variants.push((format!("k={k}"), garibaldi_with(|g| g.k = k), 0));
     }
-    variants.push(("thr=all-protect".into(), garibaldi_with(|g| g.threshold_mode = ThresholdMode::AllProtect), 0));
+    variants.push((
+        "thr=all-protect".into(),
+        garibaldi_with(|g| g.threshold_mode = ThresholdMode::AllProtect),
+        0,
+    ));
     for delta in [-16i32, 0, 16] {
         variants.push((
             format!("thr={delta:+}"),
@@ -44,10 +48,18 @@ fn main() {
     }
     variants.push(("thr=dynamic".into(), garibaldi_with(|_| {}), 0));
     for bits in [6u32, 10, 14, 18] {
-        variants.push((format!("pairs=2^{bits}"), garibaldi_with(|g| g.pair_entries_log2 = bits), 0));
+        variants.push((
+            format!("pairs=2^{bits}"),
+            garibaldi_with(|g| g.pair_entries_log2 = bits),
+            0,
+        ));
     }
     for ways in [1usize, 2, 4, 8] {
-        variants.push((format!("partition={ways}w"), LlcScheme::plain(PolicyKind::Mockingjay), ways));
+        variants.push((
+            format!("partition={ways}w"),
+            LlcScheme::plain(PolicyKind::Mockingjay),
+            ways,
+        ));
     }
     variants.push(("protect-only".into(), garibaldi_with(|g| g.enable_prefetch = false), 0));
     variants.push(("prefetch-only".into(), garibaldi_with(|g| g.enable_protection = false), 0));
@@ -76,9 +88,8 @@ fn main() {
         .enumerate()
         .skip(1)
         .map(|(vi, (label, _, _))| {
-            let speedups: Vec<f64> = (0..mixes.len())
-                .map(|m| speedup_over(flat[m * nv], flat[m * nv + vi]))
-                .collect();
+            let speedups: Vec<f64> =
+                (0..mixes.len()).map(|m| speedup_over(flat[m * nv], flat[m * nv + vi])).collect();
             vec![label.clone(), format!("{:.4}", geomean(&speedups))]
         })
         .collect();

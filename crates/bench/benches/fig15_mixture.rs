@@ -41,7 +41,9 @@ fn main() {
         .collect();
     print_table("Fig 15(a): benefit vs server fraction of the mix", &headers, &rows);
     write_csv("fig15_a.csv", &headers, &rows);
-    println!("(paper: Garibaldi's edge over Mockingjay grows from +0.1% at 0% server to +5.3% at 75%+)");
+    println!(
+        "(paper: Garibaldi's edge over Mockingjay grows from +0.1% at 0% server to +5.3% at 75%+)"
+    );
 
     // (b) same storage budget spent elsewhere: +200KB LLC / +5KB L1I.
     // Storage figures follow Table 2 at full scale and scale with the run.

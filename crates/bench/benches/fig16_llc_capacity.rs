@@ -26,13 +26,9 @@ fn main() {
                 jobs.push(Box::new(move || {
                     let mut cfg = SystemConfig::scaled(&scale, scheme);
                     cfg.llc_bytes = (cfg.llc_bytes as f64 * f) as u64 / 4096 * 4096;
-                    garibaldi_sim::SimRunner::new(
-                        cfg,
-                        WorkloadMix::homogeneous(w, scale.cores),
-                        42,
-                    )
-                    .run(scale.records_per_core, scale.warmup_per_core)
-                    .harmonic_mean_ipc()
+                    garibaldi_sim::SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42)
+                        .run(scale.records_per_core, scale.warmup_per_core)
+                        .harmonic_mean_ipc()
                 }));
             }
         }

@@ -24,13 +24,9 @@ fn main() {
                 jobs.push(Box::new(move || {
                     let mut cfg = SystemConfig::scaled(&scale, scheme);
                     cfg.llc_ways = a;
-                    garibaldi_sim::SimRunner::new(
-                        cfg,
-                        WorkloadMix::homogeneous(w, scale.cores),
-                        42,
-                    )
-                    .run(scale.records_per_core, scale.warmup_per_core)
-                    .harmonic_mean_ipc()
+                    garibaldi_sim::SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42)
+                        .run(scale.records_per_core, scale.warmup_per_core)
+                        .harmonic_mean_ipc()
                 }));
             }
         }
@@ -52,7 +48,11 @@ fn main() {
             ]);
         }
     }
-    print_table("Fig 17: LLC associativity sensitivity (normalized to LRU at 12w)", &headers, &rows);
+    print_table(
+        "Fig 17: LLC associativity sensitivity (normalized to LRU at 12w)",
+        &headers,
+        &rows,
+    );
     write_csv("fig17_associativity.csv", &headers, &rows);
     println!("(paper shape: Garibaldi's margin over Mockingjay peaks at 48 ways, +7.1%)");
 }

@@ -11,8 +11,7 @@ fn bench_policies(c: &mut Criterion) {
     group.sample_size(20);
     for kind in PolicyKind::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            let mut cache =
-                SetAssocCache::new(CacheConfig::new("bench", 1024, 12), kind);
+            let mut cache = SetAssocCache::new(CacheConfig::new("bench", 1024, 12), kind);
             let mut i: u64 = 0;
             b.iter(|| {
                 i = i.wrapping_add(0x9e37_79b9).wrapping_mul(31) % 65_536;

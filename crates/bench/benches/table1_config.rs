@@ -8,25 +8,48 @@ use garibaldi_cache::PolicyKind;
 fn describe(name: &str, cfg: &SystemConfig) {
     println!("\n== Table 1: {name} ==");
     println!("cores:            {}", cfg.cores);
-    println!("L1I / L1D:        {} KB / {} KB, {}-way, {} cycles", cfg.l1i_bytes / 1024, cfg.l1d_bytes / 1024, cfg.l1_ways, cfg.l1_latency);
-    println!("L2 (per {} cores): {} KB, {}-way, {} cycles", cfg.l2_cluster_size, cfg.l2_bytes / 1024, cfg.l2_ways, cfg.l2_latency);
-    println!("LLC (shared):     {} KB, {}-way, {} cycles, non-inclusive", cfg.llc_bytes / 1024, cfg.llc_ways, cfg.llc_latency);
+    println!(
+        "L1I / L1D:        {} KB / {} KB, {}-way, {} cycles",
+        cfg.l1i_bytes / 1024,
+        cfg.l1d_bytes / 1024,
+        cfg.l1_ways,
+        cfg.l1_latency
+    );
+    println!(
+        "L2 (per {} cores): {} KB, {}-way, {} cycles",
+        cfg.l2_cluster_size,
+        cfg.l2_bytes / 1024,
+        cfg.l2_ways,
+        cfg.l2_latency
+    );
+    println!(
+        "LLC (shared):     {} KB, {}-way, {} cycles, non-inclusive",
+        cfg.llc_bytes / 1024,
+        cfg.llc_ways,
+        cfg.llc_latency
+    );
     println!(
         "DRAM:             {} channels, {} cycles access, occupancy {} cycles/line, queue depth {}",
-        cfg.dram.channels, cfg.dram.access_latency, cfg.dram.transfer_occupancy, cfg.dram.queue_depth
+        cfg.dram.channels,
+        cfg.dram.access_latency,
+        cfg.dram.transfer_occupancy,
+        cfg.dram.queue_depth
     );
-    println!("core model:       base CPI {}, branch penalty {}, ROB shadow {}, MLP overlap {}", cfg.base_cpi, cfg.branch_penalty, cfg.rob_shadow, cfg.mlp_overlap);
-    println!("prefetchers:      L1I temporal+runahead={}, L1D next-line={}, L2 GHB={}", cfg.l1i_prefetcher, cfg.l1d_prefetcher, cfg.l2_prefetcher);
+    println!(
+        "core model:       base CPI {}, branch penalty {}, ROB shadow {}, MLP overlap {}",
+        cfg.base_cpi, cfg.branch_penalty, cfg.rob_shadow, cfg.mlp_overlap
+    );
+    println!(
+        "prefetchers:      L1I temporal+runahead={}, L1D next-line={}, L2 GHB={}",
+        cfg.l1i_prefetcher, cfg.l1d_prefetcher, cfg.l2_prefetcher
+    );
 }
 
 fn main() {
     describe("paper baseline (Table 1)", &SystemConfig::paper_baseline());
     let scale = ExperimentScale::from_env();
     let scaled = SystemConfig::scaled(&scale, LlcScheme::plain(PolicyKind::Lru));
-    describe(
-        &format!("harness scale (factor {}, {} cores)", scale.factor, scale.cores),
-        &scaled,
-    );
+    describe(&format!("harness scale (factor {}, {} cores)", scale.factor, scale.cores), &scaled);
     let rows = vec![vec![
         scaled.cores.to_string(),
         scaled.llc_bytes.to_string(),

@@ -30,12 +30,7 @@ fn main() {
             "64".to_string(),
             kb(r.helper_table_bytes_per_core),
         ],
-        vec![
-            format!("total ({cores} cores)"),
-            String::new(),
-            String::new(),
-            kb(r.total_bytes()),
-        ],
+        vec![format!("total ({cores} cores)"), String::new(), String::new(), kb(r.total_bytes())],
     ];
     print_table("Table 2: Garibaldi storage overheads", &headers, &rows);
     write_csv("table2_storage.csv", &headers, &rows);

@@ -11,9 +11,9 @@
 
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 pub use garibaldi_sim::experiment::{
     geomean, ipc_single, run_homogeneous, run_mix, weighted_speedup,
@@ -23,9 +23,8 @@ pub use garibaldi_sim::{ExperimentScale, LlcScheme, RunResult, SystemConfig};
 /// Directory where harness CSVs are written (the workspace-level
 /// `target/garibaldi-results/`, regardless of the bench binary's CWD).
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target")
-        .join("garibaldi-results");
+    let dir =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target").join("garibaldi-results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -77,22 +76,21 @@ where
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let job = queue.lock().pop();
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop();
                 match job {
                     Some((i, f)) => {
                         let r = f();
-                        results.lock()[i] = Some(r);
+                        results.lock().unwrap()[i] = Some(r);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
-    results.into_inner().into_iter().map(|r| r.expect("job ran")).collect()
+    });
+    results.into_inner().unwrap().into_iter().map(|r| r.expect("job ran")).collect()
 }
 
 /// Formats a speedup as the paper's "speedup over LRU" delta (e.g. 0.132).

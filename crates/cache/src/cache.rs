@@ -251,8 +251,7 @@ impl SetAssocCache {
             let way = self.policy.choose_victim(set, ctx, excluded);
             debug_assert!(way < ways, "policy returned way {way} of {ways}");
             let meta = *self.frame(set, way);
-            let may_protect =
-                protected < max_protects && excluded.count_ones() + 1 < ways as u32;
+            let may_protect = protected < max_protects && excluded.count_ones() + 1 < ways as u32;
             if may_protect && meta.valid && meta.is_instr && guard(&meta) {
                 self.policy.reset_priority(set, way);
                 excluded |= 1 << way;
@@ -325,8 +324,7 @@ impl SetAssocCache {
             return InsertOutcome { way: Some(way), evicted: None, protected: 0 };
         }
 
-        if let Some(way) =
-            (0..ways).find(|&w| allowed & (1 << w) != 0 && !self.frame(set, w).valid)
+        if let Some(way) = (0..ways).find(|&w| allowed & (1 << w) != 0 && !self.frame(set, w).valid)
         {
             self.fill_frame(set, way, line, ctx, dirty);
             return InsertOutcome { way: Some(way), evicted: None, protected: 0 };
@@ -380,9 +378,7 @@ impl SetAssocCache {
 
     /// Iterates over the valid lines of a set.
     pub fn set_lines(&self, set: usize) -> impl Iterator<Item = &LineMeta> {
-        self.lines[set * self.config.ways..(set + 1) * self.config.ways]
-            .iter()
-            .filter(|f| f.valid)
+        self.lines[set * self.config.ways..(set + 1) * self.config.ways].iter().filter(|f| f.valid)
     }
 
     /// Number of valid lines in the whole cache (O(size); diagnostics).

@@ -11,7 +11,7 @@
 //! * Victim selection with an external *protection guard*
 //!   ([`SetAssocCache::insert_with_guard`]): the hook Garibaldi's query-based
 //!   selective instruction protection (QBS, §4.2) plugs into.
-//! * Prefetchers: next-line (L1D), GHB PC/delta correlation (L2, [48]) and a
+//! * Prefetchers: next-line (L1D), GHB PC/delta correlation (L2, \[48\]) and a
 //!   temporal successor prefetcher standing in for I-SPY (L1I).
 //! * An MSHR/queueing model shared with the DRAM channel model.
 //!

@@ -29,12 +29,7 @@ impl MshrQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "zero-capacity MSHR");
-        Self {
-            capacity,
-            completions: BinaryHeap::new(),
-            total_queue_delay: 0,
-            stalled_requests: 0,
-        }
+        Self { capacity, completions: BinaryHeap::new(), total_queue_delay: 0, stalled_requests: 0 }
     }
 
     /// Slots configured.

@@ -84,11 +84,8 @@ fn simulate_opt_one_set(stream: &[u64], ways: usize) -> OptResult {
         }
         // Belady: evict the line with the farthest (or no) next use. If the
         // incoming line itself is never reused, bypassing it is optimal.
-        let (victim_idx, &(_, victim_next)) = resident
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &(_, next))| next)
-            .expect("ways > 0");
+        let (victim_idx, &(_, victim_next)) =
+            resident.iter().enumerate().max_by_key(|(_, &(_, next))| next).expect("ways > 0");
         if entry.1 >= victim_next {
             continue; // incoming line is the worst candidate: bypass
         }

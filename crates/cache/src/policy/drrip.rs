@@ -129,13 +129,11 @@ mod tests {
     #[test]
     fn psel_moves_with_leader_misses() {
         let mut p = Drrip::new(1024, 4);
-        let srrip_leader =
-            p.roles.iter().position(|r| *r == SetRole::LeaderSrrip).unwrap();
+        let srrip_leader = p.roles.iter().position(|r| *r == SetRole::LeaderSrrip).unwrap();
         let start = p.psel.get();
         p.on_insert(srrip_leader, 0, &ctx());
         assert_eq!(p.psel.get(), start + 1);
-        let brrip_leader =
-            p.roles.iter().position(|r| *r == SetRole::LeaderBrrip).unwrap();
+        let brrip_leader = p.roles.iter().position(|r| *r == SetRole::LeaderBrrip).unwrap();
         p.on_insert(brrip_leader, 0, &ctx());
         p.on_insert(brrip_leader, 1, &ctx());
         assert_eq!(p.psel.get(), start - 1);

@@ -101,8 +101,8 @@ impl Hawkeye {
                 let dist = now - t_prev;
                 let decision = if dist < window as u64 {
                     // Would OPT have kept the line across [t_prev, now)?
-                    let fits = (t_prev..now)
-                        .all(|t| ss.occupancy[(t % window as u64) as usize] < ways);
+                    let fits =
+                        (t_prev..now).all(|t| ss.occupancy[(t % window as u64) as usize] < ways);
                     if fits {
                         for t in t_prev..now {
                             ss.occupancy[(t % window as u64) as usize] += 1;

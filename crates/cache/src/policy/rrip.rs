@@ -89,7 +89,7 @@ impl ReplacementPolicy for Srrip {
     }
 }
 
-/// Bimodal RRIP: insert at max except once every [`BRRIP_EPSILON`] fills.
+/// Bimodal RRIP: insert at max except once every `BRRIP_EPSILON` fills.
 #[derive(Debug)]
 pub struct Brrip {
     table: RrpvTable,

@@ -76,7 +76,8 @@ impl GhbPrefetcher {
             out.push(e.line);
             cur = e.prev;
             // prev entries may be from the previous generation window.
-            cur_gen = if cur != NIL && cur >= self.next { cur_gen.wrapping_sub(1) } else { cur_gen };
+            cur_gen =
+                if cur != NIL && cur >= self.next { cur_gen.wrapping_sub(1) } else { cur_gen };
             // Simpler: accept same-gen or gen-1 links.
             if cur != NIL {
                 let pe = self.buffer[cur as usize];
@@ -97,13 +98,11 @@ impl Prefetcher for GhbPrefetcher {
         }
         let slot = Self::index_slot(pc_sig);
         let ie = self.index[slot];
-        let prev_head =
-            if ie.valid && ie.pc_tag == pc_sig { ie.head } else { NIL };
+        let prev_head = if ie.valid && ie.pc_tag == pc_sig { ie.head } else { NIL };
 
         // Insert into the buffer.
         let pos = self.next;
-        self.buffer[pos as usize] =
-            GhbEntry { line: line.get(), prev: prev_head, gen: self.gen };
+        self.buffer[pos as usize] = GhbEntry { line: line.get(), prev: prev_head, gen: self.gen };
         self.next += 1;
         if self.next as usize == GHB_SIZE {
             self.next = 0;

@@ -76,17 +76,17 @@ impl CacheStats {
         self.d_accesses - self.d_hits
     }
 
-    /// Overall miss rate in [0,1]; 0 when there were no accesses.
+    /// Overall miss rate in \[0,1\]; 0 when there were no accesses.
     pub fn miss_rate(&self) -> f64 {
         ratio(self.misses(), self.accesses())
     }
 
-    /// Instruction miss rate in [0,1].
+    /// Instruction miss rate in \[0,1\].
     pub fn i_miss_rate(&self) -> f64 {
         ratio(self.i_misses(), self.i_accesses)
     }
 
-    /// Data miss rate in [0,1].
+    /// Data miss rate in \[0,1\].
     pub fn d_miss_rate(&self) -> f64 {
         ratio(self.d_misses(), self.d_accesses)
     }

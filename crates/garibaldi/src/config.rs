@@ -156,7 +156,8 @@ impl GaribaldiConfig {
         if self.cost_hit_step == 0 || self.cost_miss_step == 0 {
             return Err("zero cost step".into());
         }
-        if self.helper_entries == 0 || self.helper_ways == 0
+        if self.helper_entries == 0
+            || self.helper_ways == 0
             || self.helper_entries % self.helper_ways != 0
         {
             return Err("helper table geometry invalid".into());

@@ -103,9 +103,9 @@ mod tests {
     #[test]
     fn insert_and_get() {
         let mut t = DppnTable::new(64);
-        let idx = t.insert(PageNum::new(0xdeed_b));
-        assert_eq!(t.get(idx), Some(PageNum::new(0xdeed_b)));
-        assert!(t.matches(idx, PageNum::new(0xdeed_b)));
+        let idx = t.insert(PageNum::new(0xdeedb));
+        assert_eq!(t.get(idx), Some(PageNum::new(0xdeedb)));
+        assert!(t.matches(idx, PageNum::new(0xdeedb)));
     }
 
     #[test]

@@ -70,15 +70,15 @@ impl HelperTable {
             }
         }
         // Free way, else the way with the lowest counter.
-        let victim = (0..self.ways)
-            .find(|&w| !self.entries[base + w].valid)
-            .unwrap_or_else(|| {
-                (0..self.ways)
-                    .min_by_key(|&w| self.entries[base + w].sctr.get())
-                    .expect("ways > 0")
-            });
-        self.entries[base + victim] =
-            HelperEntry { vpn: vpn.get(), ppn: ppn.get(), sctr: SatCounter::new(3, 4), valid: true };
+        let victim = (0..self.ways).find(|&w| !self.entries[base + w].valid).unwrap_or_else(|| {
+            (0..self.ways).min_by_key(|&w| self.entries[base + w].sctr.get()).expect("ways > 0")
+        });
+        self.entries[base + victim] = HelperEntry {
+            vpn: vpn.get(),
+            ppn: ppn.get(),
+            sctr: SatCounter::new(3, 4),
+            valid: true,
+        };
     }
 
     /// Translates a PC VPN to the instruction page frame, if tracked.
@@ -140,8 +140,7 @@ mod tests {
         for v in 0..100u64 {
             h.insert(PageNum::new(v), PageNum::new(v + 1000));
         }
-        let resident =
-            (0..100u64).filter(|&v| h.lookup(PageNum::new(v)).is_some()).count();
+        let resident = (0..100u64).filter(|&v| h.lookup(PageNum::new(v)).is_some()).count();
         assert!(resident <= 8);
     }
 

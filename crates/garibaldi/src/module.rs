@@ -147,9 +147,11 @@ impl GaribaldiModule {
 
         let mut prefetches = Vec::new();
         if self.pair.lookup(il_line).is_some() {
-            let protected = self
-                .pair
-                .query_protect(il_line, self.threshold.color(), self.threshold.threshold());
+            let protected = self.pair.query_protect(
+                il_line,
+                self.threshold.color(),
+                self.threshold.threshold(),
+            );
             if protected {
                 // A protected line missing is a tracking anomaly (it was
                 // evicted before protection could act, or aliased).
@@ -202,9 +204,7 @@ impl GaribaldiModule {
             return false;
         }
         match self.pair.lookup(line) {
-            Some(e) => {
-                self.pair.aged_cost(e, self.threshold.color()) > self.threshold.threshold()
-            }
+            Some(e) => self.pair.aged_cost(e, self.threshold.color()) > self.threshold.threshold(),
             None => false,
         }
     }
@@ -262,15 +262,12 @@ mod tests {
     use crate::config::ThresholdMode;
 
     fn module() -> GaribaldiModule {
-        GaribaldiModule::new(
-            GaribaldiConfig { color_period: 1000, ..Default::default() },
-            2,
-        )
+        GaribaldiModule::new(GaribaldiConfig { color_period: 1000, ..Default::default() }, 2)
     }
 
     const PC: VirtAddr = VirtAddr::new(0x0040_0040);
-    const IL: LineAddr = LineAddr::new(0x8000_1);
-    const DL: LineAddr = LineAddr::new(0x9000_7);
+    const IL: LineAddr = LineAddr::new(0x80001);
+    const DL: LineAddr = LineAddr::new(0x90007);
 
     /// Walks the canonical pairing flow: I access teaches the helper table,
     /// D accesses raise the miss cost, eviction query protects.
@@ -280,8 +277,7 @@ mod tests {
         let core = CoreId::new(0);
         g.on_instr_access(core, PC, IL, false, true);
         // Deduce the IL the module will reconstruct from (PC, I-PPN).
-        let il_deduced =
-            LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
+        let il_deduced = LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
         // Hot data accesses from this PC push the pair's cost up.
         for _ in 0..8 {
             g.on_data_access(core, PC, DL, true);
@@ -301,8 +297,7 @@ mod tests {
         for _ in 0..8 {
             g.on_data_access(core, PC, DL, false); // cold data
         }
-        let il_deduced =
-            LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
+        let il_deduced = LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
         assert!(!g.should_protect(il_deduced));
     }
 
@@ -311,8 +306,7 @@ mod tests {
         let mut g = module();
         let core = CoreId::new(1);
         g.on_instr_access(core, PC, IL, false, true);
-        let il_deduced =
-            LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
+        let il_deduced = LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
         // Record the pair but keep it cold (data misses).
         for _ in 0..4 {
             g.on_data_access(core, PC, DL, false);
@@ -327,8 +321,7 @@ mod tests {
         let mut g = module();
         let core = CoreId::new(0);
         g.on_instr_access(core, PC, IL, false, true);
-        let il_deduced =
-            LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
+        let il_deduced = LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
         for _ in 0..10 {
             g.on_data_access(core, PC, DL, true); // hot ⇒ protected
         }
@@ -370,8 +363,7 @@ mod tests {
         for _ in 0..10 {
             g.on_data_access(core, PC, DL, true);
         }
-        let il_deduced =
-            LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
+        let il_deduced = LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
         assert!(!g.should_protect(il_deduced));
         assert_eq!(g.qbs_max_attempts(), 0);
     }
@@ -385,8 +377,7 @@ mod tests {
         for _ in 0..4 {
             g.on_data_access(core, PC, DL, false);
         }
-        let il_deduced =
-            LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
+        let il_deduced = LineAddr::from_page_parts(IL.ppn(), PC.line_page_offset() / LINE_BYTES);
         assert!(g.on_instr_access(core, PC, il_deduced, false, true).is_empty());
     }
 

@@ -459,7 +459,10 @@ mod tests {
         let idx = dppn.insert(garibaldi_types::PageNum::new(0xdeedb));
         t.update_on_data(IL, false, idx, 7, 0, 32);
         let cands = t.prefetch_candidates(IL, &dppn);
-        assert_eq!(cands, vec![LineAddr::from_page_parts(garibaldi_types::PageNum::new(0xdeedb), 7)]);
+        assert_eq!(
+            cands,
+            vec![LineAddr::from_page_parts(garibaldi_types::PageNum::new(0xdeedb), 7)]
+        );
         // Unknown instruction line → empty.
         assert!(t.prefetch_candidates(LineAddr::new(0x1), &dppn).is_empty());
     }

@@ -43,8 +43,7 @@ pub struct StorageReport {
 impl StorageReport {
     /// Computes the report for a configuration and core count.
     pub fn compute(cfg: &GaribaldiConfig, cores: usize) -> Self {
-        let dl_field_bits =
-            DL_PPO_BITS + cfg.dppn_entries_log2 as u64 + DL_OLD_BITS + DL_SCTR_BITS;
+        let dl_field_bits = DL_PPO_BITS + cfg.dppn_entries_log2 as u64 + DL_OLD_BITS + DL_SCTR_BITS;
         let pair_entry_bits = IL_TAG_BITS
             + cfg.miss_cost_bits as u64
             + cfg.color_bits as u64
@@ -88,8 +87,8 @@ mod tests {
         // Paper: entry = 34 bit + k=1 × 23 bit = 57 bit; 2^14 entries.
         assert_eq!(r.dl_field_bits, 23);
         assert_eq!(r.pair_entry_bits, 57);
-        assert_eq!(r.pair_table_bytes, (16_384 * 57u64).div_ceil(8)); // ≈ 114 KiB
-        // Paper rounds the pair table to "120KB": our exact figure is close.
+        assert_eq!(r.pair_table_bytes, (16_384 * 57u64).div_ceil(8));
+        // ≈ 114 KiB exact; the paper rounds the pair table to "120KB".
         let kb = r.pair_table_bytes as f64 / 1024.0;
         assert!((110.0..=120.0).contains(&kb), "pair table {kb:.1} KB");
         // D_PPN: 8192 × 23 bit ≈ 23.5 KB (paper lists 32KB for a
@@ -108,8 +107,7 @@ mod tests {
     #[test]
     fn k_scales_entry_size() {
         let k1 = StorageReport::compute(&GaribaldiConfig::default(), 1);
-        let k4 =
-            StorageReport::compute(&GaribaldiConfig { k: 4, ..Default::default() }, 1);
+        let k4 = StorageReport::compute(&GaribaldiConfig { k: 4, ..Default::default() }, 1);
         assert_eq!(k4.pair_entry_bits - k1.pair_entry_bits, 3 * 23);
         assert!(k4.pair_table_bytes > k1.pair_table_bytes);
     }

@@ -181,7 +181,8 @@ mod tests {
 
     #[test]
     fn channels_spread_load() {
-        let mut d = DramModel::new(DramConfig { channels: 2, queue_depth: 1, ..Default::default() });
+        let mut d =
+            DramModel::new(DramConfig { channels: 2, queue_depth: 1, ..Default::default() });
         // Find two lines on different channels.
         let a = LineAddr::new(0);
         let mut b = LineAddr::new(1);

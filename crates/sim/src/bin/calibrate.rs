@@ -8,7 +8,6 @@ use garibaldi_cache::PolicyKind;
 use garibaldi_sim::experiment::run_homogeneous;
 use garibaldi_sim::{ExperimentScale, LlcScheme};
 
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workloads: Vec<&str> = if args.is_empty() {
@@ -20,7 +19,16 @@ fn main() {
 
     println!(
         "{:<16} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9}",
-        "workload", "I%LLC", "ImissR", "DmissR", "L1I-mr", "L2-mr", "IPC-lru", "IPC-mj", "IPC-mjG", "ifetchCPI"
+        "workload",
+        "I%LLC",
+        "ImissR",
+        "DmissR",
+        "L1I-mr",
+        "L2-mr",
+        "IPC-lru",
+        "IPC-mj",
+        "IPC-mjG",
+        "ifetchCPI"
     );
     for w in &workloads {
         let lru = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Lru), w, 42);

@@ -69,9 +69,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--workload" => {
                 a.workloads = val("--workload")?.split(',').map(str::to_string).collect()
@@ -199,5 +197,8 @@ fn main() {
     for (i, c) in r.cores.iter().enumerate() {
         println!("  core{i:<2} {:<16} ipc {:.4}", c.workload, c.ipc);
     }
-    eprintln!("\n[{} records simulated in {dt:.2?}]", args.cores as u64 * (args.records + args.warmup));
+    eprintln!(
+        "\n[{} records simulated in {dt:.2?}]",
+        args.cores as u64 * (args.records + args.warmup)
+    );
 }

@@ -28,7 +28,9 @@ fn main() {
     };
     let mj_nopf = run_homogeneous(&scale, nopf, &w, 42);
     let lru = run_homogeneous(&scale, LlcScheme::plain(PolicyKind::Lru), &w, 42);
-    for (name, r) in [("lru", &lru), ("mj", &mj), ("mj+AllProt", &mj_all), ("mj+AllProt-noPf", &mj_nopf)] {
+    for (name, r) in
+        [("lru", &lru), ("mj", &mj), ("mj+AllProt", &mj_all), ("mj+AllProt-noPf", &mj_nopf)]
+    {
         let s = r.mean_cpi_stack();
         println!(
             "{:<16} ipc={:.4} ifetchCPI={:.3} dataCPI={:.3} llc I%={:.1} ImissR={:.1}% DmissR={:.1}% prot={} i_evic={}",

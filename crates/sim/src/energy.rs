@@ -115,8 +115,8 @@ mod tests {
         });
         // DRAM is 250× L1 per access.
         assert!(r.dynamic_j > 0.0);
-        let dram_share = 1000.0 * m.dram_access_nj
-            / (1000.0 * m.dram_access_nj + 1000.0 * m.l1_access_nj);
+        let dram_share =
+            1000.0 * m.dram_access_nj / (1000.0 * m.dram_access_nj + 1000.0 * m.l1_access_nj);
         assert!(dram_share > 0.99);
     }
 

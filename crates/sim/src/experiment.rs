@@ -88,7 +88,12 @@ pub fn run_homogeneous(
 }
 
 /// Runs an arbitrary mix under `scheme`.
-pub fn run_mix(scale: &ExperimentScale, scheme: LlcScheme, mix: &WorkloadMix, seed: u64) -> RunResult {
+pub fn run_mix(
+    scale: &ExperimentScale,
+    scheme: LlcScheme,
+    mix: &WorkloadMix,
+    seed: u64,
+) -> RunResult {
     let cfg = SystemConfig::scaled(scale, scheme);
     SimRunner::new(cfg, mix.clone(), seed).run(scale.records_per_core, scale.warmup_per_core)
 }
@@ -162,8 +167,20 @@ mod tests {
         let result = RunResult {
             scheme: "t".into(),
             cores: vec![
-                CoreResult { workload: "a".into(), instrs: 1, cycles: 1.0, ipc: 0.5, stack: CpiStack::default() },
-                CoreResult { workload: "b".into(), instrs: 1, cycles: 1.0, ipc: 1.0, stack: CpiStack::default() },
+                CoreResult {
+                    workload: "a".into(),
+                    instrs: 1,
+                    cycles: 1.0,
+                    ipc: 0.5,
+                    stack: CpiStack::default(),
+                },
+                CoreResult {
+                    workload: "b".into(),
+                    instrs: 1,
+                    cycles: 1.0,
+                    ipc: 1.0,
+                    stack: CpiStack::default(),
+                },
             ],
             l1: Default::default(),
             l1i: Default::default(),

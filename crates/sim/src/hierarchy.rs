@@ -18,9 +18,7 @@ use garibaldi_cache::{
     SetAssocCache,
 };
 use garibaldi_mem::DramModel;
-use garibaldi_types::{
-    AccessKind, AccessOutcome, CoreId, HitLevel, LineAddr, RwKind, VirtAddr,
-};
+use garibaldi_types::{AccessKind, AccessOutcome, CoreId, HitLevel, LineAddr, RwKind, VirtAddr};
 use std::collections::HashSet;
 
 /// The full cache/memory hierarchy of the socket.
@@ -85,10 +83,8 @@ impl MemoryHierarchy {
             CacheConfig::from_capacity("llc", cfg.llc_bytes, cfg.llc_ways),
             cfg.scheme.policy,
         );
-        let garibaldi =
-            cfg.scheme.garibaldi.clone().map(|g| GaribaldiModule::new(g, cfg.cores));
-        let profiler =
-            cfg.profile_reuse.then(|| ReuseProfiler::new(llc.config().sets));
+        let garibaldi = cfg.scheme.garibaldi.clone().map(|g| GaribaldiModule::new(g, cfg.cores));
+        let profiler = cfg.profile_reuse.then(|| ReuseProfiler::new(llc.config().sets));
         Self {
             l1i,
             l1d,
@@ -117,7 +113,13 @@ impl MemoryHierarchy {
     }
 
     /// Instruction fetch of `line` (physical) at `pc` from `core`.
-    pub fn access_instr(&mut self, core: CoreId, pc: VirtAddr, line: LineAddr, now: u64) -> AccessOutcome {
+    pub fn access_instr(
+        &mut self,
+        core: CoreId,
+        pc: VirtAddr,
+        line: LineAddr,
+        now: u64,
+    ) -> AccessOutcome {
         let sig = Self::sig(core, pc);
         let ctx = AccessCtx::instr(line, sig);
         let c = core.index();
@@ -354,10 +356,11 @@ impl MemoryHierarchy {
         let max_protects = g.qbs_max_attempts();
         let no_bypass = ctx.is_instr && g.would_protect(line);
         let mut queries = 0u32;
-        let out = self.llc.insert_with_guard_opts(line, ctx, dirty, max_protects, !no_bypass, |meta| {
-            queries += 1;
-            g.should_protect(meta.line)
-        });
+        let out =
+            self.llc.insert_with_guard_opts(line, ctx, dirty, max_protects, !no_bypass, |meta| {
+                queries += 1;
+                g.should_protect(meta.line)
+            });
         let qbs_lat = g.qbs_latency(queries);
         self.qbs_cycles += qbs_lat;
         if no_bypass && out.way.is_some() {

@@ -187,7 +187,12 @@ impl RunResult {
             acc.branch += s.branch;
         }
         let n = self.cores.len().max(1) as f64;
-        CpiStack { base: acc.base / n, ifetch: acc.ifetch / n, data: acc.data / n, branch: acc.branch / n }
+        CpiStack {
+            base: acc.base / n,
+            ifetch: acc.ifetch / n,
+            data: acc.data / n,
+            branch: acc.branch / n,
+        }
     }
 
     /// Total ifetch stall cycles across cores (Fig 13's metric).

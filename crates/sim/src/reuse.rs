@@ -21,7 +21,7 @@ const MAX_TRACKED_DISTANCE: usize = 512;
 pub struct DistanceHistogram {
     /// `buckets[d]` counts reuses at unique-line distance `d`.
     pub buckets: Vec<u64>,
-    /// Reuses whose distance exceeded [`MAX_TRACKED_DISTANCE`].
+    /// Reuses whose distance exceeded `MAX_TRACKED_DISTANCE`.
     pub overflow: u64,
     /// First-touch accesses (no previous access to the line).
     pub cold: u64,
@@ -45,19 +45,14 @@ impl DistanceHistogram {
     }
 
     /// Mean reuse distance; overflow reuses count as
-    /// [`MAX_TRACKED_DISTANCE`] (a lower bound, as in the paper's "beyond
+    /// `MAX_TRACKED_DISTANCE` (a lower bound, as in the paper's "beyond
     /// associativity" reading).
     pub fn mean(&self) -> f64 {
         let n = self.reuses();
         if n == 0 {
             return 0.0;
         }
-        let sum: u64 = self
-            .buckets
-            .iter()
-            .enumerate()
-            .map(|(d, &c)| d as u64 * c)
-            .sum::<u64>()
+        let sum: u64 = self.buckets.iter().enumerate().map(|(d, &c)| d as u64 * c).sum::<u64>()
             + self.overflow * MAX_TRACKED_DISTANCE as u64;
         sum as f64 / n as f64
     }
@@ -137,12 +132,10 @@ impl ReuseProfiler {
                 hist.record(pos);
                 state.stack.remove(pos);
             }
-            None => {
-                match kind {
-                    AccessKind::Instr => self.instr.cold += 1,
-                    AccessKind::Data => self.data.cold += 1,
-                }
-            }
+            None => match kind {
+                AccessKind::Instr => self.instr.cold += 1,
+                AccessKind::Data => self.data.cold += 1,
+            },
         }
         state.stack.insert(0, (key, kind));
         if state.stack.len() > MAX_TRACKED_DISTANCE + 1 {

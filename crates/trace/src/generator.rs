@@ -37,13 +37,24 @@ impl<'p> TraceGenerator<'p> {
     /// Creates a walk over `program` seeded with `seed` (normally the core
     /// id mixed with the experiment seed, so sibling cores diverge).
     pub fn new(program: &'p SyntheticProgram, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x2545_f491_4f6c_dd1d);
+        let mut rng = SmallRng::seed_from_u64(
+            seed.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x2545_f491_4f6c_dd1d,
+        );
         let func = program.func_zipf().sample(&mut rng);
         let iters_left = draw_iters(program, &mut rng);
         // Stagger the cold-stream start per walk so homogeneous cores do not
         // touch identical cold addresses in lock-step.
         let cold_cursor = rng.gen_range(0..program.profile().cold_data_lines);
-        Self { program, rng, func, line_in_func: 0, iters_left, cold_cursor, cold_salt: 0, emitted: 0 }
+        Self {
+            program,
+            rng,
+            func,
+            line_in_func: 0,
+            iters_left,
+            cold_cursor,
+            cold_salt: 0,
+            emitted: 0,
+        }
     }
 
     /// Offsets this walk's cold-region addresses into a private VA range.
@@ -199,8 +210,7 @@ mod tests {
     fn mean_data_refs_tracks_profile() {
         let prog = program("tpcc");
         let n = 40_000;
-        let total: usize =
-            TraceGenerator::new(&prog, 5).take(n).map(|r| r.data_refs().len()).sum();
+        let total: usize = TraceGenerator::new(&prog, 5).take(n).map(|r| r.data_refs().len()).sum();
         let mean = total as f64 / n as f64;
         let want = prog.profile().data_refs_per_line;
         assert!((mean - want).abs() < 0.05, "want≈{want}, got {mean}");

@@ -155,8 +155,7 @@ mod tests {
     #[test]
     fn server_footprints_exceed_spec() {
         let avg = |class: WorkloadClass| {
-            let v: Vec<_> =
-                registry::all_workloads().iter().filter(|p| p.class == class).collect();
+            let v: Vec<_> = registry::all_workloads().iter().filter(|p| p.class == class).collect();
             v.iter().map(|p| p.instr_footprint_bytes()).sum::<u64>() / v.len() as u64
         };
         // Server instruction footprints are an order of magnitude larger:

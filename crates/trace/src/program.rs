@@ -169,8 +169,7 @@ impl SyntheticProgram {
         if self.behaviors.is_empty() {
             return 0.0;
         }
-        let hot =
-            self.behaviors.iter().filter(|b| matches!(b, LineBehavior::Hot { .. })).count();
+        let hot = self.behaviors.iter().filter(|b| matches!(b, LineBehavior::Hot { .. })).count();
         hot as f64 / self.behaviors.len() as f64
     }
 }

@@ -37,8 +37,7 @@ pub const SERVER_NAMES: [&str; 16] = [
 ];
 
 /// SPEC comparator workload names (Fig 1 top, Fig 3, Fig 15a mixtures).
-pub const SPEC_NAMES: [&str; 8] =
-    ["gcc", "gobmk", "bwaves", "lbm", "cam4", "wrf", "bzip2", "mcf"];
+pub const SPEC_NAMES: [&str; 8] = ["gcc", "gobmk", "bwaves", "lbm", "cam4", "wrf", "bzip2", "mcf"];
 
 #[allow(clippy::too_many_arguments)]
 fn mk(
@@ -82,20 +81,107 @@ fn build_all() -> Vec<WorkloadProfile> {
     vec![
         // ---- server (Table 3) -------------------------------------------
         mk("noop", Server, 900, 32, 0.70, 2, 18_000, 1.05, 40_000, 0.75, 0.55, 0.20, 5.0, false),
-        mk("smallbank", Server, 1_200, 36, 0.65, 2, 22_000, 1.05, 60_000, 0.70, 0.60, 0.25, 6.0, false),
+        mk(
+            "smallbank",
+            Server,
+            1_200,
+            36,
+            0.65,
+            2,
+            22_000,
+            1.05,
+            60_000,
+            0.70,
+            0.60,
+            0.25,
+            6.0,
+            false,
+        ),
         mk("tpcc", Server, 1_700, 40, 0.55, 1, 30_000, 1.00, 250_000, 0.60, 0.80, 0.30, 7.5, false),
         mk("voter", Server, 1_100, 32, 0.65, 2, 20_000, 1.05, 50_000, 0.72, 0.55, 0.28, 6.0, false),
-        mk("sibench", Server, 1_000, 36, 0.60, 2, 20_000, 1.05, 80_000, 0.68, 0.60, 0.22, 6.5, false),
+        mk(
+            "sibench", Server, 1_000, 36, 0.60, 2, 20_000, 1.05, 80_000, 0.68, 0.60, 0.22, 6.5,
+            false,
+        ),
         mk("tatp", Server, 1_300, 36, 0.60, 1, 24_000, 1.00, 120_000, 0.62, 0.65, 0.25, 7.0, false),
-        mk("twitter", Server, 1_500, 40, 0.55, 1, 28_000, 1.00, 180_000, 0.60, 0.70, 0.25, 7.5, false),
+        mk(
+            "twitter", Server, 1_500, 40, 0.55, 1, 28_000, 1.00, 180_000, 0.60, 0.70, 0.25, 7.5,
+            false,
+        ),
         mk("ycsb", Server, 1_400, 36, 0.55, 1, 32_000, 0.90, 400_000, 0.55, 0.75, 0.30, 7.0, false),
-        mk("cassandra", Server, 1_800, 40, 0.50, 1, 36_000, 0.95, 300_000, 0.50, 0.75, 0.28, 8.0, false),
+        mk(
+            "cassandra",
+            Server,
+            1_800,
+            40,
+            0.50,
+            1,
+            36_000,
+            0.95,
+            300_000,
+            0.50,
+            0.75,
+            0.28,
+            8.0,
+            false,
+        ),
         mk("dotty", Server, 1_600, 44, 0.60, 1, 26_000, 1.05, 90_000, 0.65, 0.60, 0.18, 8.5, false),
-        mk("finagle-http", Server, 1_600, 40, 0.50, 1, 22_000, 1.10, 60_000, 0.70, 0.55, 0.20, 7.5, false),
-        mk("kafka", Server, 2_400, 44, 0.35, 1, 120_000, 0.40, 1_500_000, 0.20, 0.80, 0.30, 9.0, false),
-        mk("speedometer2.0", Server, 1_700, 40, 0.55, 1, 30_000, 1.00, 150_000, 0.55, 0.65, 0.22, 8.0, false),
-        mk("tomcat", Server, 1_600, 40, 0.55, 1, 28_000, 1.00, 120_000, 0.60, 0.65, 0.25, 7.5, false),
-        mk("verilator", Server, 1_500, 48, 0.55, 1, 20_000, 1.15, 40_000, 0.85, 0.65, 0.20, 4.0, false),
+        mk(
+            "finagle-http",
+            Server,
+            1_600,
+            40,
+            0.50,
+            1,
+            22_000,
+            1.10,
+            60_000,
+            0.70,
+            0.55,
+            0.20,
+            7.5,
+            false,
+        ),
+        mk(
+            "kafka", Server, 2_400, 44, 0.35, 1, 120_000, 0.40, 1_500_000, 0.20, 0.80, 0.30, 9.0,
+            false,
+        ),
+        mk(
+            "speedometer2.0",
+            Server,
+            1_700,
+            40,
+            0.55,
+            1,
+            30_000,
+            1.00,
+            150_000,
+            0.55,
+            0.65,
+            0.22,
+            8.0,
+            false,
+        ),
+        mk(
+            "tomcat", Server, 1_600, 40, 0.55, 1, 28_000, 1.00, 120_000, 0.60, 0.65, 0.25, 7.5,
+            false,
+        ),
+        mk(
+            "verilator",
+            Server,
+            1_500,
+            48,
+            0.55,
+            1,
+            20_000,
+            1.15,
+            40_000,
+            0.85,
+            0.65,
+            0.20,
+            4.0,
+            false,
+        ),
         mk("xalan", Server, 1_200, 36, 1.00, 3, 24_000, 1.05, 100_000, 0.60, 0.65, 0.20, 6.0, true),
         // ---- SPEC comparators -------------------------------------------
         mk("gcc", Spec, 160, 24, 1.40, 10, 40_000, 0.90, 600_000, 0.50, 1.00, 0.30, 9.0, false),
@@ -166,8 +252,7 @@ mod tests {
     #[test]
     fn xalan_is_the_correlated_exception() {
         assert!(by_name("xalan").unwrap().correlate_hot);
-        let others =
-            server_workloads().iter().filter(|p| p.correlate_hot).count();
+        let others = server_workloads().iter().filter(|p| p.correlate_hot).count();
         assert_eq!(others, 1, "only xalan correlates hot data with hot instructions");
     }
 }

@@ -3,10 +3,10 @@
 //! Generated traces are normally streamed straight into the simulator, but
 //! the harness can also dump a segment to disk (for debugging or replaying
 //! identical streams across policy configurations) using a small fixed
-//! binary layout built on the `bytes` crate.
+//! big-endian binary layout: a [`MAGIC`] word, a record count, then one
+//! variable-length record per entry.
 
 use crate::record::{TraceRecord, MAX_DATA_REFS};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use garibaldi_types::{RwKind, VirtAddr};
 
 /// Magic bytes identifying a Garibaldi trace segment ("GRB1").
@@ -36,21 +36,46 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Encodes a trace segment into a byte buffer.
-pub fn encode(records: &[TraceRecord]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + records.len() * 24);
-    buf.put_u32(MAGIC);
-    buf.put_u64(records.len() as u64);
+pub fn encode(records: &[TraceRecord]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + records.len() * 24);
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&(records.len() as u64).to_be_bytes());
     for r in records {
-        buf.put_u64(r.pc.get());
-        buf.put_u8(r.instrs);
-        buf.put_u8(r.n_data);
-        buf.put_u8(r.mispredict as u8);
+        buf.extend_from_slice(&r.pc.get().to_be_bytes());
+        buf.push(r.instrs);
+        buf.push(r.n_data);
+        buf.push(r.mispredict as u8);
         for d in r.data_refs() {
-            buf.put_u64(d.va.get());
-            buf.put_u8(d.rw.is_write() as u8);
+            buf.extend_from_slice(&d.va.get().to_be_bytes());
+            buf.push(d.rw.is_write() as u8);
         }
     }
-    buf.freeze()
+    buf
+}
+
+/// Big-endian cursor over a byte slice; `None` means the slice ran out.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let (head, rest) = self.buf.split_at_checked(N)?;
+        self.buf = rest;
+        Some(head.try_into().expect("split guarantees length"))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_be_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take::<8>().map(u64::from_be_bytes)
+    }
 }
 
 /// Decodes a segment produced by [`encode`].
@@ -59,35 +84,31 @@ pub fn encode(records: &[TraceRecord]) -> Bytes {
 ///
 /// Returns [`DecodeError`] on magic mismatch, truncation, or an impossible
 /// per-record data-reference count.
-pub fn decode(mut buf: impl Buf) -> Result<Vec<TraceRecord>, DecodeError> {
-    if buf.remaining() < 12 {
-        return Err(DecodeError::Truncated);
-    }
-    let magic = buf.get_u32();
+pub fn decode(buf: impl AsRef<[u8]>) -> Result<Vec<TraceRecord>, DecodeError> {
+    let mut r = Reader { buf: buf.as_ref() };
+    let magic = r.u32().ok_or(DecodeError::Truncated)?;
     if magic != MAGIC {
         return Err(DecodeError::BadMagic(magic));
     }
-    let n = buf.get_u64() as usize;
+    let n = r.u64().ok_or(DecodeError::Truncated)? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 24));
     for _ in 0..n {
-        if buf.remaining() < 11 {
-            return Err(DecodeError::Truncated);
-        }
-        let pc = VirtAddr::new(buf.get_u64());
-        let instrs = buf.get_u8();
-        let n_data = buf.get_u8();
-        let mispredict = buf.get_u8() != 0;
+        let pc = VirtAddr::new(r.u64().ok_or(DecodeError::Truncated)?);
+        let instrs = r.u8().ok_or(DecodeError::Truncated)?;
+        let n_data = r.u8().ok_or(DecodeError::Truncated)?;
+        let mispredict = r.u8().ok_or(DecodeError::Truncated)? != 0;
         if n_data as usize > MAX_DATA_REFS {
             return Err(DecodeError::BadRecord);
         }
         let mut rec = TraceRecord::fetch_only(pc, instrs);
         rec.mispredict = mispredict;
         for _ in 0..n_data {
-            if buf.remaining() < 9 {
-                return Err(DecodeError::Truncated);
-            }
-            let va = VirtAddr::new(buf.get_u64());
-            let rw = if buf.get_u8() != 0 { RwKind::Write } else { RwKind::Read };
+            let va = VirtAddr::new(r.u64().ok_or(DecodeError::Truncated)?);
+            let rw = if r.u8().ok_or(DecodeError::Truncated)? != 0 {
+                RwKind::Write
+            } else {
+                RwKind::Read
+            };
             rec.push_data(va, rw);
         }
         out.push(rec);
@@ -111,10 +132,10 @@ mod tests {
 
     #[test]
     fn bad_magic_detected() {
-        let mut b = BytesMut::new();
-        b.put_u32(0xdead_beef);
-        b.put_u64(0);
-        assert_eq!(decode(b.freeze()), Err(DecodeError::BadMagic(0xdead_beef)));
+        let mut b = Vec::new();
+        b.extend_from_slice(&0xdead_beefu32.to_be_bytes());
+        b.extend_from_slice(&0u64.to_be_bytes());
+        assert_eq!(decode(b), Err(DecodeError::BadMagic(0xdead_beef)));
     }
 
     #[test]
@@ -122,7 +143,7 @@ mod tests {
         let prog = SyntheticProgram::build(registry::by_name("noop").unwrap(), 1);
         let records: Vec<_> = TraceGenerator::new(&prog, 2).take(10).collect();
         let bytes = encode(&records);
-        let cut = bytes.slice(0..bytes.len() - 3);
+        let cut = &bytes[..bytes.len() - 3];
         assert_eq!(decode(cut), Err(DecodeError::Truncated));
     }
 

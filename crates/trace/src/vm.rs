@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn offset_preserved_through_translation() {
         let mut asp = AddressSpace::new(3);
-        let pa = asp.translate(VirtAddr::new(0xdead_bc0));
-        assert_eq!(pa.page_offset(), 0xdead_bc0 % 4096);
+        let pa = asp.translate(VirtAddr::new(0x0dea_dbc0));
+        assert_eq!(pa.page_offset(), 0x0dea_dbc0 % 4096);
     }
 }

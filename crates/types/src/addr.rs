@@ -22,7 +22,9 @@ pub const PHYS_ADDR_BITS: u32 = 44;
 /// Virtual addresses are full 64-bit values; only the workload generator and
 /// the per-core page mappers deal in them. Everything at the LLC level is
 /// physically addressed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtAddr(u64);
 
 impl VirtAddr {
@@ -65,7 +67,9 @@ impl fmt::LowerHex for VirtAddr {
 }
 
 /// A physical byte address, at most [`PHYS_ADDR_BITS`] wide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -107,7 +111,9 @@ impl fmt::LowerHex for PhysAddr {
 }
 
 /// A physical cache-line number (physical byte address / 64).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -158,7 +164,9 @@ impl fmt::LowerHex for LineAddr {
 }
 
 /// A page number, virtual (VPN) or physical (PPN) depending on context.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PageNum(u64);
 
 impl PageNum {
@@ -216,7 +224,7 @@ mod tests {
     #[test]
     fn virt_page_offset_matches_fig8_example() {
         // Fig 8: PC 0xff..f3cd19c00 has page offset 0xc00.
-        let pc = VirtAddr::new(0xffff_fff3_cd19_c00);
+        let pc = VirtAddr::new(0x0fff_ffff_3cd1_9c00);
         assert_eq!(pc.page_offset(), 0xc00);
         assert_eq!(pc.line_page_offset(), 0xc00);
     }
@@ -225,10 +233,10 @@ mod tests {
     fn helper_table_deduction_example() {
         // Fig 8: helper table maps VPN 0xff..f3cd19 -> PPN 0x0d1ab916; data
         // access with PC page offset 0xc00 deduces IL_PA 0x0d1ab916c00.
-        let pc = VirtAddr::new(0xffff_fff3_cd19_c00);
+        let pc = VirtAddr::new(0x0fff_ffff_3cd1_9c00);
         let i_ppn = PageNum::new(0x0d1a_b916);
         let il = LineAddr::from_page_parts(i_ppn, pc.line_page_offset() / LINE_BYTES);
-        assert_eq!(il.byte_addr().get(), 0x0d1a_b916_c00);
+        assert_eq!(il.byte_addr().get(), 0x00d1_ab91_6c00);
     }
 
     #[test]

@@ -4,7 +4,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a core in the modeled socket (0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CoreId(u16);
 
 impl CoreId {
@@ -36,7 +38,9 @@ impl fmt::Display for CoreId {
 /// A hardware thread identifier. The modeled machine runs one thread per
 /// core, so this mirrors [`CoreId`], but the PMU in §5.2 tracks recent
 /// instruction-miss PCs *per thread*, so the distinction is kept in the API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ThreadId(u16);
 
 impl ThreadId {

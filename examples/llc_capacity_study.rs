@@ -29,8 +29,9 @@ fn main() {
         ] {
             let mut cfg = SystemConfig::scaled(&scale, scheme);
             cfg.llc_bytes = (cfg.llc_bytes as f64 * factor) as u64 / 4096 * 4096;
-            let r = SimRunner::new(cfg.clone(), WorkloadMix::homogeneous(&workload, scale.cores), 42)
-                .run(scale.records_per_core, scale.warmup_per_core);
+            let r =
+                SimRunner::new(cfg.clone(), WorkloadMix::homogeneous(&workload, scale.cores), 42)
+                    .run(scale.records_per_core, scale.warmup_per_core);
             ipcs.push((cfg.llc_bytes, r.harmonic_mean_ipc()));
         }
         println!(

@@ -14,15 +14,19 @@ fn main() {
 
     // Instruction line C at PC 0xff..f3cd19c00 (the paper's Fig 8 example),
     // mapped to physical frame 0x0d1ab916.
-    let pc = VirtAddr::new(0xffff_fff3_cd19_c00);
-    let il = LineAddr::from_page_parts(PageNum::new(0x0d1a_b916), pc.line_page_offset() / LINE_BYTES);
+    let pc = VirtAddr::new(0x0fff_ffff_3cd1_9c00);
+    let il =
+        LineAddr::from_page_parts(PageNum::new(0x0d1a_b916), pc.line_page_offset() / LINE_BYTES);
     // Data lines A and B that C's instructions touch.
-    let data_a = LineAddr::new(0xdeed_beef_000 >> 6);
-    let data_b = LineAddr::new((0xdeed_beef_000 >> 6) + 1);
+    let data_a = LineAddr::new(0x0dee_dbee_f000 >> 6);
+    let data_b = LineAddr::new((0x0dee_dbee_f000 >> 6) + 1);
 
     println!("1. instruction access teaches the helper table (PC→I-PPN):");
     g.on_instr_access(core, pc, il, /*hit=*/ false, /*demand=*/ true);
-    println!("   helper hit rate so far: {:.2} (first lookup happens on data access)\n", g.helper_hit_rate());
+    println!(
+        "   helper hit rate so far: {:.2} (first lookup happens on data access)\n",
+        g.helper_hit_rate()
+    );
 
     println!("2. hot data accesses (LLC hits) raise C's miss cost:");
     for i in 0..10 {
@@ -46,9 +50,13 @@ fn main() {
         LineAddr::from_page_parts(cold_il.ppn(), cold_pc.line_page_offset() / LINE_BYTES);
     println!("   protect cold pair? {}", g.should_protect(cold_il_deduced));
     let prefetches = g.on_instr_access(core, cold_pc, cold_il_deduced, /*hit=*/ false, true);
-    println!("   pairwise prefetch on its next miss: {prefetches:?} (the recorded cold data line)\n");
+    println!(
+        "   pairwise prefetch on its next miss: {prefetches:?} (the recorded cold data line)\n"
+    );
 
     let s = g.stats();
-    println!("module stats: pair_updates={} protections={} declines={} prefetches={}",
-        s.pair_updates, s.protections, s.declines, s.prefetches_issued);
+    println!(
+        "module stats: pair_updates={} protections={} declines={} prefetches={}",
+        s.pair_updates, s.protections, s.declines, s.prefetches_issued
+    );
 }

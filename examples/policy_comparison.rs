@@ -23,11 +23,8 @@ fn main() {
 
     for kind in PolicyKind::ALL {
         for garibaldi in [false, true] {
-            let scheme = if garibaldi {
-                LlcScheme::with_garibaldi(kind)
-            } else {
-                LlcScheme::plain(kind)
-            };
+            let scheme =
+                if garibaldi { LlcScheme::with_garibaldi(kind) } else { LlcScheme::plain(kind) };
             let r = run_homogeneous(&scale, scheme.clone(), &workload, 11);
             println!(
                 "{:<24} {:>8.4} {:>9.1}% {:>10.3}",

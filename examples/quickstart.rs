@@ -12,7 +12,10 @@ fn main() {
     let scale = ExperimentScale::smoke();
     let workload = "tpcc";
 
-    println!("running '{workload}' on {} cores ({} records/core)...", scale.cores, scale.records_per_core);
+    println!(
+        "running '{workload}' on {} cores ({} records/core)...",
+        scale.cores, scale.records_per_core
+    );
 
     for scheme in [
         LlcScheme::plain(PolicyKind::Lru),

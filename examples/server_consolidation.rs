@@ -26,8 +26,7 @@ fn main() {
         if scheme.label() == "LRU" {
             baseline_sum = sum;
         }
-        let worst =
-            r.cores.iter().map(|c| c.ipc).fold(f64::INFINITY, f64::min);
+        let worst = r.cores.iter().map(|c| c.ipc).fold(f64::INFINITY, f64::min);
         println!(
             "{:<22} throughput(sum IPC)={:.3} ({:+.1}% vs LRU)  slowest core IPC={:.3}",
             scheme.label(),

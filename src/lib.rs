@@ -1,0 +1,40 @@
+//! Reproduction of **Garibaldi: A Pairwise Instruction-Data Management for
+//! Enhancing Shared Last-Level Cache Performance in Server Workloads**
+//! (ISCA'25).
+//!
+//! This thin root crate is the documentation front door and the owner of
+//! the workspace-level integration tests (`tests/`) and runnable examples
+//! (`examples/`). The actual functionality lives in the layered crates it
+//! re-exports:
+//!
+//! * [`types`] — address arithmetic, access descriptors, id newtypes
+//! * [`cache`] — set-associative caches, replacement policies, prefetchers
+//! * [`mem`] — DDR5-like channel timing model
+//! * [`trace`] — synthetic server/SPEC workload models and trace generation
+//! * [`garibaldi`] — the paper's mechanism: pair table, QBS protection,
+//!   pairwise prefetch, coloring-timer threshold adaptation
+//! * [`sim`] — the assembled multi-core hierarchy and experiment drivers
+//!
+//! See `README.md` for the quickstart and `docs/ARCHITECTURE.md` for how
+//! the mechanism maps onto the code.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use garibaldi_repro::sim::{ExperimentScale, LlcScheme, SimRunner, SystemConfig};
+//! use garibaldi_repro::trace::WorkloadMix;
+//!
+//! let scale = ExperimentScale::smoke();
+//! let cfg = SystemConfig::scaled(&scale, LlcScheme::mockingjay_garibaldi());
+//! let runner = SimRunner::new(cfg, WorkloadMix::homogeneous("tpcc", scale.cores), 42);
+//! println!("IPC = {:.3}", runner.run(scale.records_per_core, scale.warmup_per_core).aggregate_ipc());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use garibaldi;
+pub use garibaldi_cache as cache;
+pub use garibaldi_mem as mem;
+pub use garibaldi_sim as sim;
+pub use garibaldi_trace as trace;
+pub use garibaldi_types as types;

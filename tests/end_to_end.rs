@@ -60,9 +60,8 @@ fn heterogeneous_mix_runs_and_reports_per_core_workloads() {
     use garibaldi_trace::WorkloadMix;
     let s = scale();
     let cfg = SystemConfig::scaled(&s, LlcScheme::mockingjay_garibaldi());
-    let mix = WorkloadMix {
-        slots: vec!["tpcc".into(), "gcc".into(), "verilator".into(), "lbm".into()],
-    };
+    let mix =
+        WorkloadMix { slots: vec!["tpcc".into(), "gcc".into(), "verilator".into(), "lbm".into()] };
     let r = SimRunner::new(cfg, mix, 9).run(s.records_per_core, s.warmup_per_core);
     assert_eq!(r.cores[0].workload, "tpcc");
     assert_eq!(r.cores[1].workload, "gcc");

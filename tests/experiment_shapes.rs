@@ -23,10 +23,7 @@ fn server_has_higher_llc_instruction_ratio_than_spec() {
     let spec = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "lbm", 42);
     let s = server.llc.instr_access_ratio();
     let p = spec.llc.instr_access_ratio();
-    assert!(
-        s > 5.0 * p.max(1e-6) && s > 0.02,
-        "Fig 3(b) shape: server {s:.4} vs SPEC {p:.4}"
-    );
+    assert!(s > 5.0 * p.max(1e-6) && s > 0.02, "Fig 3(b) shape: server {s:.4} vs SPEC {p:.4}");
 }
 
 #[test]
@@ -79,8 +76,8 @@ fn garibaldi_reduces_ifetch_stalls_on_server_aggregate() {
     let mut with_g = 0.0;
     let mut without = 0.0;
     for w in workloads {
-        without +=
-            run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42).total_ifetch_stall();
+        without += run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42)
+            .total_ifetch_stall();
         with_g += run_homogeneous(&scale(), LlcScheme::mockingjay_garibaldi(), w, 42)
             .total_ifetch_stall();
     }

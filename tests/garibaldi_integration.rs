@@ -23,10 +23,7 @@ fn pair_tracking_engages_on_server_workloads() {
     let g = r.garibaldi.unwrap();
     assert!(g.stats.pair_updates > 100, "pair table fed: {}", g.stats.pair_updates);
     assert!(g.helper_hit_rate > 0.3, "helper table deduces IL_PAs: {}", g.helper_hit_rate);
-    assert!(
-        g.stats.protections + g.stats.declines > 0,
-        "QBS queries happen during evictions"
-    );
+    assert!(g.stats.protections + g.stats.declines > 0, "QBS queries happen during evictions");
 }
 
 #[test]
@@ -49,8 +46,12 @@ fn all_protect_mode_reduces_llc_instruction_misses() {
 
 #[test]
 fn protection_reduces_ifetch_stalls_vs_prefetch_only() {
-    let protect =
-        run_homogeneous(&scale(), with_cfg(|g| g.threshold_mode = ThresholdMode::AllProtect), "verilator", 42);
+    let protect = run_homogeneous(
+        &scale(),
+        with_cfg(|g| g.threshold_mode = ThresholdMode::AllProtect),
+        "verilator",
+        42,
+    );
     let none = run_homogeneous(
         &scale(),
         with_cfg(|g| {
@@ -98,8 +99,18 @@ fn pairwise_prefetches_are_issued_and_some_are_useful() {
 
 #[test]
 fn fixed_thresholds_order_protection_aggressiveness() {
-    let low = run_homogeneous(&scale(), with_cfg(|g| g.threshold_mode = ThresholdMode::Fixed(-16)), "tpcc", 42);
-    let high = run_homogeneous(&scale(), with_cfg(|g| g.threshold_mode = ThresholdMode::Fixed(16)), "tpcc", 42);
+    let low = run_homogeneous(
+        &scale(),
+        with_cfg(|g| g.threshold_mode = ThresholdMode::Fixed(-16)),
+        "tpcc",
+        42,
+    );
+    let high = run_homogeneous(
+        &scale(),
+        with_cfg(|g| g.threshold_mode = ThresholdMode::Fixed(16)),
+        "tpcc",
+        42,
+    );
     let pl = low.garibaldi.unwrap().stats.protections;
     let ph = high.garibaldi.unwrap().stats.protections;
     assert!(pl >= ph, "lower threshold must protect at least as much: {pl} vs {ph}");

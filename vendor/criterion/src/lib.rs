@@ -1,0 +1,309 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its micro-benchmarks use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, then time a fixed
+//! wall-clock window and report mean ns/iteration (plus element throughput
+//! when declared). There is no statistical analysis, outlier rejection, or
+//! HTML report; swap the real criterion back in for those. Numbers printed
+//! here are for coarse regression tracking only.
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench_add(c: &mut Criterion) {
+//!     c.bench_function("add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+//! }
+//!
+//! criterion_group!(benches, bench_add);
+//! # fn main() {} // criterion_main!(benches) in a real bench target
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just a parameter value (named by the enclosing group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the workload.
+pub struct Bencher<'a> {
+    measure: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in a loop for the measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run for ~1/10 of the window to fault in caches and
+        // estimate per-iteration cost.
+        let warmup = self.measure / 10;
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measure in batches so Instant::now() stays off the hot path.
+        let per_iter = warmup.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        *self.result = Some(Sample { iters, elapsed: start.elapsed() });
+    }
+}
+
+/// Top-level harness state: filter and measurement settings.
+pub struct Criterion {
+    filter: Option<String>,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, measure: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line settings (`--bench`-style flags are ignored;
+    /// the first free argument becomes a substring filter).
+    pub fn configure_from_args(mut self) -> Self {
+        // Real-criterion flags that take a value; their value must not be
+        // mistaken for the positional benchmark filter.
+        const VALUE_FLAGS: &[&str] = &[
+            "--measurement-time",
+            "--warm-up-time",
+            "--sample-size",
+            "--save-baseline",
+            "--baseline",
+            "--baseline-lenient",
+            "--load-baseline",
+            "--significance-level",
+            "--noise-threshold",
+            "--confidence-level",
+            "--nresamples",
+            "--output-format",
+            "--color",
+            "--profile-time",
+        ];
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let (flag, inline_value) = match a.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (a.clone(), None),
+            };
+            match flag.as_str() {
+                "--measurement-time" => {
+                    let v = inline_value.or_else(|| args.next());
+                    if let Some(secs) = v.and_then(|v| v.parse::<f64>().ok()) {
+                        self.measure = Duration::from_secs_f64(secs.max(0.01));
+                    }
+                }
+                f if VALUE_FLAGS.contains(&f) => {
+                    // Accepted and ignored, but consume the value.
+                    if inline_value.is_none() {
+                        args.next();
+                    }
+                }
+                // Boolean flags cargo or users commonly pass, and anything
+                // else flag-shaped: accepted and ignored.
+                _ if flag.starts_with('-') => {}
+                _ => self.filter = Some(a),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut result = None;
+        f(&mut Bencher { measure: self.measure, result: &mut result });
+        match result {
+            Some(s) if s.iters > 0 => {
+                let ns = s.elapsed.as_nanos() as f64 / s.iters as f64;
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  ({:.1} Melem/s)", n as f64 * 1e3 / ns)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  ({:.1} MB/s)", n as f64 * 1e3 / ns)
+                    }
+                    None => String::new(),
+                };
+                println!("{id:<40} {ns:>12.1} ns/iter{rate}");
+            }
+            _ => println!("{id:<40} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares units processed per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes work by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut c = Criterion { filter: None, measure: Duration::from_millis(10) };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c =
+            Criterion { filter: Some("only_this".into()), measure: Duration::from_millis(10) };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| 1u64);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("lru").id, "lru");
+    }
+}

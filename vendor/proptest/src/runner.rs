@@ -1,0 +1,69 @@
+//! The per-property case loop.
+
+use crate::TestCaseError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Default number of cases per property (override with `PROPTEST_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` over `PROPTEST_CASES` sampled inputs.
+///
+/// Each case gets a fresh RNG seeded from the test name and case number, so
+/// every run of the suite exercises the same inputs and any reported
+/// failure replays deterministically.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when too many consecutive cases are
+/// rejected by `prop_assume!`.
+pub fn run<F>(name: &str, body: F)
+where
+    F: Fn(&mut SmallRng) -> Result<(), TestCaseError>,
+{
+    let cases = cases_from_env();
+    let base = fnv1a(name);
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    let mut ran = 0u32;
+    let mut rejected = 0u32;
+    let mut serial = 0u64;
+    while ran < cases {
+        let seed = base ^ serial.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        serial += 1;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: gave up after {rejected} prop_assume! rejections \
+                     ({ran}/{cases} cases ran)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed on case {ran} (seed {seed:#x}): {msg}\n\
+                     (re-run reproduces this case; set PROPTEST_CASES to widen the search)"
+                );
+            }
+        }
+    }
+}

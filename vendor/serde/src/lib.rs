@@ -1,0 +1,29 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a façade exposing the two names the codebase imports:
+//! [`Serialize`] and [`Deserialize`], each as a marker trait *and* as a
+//! no-op derive macro (mirroring the real crate's `derive` feature, where
+//! one `use serde::Serialize;` pulls in both the trait and the macro).
+//!
+//! The derives expand to nothing, so the marker traits are never actually
+//! implemented — fine for this workspace, which derives them on config and
+//! stats types for forward compatibility but never serializes. Replacing
+//! this crate with the real `serde` (same package name, same import paths)
+//! activates full serialization without touching any source file.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+///
+/// The vendored derive does not implement it; it exists so that imports
+/// and trait bounds written against the real crate keep resolving.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+///
+/// The real trait carries a deserializer lifetime; the façade keeps it so
+/// bound syntax like `T: Deserialize<'de>` stays valid.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the smallest possible façade: `#[derive(Serialize, Deserialize)]`
+//! is accepted (including `#[serde(...)]` field attributes) but expands to
+//! nothing. No trait impls are generated — which is sufficient for this
+//! workspace, where the derives only mark types as serialization-ready and
+//! no code path serializes. Swap in the real `serde`/`serde_derive` from
+//! crates.io to activate them; no source change is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

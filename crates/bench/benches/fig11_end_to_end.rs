@@ -4,6 +4,9 @@
 //! Mockingjay+Garibaldi's speedup (the paper's S-curve).
 //!
 //! `GARIBALDI_MIXES` overrides the mix count (default 20 scaled; paper: 60).
+//!
+//! Runs checkpoint through `fig11_end_to_end.jsonl` in the results dir:
+//! an interrupted sweep resumes with only the missing (mix, scheme) cells.
 
 use garibaldi_bench::*;
 use garibaldi_cache::PolicyKind;
@@ -23,19 +26,34 @@ fn main() {
         LlcScheme::mockingjay_garibaldi(),
     ];
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = Vec::new();
-    for mix in &mixes {
+    let engine = engine_tag();
+    let mut jobs: Vec<(String, Box<dyn FnOnce() -> RunResult + Send>)> = Vec::new();
+    for (m, mix) in mixes.iter().enumerate() {
         for scheme in &schemes {
             let mix = mix.clone();
             let scheme = scheme.clone();
-            jobs.push(Box::new(move || {
-                // IPC throughput normalization happens against the LRU run
-                // of the same mix, so per-workload single-core IPCs cancel.
-                run_mix(&scale, scheme, &mix, 42).ipc_sum()
-            }));
+            let key = format!(
+                "fig11/{engine}/c{}r{}f{}/mix{m}/{}",
+                scale.cores,
+                scale.records_per_core,
+                scale.factor,
+                scheme.label()
+            );
+            jobs.push((
+                key,
+                Box::new(move || {
+                    // IPC throughput normalization happens against the LRU
+                    // run of the same mix, so per-workload single-core IPCs
+                    // cancel.
+                    run_mix(&scale, scheme, &mix, 42)
+                }),
+            ));
         }
     }
-    let flat = parallel_runs(jobs);
+    let flat: Vec<f64> = parallel_runs_checkpointed("fig11_end_to_end.jsonl", jobs)
+        .iter()
+        .map(|r| r.ipc_sum())
+        .collect();
 
     // Rows: one per mix, normalized to its LRU run.
     let mut rows_raw: Vec<[f64; 4]> = Vec::new();

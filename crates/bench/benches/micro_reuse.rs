@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark guarding the reuse profiler's access cost.
+//!
+//! `profile_reuse = true` runs route every sampled LLC access through the
+//! profiler, so its per-access cost directly scales end-to-end wall-clock.
+//! The original recency stack paid an O(depth) `Vec::position` scan per
+//! access; the epoch-counter + Fenwick structure is O(log w). The deep
+//! working-set case is the guard: with ~400 distinct lines per set the old
+//! scan averaged hundreds of probes per access.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use garibaldi_sim::ReuseProfiler;
+use garibaldi_types::{AccessKind, LineAddr};
+use std::hint::black_box;
+
+fn bench_reuse(c: &mut Criterion) {
+    // One set so every access is sampled and lands in one tracker.
+    c.bench_function("reuse_access_shallow", |b| {
+        let mut p = ReuseProfiler::new(1);
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            // 16-line working set: constant reuse at small distances.
+            p.on_access(LineAddr::new((i % 16) * 8), AccessKind::Data, i % 7);
+            black_box(p.data_hist().reuses())
+        });
+    });
+    c.bench_function("reuse_access_deep", |b| {
+        let mut p = ReuseProfiler::new(1);
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            // ~400 distinct lines: the old stack scanned ~400 entries here.
+            p.on_access(LineAddr::new((i % 400) * 8), AccessKind::Data, i % 7);
+            black_box(p.data_hist().reuses())
+        });
+    });
+    c.bench_function("reuse_access_mixed_kinds", |b| {
+        let mut p = ReuseProfiler::new(1);
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let kind = if i % 3 == 0 { AccessKind::Instr } else { AccessKind::Data };
+            p.on_access(LineAddr::new((i % 100) * 8), kind, i % 11);
+            if i % 64 == 0 {
+                p.on_evict(LineAddr::new((i % 100) * 8), false);
+            }
+            black_box(p.instr_hist().reuses())
+        });
+    });
+}
+
+criterion_group!(benches, bench_reuse);
+criterion_main!(benches);

@@ -18,7 +18,20 @@ use std::sync::Mutex;
 pub use garibaldi_sim::experiment::{
     geomean, ipc_single, run_homogeneous, run_mix, weighted_speedup,
 };
-pub use garibaldi_sim::{ExperimentScale, LlcScheme, RunResult, SystemConfig};
+pub use garibaldi_sim::{EngineConfig, ExperimentScale, LlcScheme, RunResult, SystemConfig};
+
+/// Identity of the simulation model the current environment selects —
+/// `"serial"` or `"sharded-s<shards>-e<epoch>"` when `GARIBALDI_WORKERS`
+/// reroutes runs through the epoch-sharded engine. Worker count is *not*
+/// part of the identity (it never changes results); shard count and epoch
+/// window are. Embed this in checkpoint keys so rows produced under
+/// different engines are never silently mixed.
+pub fn engine_tag() -> String {
+    match EngineConfig::from_env() {
+        None => "serial".to_string(),
+        Some(e) => format!("sharded-s{}-e{}", e.llc_shards, e.epoch_cycles),
+    }
+}
 
 /// Directory where harness CSVs are written (the workspace-level
 /// `target/garibaldi-results/`, regardless of the bench binary's CWD).
@@ -67,13 +80,34 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// Runs `jobs` closures in parallel (bounded by available cores) and
 /// returns their results in input order.
+///
+/// Reads `GARIBALDI_INNER_WORKERS` as the per-job inner parallelism (jobs
+/// that run the epoch-sharded engine with N workers each): the outer pool
+/// is divided by it so outer × inner never oversubscribes the host. Use
+/// [`parallel_runs_inner`] to pass the knob explicitly.
 pub fn parallel_runs<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    let inner =
+        std::env::var("GARIBALDI_INNER_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    parallel_runs_inner(jobs, inner)
+}
+
+/// [`parallel_runs`] with an explicit inner-parallelism divisor: with
+/// `inner_workers = k`, at most `available_parallelism / k` jobs run
+/// concurrently, so each job may itself use `k` threads (e.g.
+/// `SimRunner::run_parallel` with `EngineConfig::with_workers(k)`) without
+/// oversubscription.
+pub fn parallel_runs_inner<T, F>(jobs: Vec<F>, inner_workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n = jobs.len();
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers = (avail / inner_workers.max(1)).max(1).min(n.max(1));
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
     std::thread::scope(|scope| {
@@ -91,6 +125,63 @@ where
         }
     });
     results.into_inner().unwrap().into_iter().map(|r| r.expect("job ran")).collect()
+}
+
+/// Checkpoint-aware batch runner: runs the keyed jobs whose key is not yet
+/// in `target/garibaldi-results/<file>` (JSON lines, one run per line, see
+/// `garibaldi_sim::checkpoint`), appends each fresh result, and returns all
+/// results in input order. Interrupted sweeps resume where they stopped;
+/// delete the file to force a full re-run.
+pub fn parallel_runs_checkpointed<F>(file: &str, jobs: Vec<(String, F)>) -> Vec<RunResult>
+where
+    F: FnOnce() -> RunResult + Send,
+{
+    let path = out_dir().join(file);
+    let mut done = garibaldi_sim::checkpoint::load(&path);
+    let mut fresh: Vec<(String, F)> = Vec::new();
+    let mut slots: Vec<Result<RunResult, usize>> = Vec::new(); // Err(i) = fresh job i
+    for (key, job) in jobs {
+        match done.remove(&key) {
+            Some(r) => slots.push(Ok(r)),
+            None => {
+                slots.push(Err(fresh.len()));
+                fresh.push((key, job));
+            }
+        }
+    }
+    let cached = slots.iter().filter(|s| s.is_ok()).count();
+    if cached > 0 {
+        println!("[checkpoint] {} of {} runs loaded from {}", cached, slots.len(), path.display());
+    }
+    // Append each line as its job completes (under a lock — appends come
+    // from pool threads), so an interrupted sweep keeps everything that
+    // finished before the kill.
+    let sink = Mutex::new(());
+    let path_ref = &path;
+    let sink_ref = &sink;
+    let ran = parallel_runs(
+        fresh
+            .into_iter()
+            .map(|(key, f)| {
+                move || {
+                    let r = f();
+                    let _guard = sink_ref.lock().unwrap();
+                    if let Err(e) = garibaldi_sim::checkpoint::append(path_ref, &key, &r) {
+                        eprintln!("[checkpoint] cannot append to {}: {e}", path_ref.display());
+                    }
+                    r
+                }
+            })
+            .collect(),
+    );
+    let mut ran: Vec<Option<RunResult>> = ran.into_iter().map(Some).collect();
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Ok(r) => r,
+            Err(i) => ran[i].take().expect("fresh job ran once"),
+        })
+        .collect()
 }
 
 /// Formats a speedup as the paper's "speedup over LRU" delta (e.g. 0.132).
@@ -118,5 +209,50 @@ mod tests {
     fn speedup_math() {
         assert!((speedup_over(2.0, 2.2) - 1.1).abs() < 1e-12);
         assert_eq!(speedup_over(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn inner_parallelism_still_runs_everything_in_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..8usize).map(|i| Box::new(move || i + 1) as _).collect();
+        let out = parallel_runs_inner(jobs, 4);
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn checkpointed_runs_skip_completed_keys() {
+        use garibaldi_cache::PolicyKind;
+        use garibaldi_sim::{ExperimentScale, SimRunner};
+        use garibaldi_trace::WorkloadMix;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let file = "test_checkpoint_harness.jsonl";
+        let path = out_dir().join(file);
+        let _ = std::fs::remove_file(&path);
+
+        let run = || {
+            let scale = ExperimentScale::smoke();
+            let cfg = SystemConfig::scaled(&scale, LlcScheme::plain(PolicyKind::Lru));
+            SimRunner::new(cfg, WorkloadMix::homogeneous("noop", scale.cores), 5).run(400, 100)
+        };
+        let calls = AtomicUsize::new(0);
+        let jobs = |names: [&str; 2]| {
+            names
+                .into_iter()
+                .map(|k| {
+                    (k.to_string(), || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        run()
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let first = parallel_runs_checkpointed(file, jobs(["a", "b"]));
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "cold checkpoint runs everything");
+        let second = parallel_runs_checkpointed(file, jobs(["a", "b"]));
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "warm checkpoint runs nothing");
+        assert_eq!(first, second, "checkpointed results round-trip bit-identically");
+        let _ = std::fs::remove_file(&path);
     }
 }

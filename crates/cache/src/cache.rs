@@ -14,6 +14,26 @@ pub struct CacheConfig {
     pub sets: usize,
     /// Associativity.
     pub ways: usize,
+    /// Set-indexing scheme: whole cache (`line % sets`) or a shard view
+    /// owning a contiguous range of a larger cache's index space.
+    pub indexing: SetIndexing,
+}
+
+/// How a line address maps to a set of this cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetIndexing {
+    /// `set = line % sets` — the whole cache owns the index space.
+    Modulo,
+    /// This cache is one shard of a `modulus`-set cache and owns the
+    /// contiguous global sets `[base, base + sets)`; local set =
+    /// `(line % modulus) - base`. Callers must only present lines whose
+    /// global set falls in the owned range.
+    Shard {
+        /// Total sets of the sharded parent cache.
+        modulus: u64,
+        /// First global set owned by this shard.
+        base: u64,
+    },
 }
 
 impl CacheConfig {
@@ -24,7 +44,40 @@ impl CacheConfig {
     /// Panics if `sets` or `ways` is zero.
     pub fn new(name: impl Into<String>, sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "degenerate cache geometry");
-        Self { name: name.into(), sets, ways }
+        Self { name: name.into(), sets, ways, indexing: SetIndexing::Modulo }
+    }
+
+    /// Creates a shard view owning global sets `[base, base + sets)` of a
+    /// `modulus`-set cache (set-sharded LLC backends).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry or a range outside the parent cache.
+    pub fn shard(
+        name: impl Into<String>,
+        modulus: usize,
+        base: usize,
+        sets: usize,
+        ways: usize,
+    ) -> Self {
+        assert!(sets > 0 && ways > 0, "degenerate cache geometry");
+        assert!(base + sets <= modulus, "shard range exceeds parent sets");
+        Self {
+            name: name.into(),
+            sets,
+            ways,
+            indexing: SetIndexing::Shard { modulus: modulus as u64, base: base as u64 },
+        }
+    }
+
+    /// Global set index of `line` under this config's indexing (for shard
+    /// views this is the parent cache's set, not the local one).
+    #[inline]
+    pub fn global_set_of(&self, line: LineAddr) -> usize {
+        match self.indexing {
+            SetIndexing::Modulo => (line.get() % self.sets as u64) as usize,
+            SetIndexing::Shard { modulus, .. } => (line.get() % modulus) as usize,
+        }
     }
 
     /// Builds a config from a capacity in bytes and associativity.
@@ -118,10 +171,24 @@ impl SetAssocCache {
         self.policy.name()
     }
 
-    /// Set index of a line.
+    /// Set index of a line (local to this cache/shard).
+    ///
+    /// For shard views the caller must only present lines whose global set
+    /// falls in the owned range; this is debug-asserted.
     #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
-        (line.get() % self.config.sets as u64) as usize
+        match self.config.indexing {
+            SetIndexing::Modulo => (line.get() % self.config.sets as u64) as usize,
+            SetIndexing::Shard { modulus, base } => {
+                let global = line.get() % modulus;
+                debug_assert!(
+                    global >= base && global < base + self.config.sets as u64,
+                    "line {line:?} (global set {global}) outside shard [{base}, {})",
+                    base + self.config.sets as u64
+                );
+                (global - base) as usize
+            }
+        }
     }
 
     #[inline]
@@ -510,6 +577,22 @@ mod tests {
         let out = c.insert(LineAddr::new(1), &dctx(1), true);
         assert!(out.evicted.is_none());
         assert!(c.peek(LineAddr::new(1)).unwrap().dirty);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn shard_view_maps_global_sets_to_local_range() {
+        // Parent: 8 sets. Shard owns global sets [4, 8).
+        let mut c = SetAssocCache::new(CacheConfig::shard("llc.s1", 8, 4, 4, 2), PolicyKind::Lru);
+        // Line 12 → global set 4 → local set 0; line 15 → global 7 → local 3.
+        assert_eq!(c.set_of(LineAddr::new(12)), 0);
+        assert_eq!(c.set_of(LineAddr::new(15)), 3);
+        assert_eq!(c.config().global_set_of(LineAddr::new(12)), 4);
+        c.insert(LineAddr::new(12), &dctx(12), false);
+        assert!(c.access(&dctx(12), false));
+        // Lines 4 and 12 collide in the same local set (both global set 4).
+        c.insert(LineAddr::new(4), &dctx(4), false);
+        assert_eq!(c.set_of(LineAddr::new(4)), 0);
         assert_eq!(c.occupancy(), 2);
     }
 

@@ -39,7 +39,7 @@ pub mod prefetch;
 pub mod sat;
 pub mod stats;
 
-pub use cache::{AccessCtx, CacheConfig, EvictedLine, InsertOutcome, SetAssocCache};
+pub use cache::{AccessCtx, CacheConfig, EvictedLine, InsertOutcome, SetAssocCache, SetIndexing};
 pub use line::{LineMeta, MesiState};
 pub use mshr::MshrQueue;
 pub use opt::{simulate_opt, OptResult};

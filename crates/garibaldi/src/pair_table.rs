@@ -86,6 +86,18 @@ pub struct PairTableStats {
     pub declines: u64,
 }
 
+impl PairTableStats {
+    /// Accumulates counters from another slice of the table (shard merge).
+    pub fn merge(&mut self, other: &PairTableStats) {
+        self.update_hits += other.update_hits;
+        self.update_conflicts += other.update_conflicts;
+        self.replacements += other.replacements;
+        self.preservations += other.preservations;
+        self.protects += other.protects;
+        self.declines += other.declines;
+    }
+}
+
 /// The direct-mapped pair table.
 #[derive(Debug, Clone)]
 pub struct PairTable {
@@ -103,8 +115,19 @@ pub struct PairTable {
 impl PairTable {
     /// Builds the table from a module configuration.
     pub fn new(cfg: &GaribaldiConfig) -> Self {
+        Self::with_entries(cfg, cfg.pair_entries())
+    }
+
+    /// Builds a table with an explicit entry count (shard slices of the
+    /// module's pair table divide `cfg.pair_entries()` by the shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn with_entries(cfg: &GaribaldiConfig, entries: usize) -> Self {
+        assert!(entries > 0, "zero-entry pair table");
         Self {
-            entries: vec![PairEntry::empty(cfg.miss_cost_bits); cfg.pair_entries()],
+            entries: vec![PairEntry::empty(cfg.miss_cost_bits); entries],
             cost_bits: cfg.miss_cost_bits,
             init_cost: cfg.init_cost,
             k: cfg.k as usize,

@@ -16,6 +16,14 @@
 //!   --seed N                 experiment seed (default 42)
 //!   --oracle                 I-oracle mode (instructions hit after first touch)
 //!   --partition N            reserve N LLC ways for instruction lines
+//!   --workers N              run on the epoch-sharded parallel engine with
+//!                            N worker threads (0 = serial engine; default)
+//!   --shards N               LLC shard count for the parallel engine (8)
+//!   --epoch N                epoch window in cycles (20000)
+//!   --dump-trace PATH        write the per-core record streams to PATH and
+//!                            exit (replayable across schemes and engines)
+//!   --replay PATH            replay streams dumped with --dump-trace
+//!                            instead of generating traces
 //!   --list                   list available workloads and exit
 //! ```
 //!
@@ -24,8 +32,8 @@
 //! `    --workload verilator --policy mockingjay --garibaldi --cores 8`
 
 use garibaldi_cache::PolicyKind;
-use garibaldi_sim::{ExperimentScale, LlcScheme, SimRunner, SystemConfig};
-use garibaldi_trace::{registry, WorkloadMix};
+use garibaldi_sim::{EngineConfig, ExperimentScale, LlcScheme, SimRunner, SystemConfig};
+use garibaldi_trace::{registry, serial, WorkloadMix};
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
     Ok(match s.to_ascii_lowercase().as_str() {
@@ -52,9 +60,15 @@ struct Args {
     seed: u64,
     oracle: bool,
     partition: usize,
+    workers: usize,
+    shards: usize,
+    epoch: u64,
+    dump_trace: Option<String>,
+    replay: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = EngineConfig::default();
     let mut a = Args {
         workloads: vec!["tpcc".into()],
         policy: PolicyKind::Mockingjay,
@@ -66,6 +80,11 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         oracle: false,
         partition: 0,
+        workers: 0,
+        shards: defaults.llc_shards,
+        epoch: defaults.epoch_cycles,
+        dump_trace: None,
+        replay: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +104,11 @@ fn parse_args() -> Result<Args, String> {
             "--partition" => {
                 a.partition = val("--partition")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--workers" => a.workers = val("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--shards" => a.shards = val("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--epoch" => a.epoch = val("--epoch")?.parse().map_err(|e| format!("{e}"))?,
+            "--dump-trace" => a.dump_trace = Some(val("--dump-trace")?),
+            "--replay" => a.replay = Some(val("--replay")?),
             "--list" => {
                 println!("server workloads:");
                 for w in registry::server_workloads() {
@@ -145,15 +169,57 @@ fn main() {
         (0..args.cores).map(|i| args.workloads[i % args.workloads.len()].clone()).collect();
     let mix = WorkloadMix { slots };
 
+    let runner = SimRunner::new(cfg.clone(), mix, args.seed);
+
+    if let Some(path) = &args.dump_trace {
+        let total = args.records + args.warmup;
+        eprintln!("dumping {} streams × {total} records to {path} …", args.cores);
+        let streams = runner.generate_streams(total);
+        let bytes = serial::encode_multi(&streams);
+        std::fs::write(path, &bytes).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[wrote {} bytes]", bytes.len());
+        return;
+    }
+
+    let eng = EngineConfig {
+        workers: args.workers.max(1),
+        epoch_cycles: args.epoch,
+        llc_shards: args.shards,
+    };
+    let replay_streams = args.replay.as_ref().map(|path| {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        serial::decode_multi(&bytes).unwrap_or_else(|e| {
+            eprintln!("error: bad trace file {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
     eprintln!(
-        "simulating {} cores, {} + {} records/core, scheme {} …",
+        "simulating {} cores, {} + {} records/core, scheme {}{} …",
         args.cores,
         args.warmup,
         args.records,
-        cfg.scheme.label()
+        cfg.scheme.label(),
+        if args.workers > 0 {
+            format!(" [parallel engine: {} workers, {} shards]", eng.workers, eng.llc_shards)
+        } else {
+            String::new()
+        }
     );
     let t0 = std::time::Instant::now();
-    let r = SimRunner::new(cfg, mix, args.seed).run(args.records, args.warmup);
+    let r = match (&replay_streams, args.workers > 0) {
+        // Replay always goes through the (deterministic) parallel engine;
+        // --workers only changes wall-clock, never the result.
+        (Some(streams), _) => runner.run_parallel_replay(streams, args.records, args.warmup, &eng),
+        (None, true) => runner.run_parallel(args.records, args.warmup, &eng),
+        (None, false) => runner.run(args.records, args.warmup),
+    };
     let dt = t0.elapsed();
 
     println!("\nscheme: {}", r.scheme);

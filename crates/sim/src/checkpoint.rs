@@ -1,0 +1,601 @@
+//! JSON-lines run checkpoints: one line per completed run.
+//!
+//! The `#[serde(skip)]` markers in [`crate::metrics`] are aspirational —
+//! the workspace's vendored `serde` is a no-op stand-in — so this module
+//! serializes [`RunResult`] by hand, *including* every skipped field
+//! (cache/DRAM/Garibaldi stats), and parses it back with a small built-in
+//! JSON reader. The bench harness keys each run by a caller-chosen string
+//! and skips runs already present in the checkpoint file, which makes long
+//! figure sweeps resumable (`garibaldi_bench::parallel_runs_checkpointed`).
+//!
+//! Floats are written in Rust's shortest round-trip form, so a parsed
+//! result is bit-identical to the one written.
+
+use crate::core_model::CpiStack;
+use crate::energy::EnergyReport;
+use crate::metrics::{ConditionalMatrix, CoreResult, GaribaldiReport, ReuseSummary, RunResult};
+use garibaldi::GaribaldiStats;
+use garibaldi_cache::CacheStats;
+use garibaldi_mem::DramStats;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+// ---- writing ---------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no NaN/inf; null parses back as 0.0.
+        "null".to_string()
+    }
+}
+
+fn cache_stats_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"i_accesses\":{},\"i_hits\":{},\"d_accesses\":{},\"d_hits\":{},\"evictions\":{},\
+         \"writebacks\":{},\"prefetch_fills\":{},\"prefetch_useful\":{},\"bypasses\":{},\
+         \"guarded_protections\":{},\"invalidations\":{},\"i_evictions\":{}}}",
+        s.i_accesses,
+        s.i_hits,
+        s.d_accesses,
+        s.d_hits,
+        s.evictions,
+        s.writebacks,
+        s.prefetch_fills,
+        s.prefetch_useful,
+        s.bypasses,
+        s.guarded_protections,
+        s.invalidations,
+        s.i_evictions,
+    )
+}
+
+fn stack_json(s: &CpiStack) -> String {
+    format!(
+        "{{\"base\":{},\"ifetch\":{},\"data\":{},\"branch\":{}}}",
+        num(s.base),
+        num(s.ifetch),
+        num(s.data),
+        num(s.branch)
+    )
+}
+
+/// Serializes `result` under `key` as one JSON line (no trailing newline).
+pub fn to_json_line(key: &str, r: &RunResult) -> String {
+    let mut s = String::with_capacity(1024);
+    let _ = write!(s, "{{\"key\":\"{}\",\"scheme\":\"{}\",\"cores\":[", esc(key), esc(&r.scheme));
+    for (i, c) in r.cores.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workload\":\"{}\",\"instrs\":{},\"cycles\":{},\"ipc\":{},\"stack\":{}}}",
+            esc(&c.workload),
+            c.instrs,
+            num(c.cycles),
+            num(c.ipc),
+            stack_json(&c.stack)
+        );
+    }
+    let _ = write!(
+        s,
+        "],\"l1\":{},\"l1i\":{},\"l2\":{},\"llc\":{},",
+        cache_stats_json(&r.l1),
+        cache_stats_json(&r.l1i),
+        cache_stats_json(&r.l2),
+        cache_stats_json(&r.llc)
+    );
+    let _ = write!(
+        s,
+        "\"dram\":{{\"reads\":{},\"writes\":{},\"queue_delay\":{},\"queued_requests\":{}}},",
+        r.dram.reads, r.dram.writes, r.dram.queue_delay, r.dram.queued_requests
+    );
+    match &r.garibaldi {
+        Some(g) => {
+            let st = &g.stats;
+            let _ = write!(
+                s,
+                "\"garibaldi\":{{\"stats\":{{\"instr_accesses\":{},\"instr_misses\":{},\
+                 \"data_accesses\":{},\"pair_updates\":{},\"helper_misses\":{},\
+                 \"prefetches_issued\":{},\"protections\":{},\"declines\":{},\
+                 \"protected_entry_misses\":{}}},\"final_threshold\":{},\"color_ticks\":{},\
+                 \"helper_hit_rate\":{}}},",
+                st.instr_accesses,
+                st.instr_misses,
+                st.data_accesses,
+                st.pair_updates,
+                st.helper_misses,
+                st.prefetches_issued,
+                st.protections,
+                st.declines,
+                st.protected_entry_misses,
+                g.final_threshold,
+                g.color_ticks,
+                num(g.helper_hit_rate)
+            );
+        }
+        None => s.push_str("\"garibaldi\":null,"),
+    }
+    let c = &r.conditional;
+    let _ = write!(
+        s,
+        "\"conditional\":{{\"dhit_imiss\":{},\"dhit_total\":{},\"dmiss_imiss\":{},\
+         \"dmiss_total\":{}}},",
+        c.dhit_imiss, c.dhit_total, c.dmiss_imiss, c.dmiss_total
+    );
+    match &r.reuse {
+        Some(u) => {
+            let _ = write!(
+                s,
+                "\"reuse\":{{\"instr_mean_distance\":{},\"data_mean_distance\":{},\
+                 \"instr_within_assoc\":{},\"data_within_assoc\":{},\
+                 \"accesses_per_instr_line\":{},\"accesses_per_data_line\":{},\
+                 \"shared_lifecycle_fraction\":{}}},",
+                num(u.instr_mean_distance),
+                num(u.data_mean_distance),
+                num(u.instr_within_assoc),
+                num(u.data_within_assoc),
+                num(u.accesses_per_instr_line),
+                num(u.accesses_per_data_line),
+                num(u.shared_lifecycle_fraction)
+            );
+        }
+        None => s.push_str("\"reuse\":null,"),
+    }
+    let _ = write!(
+        s,
+        "\"energy\":{{\"dynamic_j\":{},\"static_j\":{}}},\"qbs_cycles\":{},\"invalidations\":{}}}",
+        num(r.energy.dynamic_j),
+        num(r.energy.static_j),
+        r.qbs_cycles,
+        r.invalidations
+    );
+    s
+}
+
+// ---- minimal JSON reader ---------------------------------------------------
+
+/// A parsed JSON value (just enough for checkpoint lines).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(HashMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> u64 {
+        match self.get(key) {
+            Some(Json::Num(n)) => *n as u64,
+            _ => 0,
+        }
+    }
+
+    fn f64_field(&self, key: &str) -> f64 {
+        match self.get(key) {
+            Some(Json::Num(n)) => *n,
+            _ => 0.0,
+        }
+    }
+
+    fn str_field(&self, key: &str) -> String {
+        match self.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b't' => self.lit("true").map(|_| Json::Bool(true)),
+            b'f' => self.lit("false").map(|_| Json::Bool(false)),
+            b'n' => self.lit("null").map(|_| Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> Option<()> {
+        self.ws();
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut m = HashMap::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Some(Json::Obj(m));
+        }
+        loop {
+            let k = self.string()?;
+            self.eat(b':')?;
+            let v = self.value()?;
+            m.insert(k, v);
+            match self.peek()? {
+                b',' => {
+                    self.i += 1;
+                }
+                b'}' => {
+                    self.i += 1;
+                    return Some(Json::Obj(m));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut v = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Some(Json::Arr(v));
+        }
+        loop {
+            v.push(self.value()?);
+            match self.peek()? {
+                b',' => {
+                    self.i += 1;
+                }
+                b']' => {
+                    self.i += 1;
+                    return Some(Json::Arr(v));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let c = *self.b.get(self.i)?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(s),
+                b'\\' => {
+                    let e = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.b.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            s.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        s.push(c as char);
+                    } else {
+                        let start = self.i - 1;
+                        let len = match c {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let chunk = self.b.get(start..start + len)?;
+                        s.push_str(std::str::from_utf8(chunk).ok()?);
+                        self.i = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        self.ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .map(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+            .unwrap_or(false)
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok().map(Json::Num)
+    }
+}
+
+// ---- reading ---------------------------------------------------------------
+
+fn cache_stats_from(j: &Json) -> CacheStats {
+    CacheStats {
+        i_accesses: j.u64_field("i_accesses"),
+        i_hits: j.u64_field("i_hits"),
+        d_accesses: j.u64_field("d_accesses"),
+        d_hits: j.u64_field("d_hits"),
+        evictions: j.u64_field("evictions"),
+        writebacks: j.u64_field("writebacks"),
+        prefetch_fills: j.u64_field("prefetch_fills"),
+        prefetch_useful: j.u64_field("prefetch_useful"),
+        bypasses: j.u64_field("bypasses"),
+        guarded_protections: j.u64_field("guarded_protections"),
+        invalidations: j.u64_field("invalidations"),
+        i_evictions: j.u64_field("i_evictions"),
+    }
+}
+
+fn stack_from(j: &Json) -> CpiStack {
+    CpiStack {
+        base: j.f64_field("base"),
+        ifetch: j.f64_field("ifetch"),
+        data: j.f64_field("data"),
+        branch: j.f64_field("branch"),
+    }
+}
+
+/// Parses one checkpoint line back into `(key, RunResult)`.
+pub fn parse_json_line(line: &str) -> Option<(String, RunResult)> {
+    let mut p = Parser { b: line.as_bytes(), i: 0 };
+    let j = p.value()?;
+    let key = j.str_field("key");
+    let cores = match j.get("cores")? {
+        Json::Arr(v) => v
+            .iter()
+            .map(|c| CoreResult {
+                workload: c.str_field("workload"),
+                instrs: c.u64_field("instrs"),
+                cycles: c.f64_field("cycles"),
+                ipc: c.f64_field("ipc"),
+                stack: c.get("stack").map(stack_from).unwrap_or_default(),
+            })
+            .collect(),
+        _ => return None,
+    };
+    let garibaldi = match j.get("garibaldi") {
+        Some(g @ Json::Obj(_)) => Some(GaribaldiReport {
+            stats: g
+                .get("stats")
+                .map(|s| GaribaldiStats {
+                    instr_accesses: s.u64_field("instr_accesses"),
+                    instr_misses: s.u64_field("instr_misses"),
+                    data_accesses: s.u64_field("data_accesses"),
+                    pair_updates: s.u64_field("pair_updates"),
+                    helper_misses: s.u64_field("helper_misses"),
+                    prefetches_issued: s.u64_field("prefetches_issued"),
+                    protections: s.u64_field("protections"),
+                    declines: s.u64_field("declines"),
+                    protected_entry_misses: s.u64_field("protected_entry_misses"),
+                })
+                .unwrap_or_default(),
+            final_threshold: g.u64_field("final_threshold") as u32,
+            color_ticks: g.u64_field("color_ticks"),
+            helper_hit_rate: g.f64_field("helper_hit_rate"),
+        }),
+        _ => None,
+    };
+    let reuse = match j.get("reuse") {
+        Some(u @ Json::Obj(_)) => Some(ReuseSummary {
+            instr_mean_distance: u.f64_field("instr_mean_distance"),
+            data_mean_distance: u.f64_field("data_mean_distance"),
+            instr_within_assoc: u.f64_field("instr_within_assoc"),
+            data_within_assoc: u.f64_field("data_within_assoc"),
+            accesses_per_instr_line: u.f64_field("accesses_per_instr_line"),
+            accesses_per_data_line: u.f64_field("accesses_per_data_line"),
+            shared_lifecycle_fraction: u.f64_field("shared_lifecycle_fraction"),
+        }),
+        _ => None,
+    };
+    let dram = j.get("dram")?;
+    let cond = j.get("conditional")?;
+    let energy = j.get("energy")?;
+    Some((
+        key,
+        RunResult {
+            scheme: j.str_field("scheme"),
+            cores,
+            l1: j.get("l1").map(cache_stats_from).unwrap_or_default(),
+            l1i: j.get("l1i").map(cache_stats_from).unwrap_or_default(),
+            l2: j.get("l2").map(cache_stats_from).unwrap_or_default(),
+            llc: j.get("llc").map(cache_stats_from).unwrap_or_default(),
+            dram: DramStats {
+                reads: dram.u64_field("reads"),
+                writes: dram.u64_field("writes"),
+                queue_delay: dram.u64_field("queue_delay"),
+                queued_requests: dram.u64_field("queued_requests"),
+            },
+            garibaldi,
+            conditional: ConditionalMatrix {
+                dhit_imiss: cond.u64_field("dhit_imiss"),
+                dhit_total: cond.u64_field("dhit_total"),
+                dmiss_imiss: cond.u64_field("dmiss_imiss"),
+                dmiss_total: cond.u64_field("dmiss_total"),
+            },
+            reuse,
+            energy: EnergyReport {
+                dynamic_j: energy.f64_field("dynamic_j"),
+                static_j: energy.f64_field("static_j"),
+            },
+            qbs_cycles: j.u64_field("qbs_cycles"),
+            invalidations: j.u64_field("invalidations"),
+        },
+    ))
+}
+
+/// Loads every parseable line of a checkpoint file; a missing file is an
+/// empty checkpoint. Later lines win on duplicate keys.
+pub fn load(path: &std::path::Path) -> HashMap<String, RunResult> {
+    let mut out = HashMap::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            if let Some((k, r)) = parse_json_line(line) {
+                out.insert(k, r);
+            }
+        }
+    }
+    out
+}
+
+/// Appends one run to a checkpoint file (created on demand).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append(path: &std::path::Path, key: &str, r: &RunResult) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", to_json_line(key, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(with_garibaldi: bool) -> RunResult {
+        RunResult {
+            scheme: "Mockingjay+Garibaldi".into(),
+            cores: vec![CoreResult {
+                workload: "tpcc \"hot\"".into(),
+                instrs: 12345,
+                cycles: 6789.125,
+                ipc: 1.818_427_345,
+                stack: CpiStack { base: 1.0, ifetch: 0.25, data: 0.125, branch: 0.0625 },
+            }],
+            l1: CacheStats { i_accesses: 7, d_hits: 3, ..Default::default() },
+            l1i: CacheStats { i_accesses: 7, ..Default::default() },
+            l2: CacheStats { writebacks: 9, ..Default::default() },
+            llc: CacheStats { bypasses: 2, guarded_protections: 4, ..Default::default() },
+            dram: DramStats { reads: 11, writes: 5, queue_delay: 100, queued_requests: 2 },
+            garibaldi: with_garibaldi.then(|| GaribaldiReport {
+                stats: GaribaldiStats { pair_updates: 42, protections: 3, ..Default::default() },
+                final_threshold: 31,
+                color_ticks: 12,
+                helper_hit_rate: 0.875,
+            }),
+            conditional: ConditionalMatrix {
+                dhit_imiss: 1,
+                dhit_total: 2,
+                dmiss_imiss: 3,
+                dmiss_total: 4,
+            },
+            reuse: None,
+            energy: EnergyReport { dynamic_j: 0.001_234_5, static_j: 0.067_8 },
+            qbs_cycles: 77,
+            invalidations: 88,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        for g in [false, true] {
+            let r = sample(g);
+            let line = to_json_line("fig11/tpcc/seed42", &r);
+            let (key, back) = parse_json_line(&line).expect("parse");
+            assert_eq!(key, "fig11/tpcc/seed42");
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn skipped_serde_fields_are_present_in_the_line() {
+        let line = to_json_line("k", &sample(true));
+        for field in ["guarded_protections", "queue_delay", "pair_updates", "i_evictions"] {
+            assert!(line.contains(field), "{field} serialized");
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_duplicate_keys() {
+        let dir = std::env::temp_dir().join("garibaldi-checkpoint-test");
+        let path = dir.join("runs.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append(&path, "a", &sample(false)).unwrap();
+        append(&path, "a", &sample(true)).unwrap();
+        append(&path, "b", &sample(false)).unwrap();
+        let m = load(&path);
+        assert_eq!(m.len(), 2);
+        assert!(m["a"].garibaldi.is_some(), "later line wins");
+        assert!(m["b"].garibaldi.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped() {
+        assert!(parse_json_line("not json").is_none());
+        assert!(parse_json_line("{\"key\":\"x\"}").is_none(), "missing fields rejected");
+    }
+}

@@ -209,6 +209,83 @@ impl SystemConfig {
     }
 }
 
+/// Configuration of the epoch-sharded parallel engine (see
+/// `docs/ARCHITECTURE.md` §"Parallel sharded engine").
+///
+/// Results are a function of `epoch_cycles` and `llc_shards` only — the
+/// worker count changes wall-clock, never the simulated outcome (the
+/// determinism contract tested in `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Worker threads stepping L2 clusters and draining LLC shards.
+    pub workers: usize,
+    /// Epoch window in core cycles: cores advance independently inside a
+    /// window and synchronise at its barrier (bounded lag = one window).
+    pub epoch_cycles: u64,
+    /// Number of set-contiguous LLC shards (each owns its slice of the
+    /// Garibaldi pair/D_PPN state and of the DRAM channels).
+    pub llc_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { workers: 1, epoch_cycles: 20_000, llc_shards: 8 }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `workers` threads and default epoch/shard geometry.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers: workers.max(1), ..Self::default() }
+    }
+
+    /// Reads `GARIBALDI_WORKERS` / `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH`;
+    /// returns `None` when `GARIBALDI_WORKERS` is unset (callers then keep
+    /// the serial min-clock engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a set-but-malformed value: a typo'd `GARIBALDI_WORKERS`
+    /// silently falling back to the serial engine would make the CI leg
+    /// that forces the parallel engine pass without testing it.
+    pub fn from_env() -> Option<Self> {
+        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+            let raw = std::env::var(var).ok()?;
+            match raw.trim().parse() {
+                Ok(v) => Some(v),
+                Err(_) => panic!("{var} must be a non-negative integer, got {raw:?}"),
+            }
+        }
+        let workers: usize = parse("GARIBALDI_WORKERS")?;
+        let mut cfg = Self::with_workers(workers);
+        if let Some(s) = parse("GARIBALDI_SHARDS") {
+            cfg.llc_shards = s;
+        }
+        if let Some(e) = parse("GARIBALDI_EPOCH") {
+            cfg.epoch_cycles = e;
+        }
+        Some(cfg)
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("zero workers".into());
+        }
+        if self.epoch_cycles == 0 {
+            return Err("zero epoch window".into());
+        }
+        if self.llc_shards == 0 {
+            return Err("zero LLC shards".into());
+        }
+        Ok(())
+    }
+}
+
 fn scale_bytes(bytes: u64, f: f64, min: u64) -> u64 {
     (((bytes as f64 * f) as u64) / 4096 * 4096).max(min)
 }

@@ -97,6 +97,26 @@ impl CpiStack {
     }
 }
 
+/// Combines one record's per-reference memory stalls into its backend
+/// stall contribution: the longest stall is charged in full beyond the ROB
+/// shadow, the rest are discounted by the MLP overlap factor. Sorts
+/// `stalls` descending in place. Shared by the serial and the epoch-sharded
+/// engines so both charge identical timing.
+pub fn combine_data_stalls(stalls: &mut [f64], cfg: &SystemConfig) -> f64 {
+    stalls.sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN stalls"));
+    let mut data_stall = 0.0;
+    for (i, s) in stalls.iter().enumerate() {
+        data_stall += if i == 0 {
+            // The ROB hides the head of an isolated miss; deeper misses
+            // in the same record overlap under the MLP factor.
+            (*s - cfg.rob_shadow as f64).max(0.0)
+        } else {
+            s * (1.0 - cfg.mlp_overlap)
+        };
+    }
+    data_stall
+}
+
 /// One simulated core: trace walk + address space + clock + CPI stack.
 pub struct CoreState<'p> {
     /// Core identifier.
@@ -206,17 +226,7 @@ impl<'p> CoreState<'p> {
             stalls[n] = out.latency.saturating_sub(cfg.l1_latency) as f64;
             n += 1;
         }
-        stalls[..n].sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN stalls"));
-        let mut data_stall = 0.0;
-        for (i, s) in stalls[..n].iter().enumerate() {
-            data_stall += if i == 0 {
-                // The ROB hides the head of an isolated miss; deeper misses
-                // in the same record overlap under the MLP factor.
-                (*s - cfg.rob_shadow as f64).max(0.0)
-            } else {
-                s * (1.0 - cfg.mlp_overlap)
-            };
-        }
+        let data_stall = combine_data_stalls(&mut stalls[..n], cfg);
 
         let base = rec.instrs as f64 * cfg.base_cpi;
         let branch = if rec.mispredict { cfg.branch_penalty as f64 } else { 0.0 };

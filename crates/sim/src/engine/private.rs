@@ -1,0 +1,627 @@
+//! Per-worker private tier: one L2 cluster, its cores, and their state.
+//!
+//! A [`ClusterSim`] is the unit of parallel stepping: it owns everything
+//! its cores touch synchronously — L1I/L1D slices, the shared cluster L2,
+//! the L1D/L2 hardware prefetchers, the cores' Garibaldi helper tables,
+//! trace walks, clocks and CPI stacks. Cores of one cluster advance under
+//! min-clock scheduling *within the cluster* (they share the L2), so the
+//! simulated interleaving is a pure function of the cluster's state and
+//! never of which worker thread runs it. Anything shared beyond the
+//! cluster is deferred as an [`LlcRequest`] and resolved at the epoch
+//! barrier; the latency gap between the optimistic issue-time estimate
+//! (an LLC hit) and the drained outcome is charged back through
+//! [`ClusterSim::apply_corrections`].
+
+use super::request::{InvalCmd, LlcRequest, ReqKey, ReqKind, ReqOutcome};
+use crate::config::SystemConfig;
+use crate::core_model::{combine_data_stalls, CpiStack, InstrPrefetchEngine};
+use crate::hierarchy::MemoryHierarchy;
+use crate::metrics::CoreResult;
+use garibaldi::HelperTable;
+use garibaldi_cache::{
+    AccessCtx, CacheConfig, CacheStats, GhbPrefetcher, NextLinePrefetcher, PolicyKind, Prefetcher,
+    SetAssocCache,
+};
+use garibaldi_trace::{SharedAddressSpace, TraceGenerator, TraceRecord, MAX_DATA_REFS};
+use garibaldi_types::{CoreId, LineAddr, VirtAddr, LINE_BYTES};
+
+/// Where a core's records come from: a live synthetic walk or a replayed
+/// dump (`garibaldi-cli --replay`). Replay streams wrap around when the
+/// run is longer than the dump.
+pub enum RecordSource<'p> {
+    /// Seeded synthetic trace walk.
+    Gen(TraceGenerator<'p>),
+    /// Pre-recorded stream.
+    Replay {
+        /// The recorded records (non-empty).
+        records: &'p [TraceRecord],
+        /// Read cursor.
+        pos: usize,
+    },
+}
+
+impl RecordSource<'_> {
+    /// Produces the next record (never ends; replay streams wrap).
+    pub fn next_record(&mut self) -> TraceRecord {
+        match self {
+            RecordSource::Gen(g) => g.next_record(),
+            RecordSource::Replay { records, pos } => {
+                let r = records[*pos % records.len()];
+                *pos += 1;
+                r
+            }
+        }
+    }
+}
+
+/// One data reference of a pending record: resolved latency, or the
+/// issue-time estimate plus the request that will refine it.
+#[derive(Clone, Copy)]
+struct PendingRef {
+    lat: u64,
+    seq: Option<u32>,
+}
+
+/// A record whose memory latencies are partly unresolved until the barrier.
+struct PendingRecord {
+    ifetch_seq: Option<u32>,
+    refs: [PendingRef; MAX_DATA_REFS],
+    n: usize,
+    est_ifetch_stall: f64,
+    est_data_stall: f64,
+}
+
+/// One simulated core inside a [`ClusterSim`].
+pub struct EpochCore<'p> {
+    id: CoreId,
+    src: RecordSource<'p>,
+    asp: SharedAddressSpace,
+    ipf: InstrPrefetchEngine,
+    ipf_out: Vec<VirtAddr>,
+    /// Local clock in cycles (estimate-corrected at each barrier).
+    pub clock: f64,
+    stack: CpiStack,
+    instrs: u64,
+    records: u64,
+    snap_clock: f64,
+    snap_stack: CpiStack,
+    snap_instrs: u64,
+    seq: u32,
+    /// Requests buffered this epoch (sorted by construction: clocks are
+    /// non-decreasing and seq increases).
+    pub reqs: Vec<LlcRequest>,
+    /// Positions in `reqs` of demand accesses (the only requests the
+    /// barrier's serial threshold replay must walk in global time order).
+    pub demand_idx: Vec<u32>,
+    /// Drain outcomes scattered back by the barrier, indexed by seq.
+    pub outcomes: Vec<ReqOutcome>,
+    pending: Vec<PendingRecord>,
+}
+
+impl<'p> EpochCore<'p> {
+    /// Records processed so far (including warmup).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Marks the measurement start (end of warmup).
+    pub fn snapshot(&mut self) {
+        self.snap_clock = self.clock;
+        self.snap_stack = self.stack;
+        self.snap_instrs = self.instrs;
+    }
+
+    /// Per-core result over the measured region.
+    pub fn result(&self, workload: String) -> CoreResult {
+        let instrs = self.instrs - self.snap_instrs;
+        let cycles = self.clock - self.snap_clock;
+        CoreResult {
+            workload,
+            instrs,
+            cycles,
+            ipc: if cycles <= 0.0 { 0.0 } else { instrs as f64 / cycles },
+            stack: CpiStack {
+                base: self.stack.base - self.snap_stack.base,
+                ifetch: self.stack.ifetch - self.snap_stack.ifetch,
+                data: self.stack.data - self.snap_stack.data,
+                branch: self.stack.branch - self.snap_stack.branch,
+            },
+        }
+    }
+
+    /// Sizes the outcome table for this epoch's requests (barrier scatter).
+    pub fn prepare_outcomes(&mut self) {
+        self.outcomes.clear();
+        self.outcomes.resize(self.seq as usize, ReqOutcome::default());
+    }
+
+    fn emit(&mut self, line: LineAddr, pc: VirtAddr, sig: u64, cluster: u16, kind: ReqKind) -> u32 {
+        let seq = self.seq;
+        self.seq += 1;
+        if matches!(kind, ReqKind::Instr { demand: true } | ReqKind::Data { .. }) {
+            self.demand_idx.push(self.reqs.len() as u32);
+        }
+        self.reqs.push(LlcRequest {
+            key: ReqKey { now: self.clock as u64, core: self.id.get(), seq },
+            line,
+            pc,
+            sig,
+            cluster,
+            kind,
+        });
+        seq
+    }
+}
+
+/// Result of a private-tier access: resolved with a final latency, or
+/// LLC-bound with the optimistic estimate and the buffered request's seq.
+enum TierRes {
+    Done(u64),
+    Pending { est: u64, seq: u32 },
+}
+
+impl TierRes {
+    fn est_latency(&self) -> u64 {
+        match *self {
+            TierRes::Done(l) => l,
+            TierRes::Pending { est, .. } => est,
+        }
+    }
+}
+
+/// The cluster-private cache tier.
+pub struct ClusterTier {
+    cluster: u16,
+    core_base: usize,
+    l1i: Vec<SetAssocCache>,
+    l1d: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    l1d_pf: Vec<NextLinePrefetcher>,
+    l2_pf: GhbPrefetcher,
+    helpers: Option<Vec<HelperTable>>,
+    /// Data LLC accesses whose PC had no helper mapping (merged into the
+    /// module's `helper_misses`).
+    pub helper_gar_misses: u64,
+    pf_buf: Vec<LineAddr>,
+}
+
+impl ClusterTier {
+    /// Aggregated stats of this cluster's private caches.
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        let mut l1 = CacheStats::default();
+        let mut l1i = CacheStats::default();
+        for c in &self.l1i {
+            l1.merge(c.stats());
+            l1i.merge(c.stats());
+        }
+        for c in &self.l1d {
+            l1.merge(c.stats());
+        }
+        (l1, l1i, *self.l2.stats())
+    }
+
+    /// Helper-table hit/miss totals across the cluster's cores.
+    pub fn helper_stats(&self) -> (u64, u64) {
+        let (mut h, mut m) = (0u64, 0u64);
+        if let Some(hs) = &self.helpers {
+            for t in hs {
+                let (th, tm) = t.stats();
+                h += th;
+                m += tm;
+            }
+        }
+        (h, m)
+    }
+
+    /// Clears private-cache statistics (warmup boundary); contents stay.
+    pub fn reset_stats(&mut self) {
+        for c in self.l1i.iter_mut().chain(self.l1d.iter_mut()) {
+            *c.stats_mut() = Default::default();
+        }
+        *self.l2.stats_mut() = Default::default();
+        self.helper_gar_misses = 0;
+    }
+}
+
+/// One cluster's cores plus their private tier: the unit of parallelism.
+pub struct ClusterSim<'p> {
+    /// Private caches and predictors.
+    pub tier: ClusterTier,
+    /// The cluster's cores (global ids `core_base ..`).
+    pub cores: Vec<EpochCore<'p>>,
+    cfg: SystemConfig,
+}
+
+impl<'p> ClusterSim<'p> {
+    /// Builds cluster `cluster` with one `(source, space)` pair per core.
+    pub fn new(
+        cfg: &SystemConfig,
+        cluster: usize,
+        core_base: usize,
+        cores: Vec<(RecordSource<'p>, SharedAddressSpace)>,
+    ) -> Self {
+        let n = cores.len();
+        let tier = ClusterTier {
+            cluster: cluster as u16,
+            core_base,
+            l1i: (0..n)
+                .map(|i| {
+                    SetAssocCache::new(
+                        CacheConfig::from_capacity(
+                            format!("l1i{}", core_base + i),
+                            cfg.l1i_bytes,
+                            cfg.l1_ways,
+                        ),
+                        PolicyKind::Lru,
+                    )
+                })
+                .collect(),
+            l1d: (0..n)
+                .map(|i| {
+                    SetAssocCache::new(
+                        CacheConfig::from_capacity(
+                            format!("l1d{}", core_base + i),
+                            cfg.l1d_bytes,
+                            cfg.l1_ways,
+                        ),
+                        PolicyKind::Lru,
+                    )
+                })
+                .collect(),
+            l2: SetAssocCache::new(
+                CacheConfig::from_capacity(format!("l2c{cluster}"), cfg.l2_bytes, cfg.l2_ways),
+                PolicyKind::Lru,
+            ),
+            l1d_pf: (0..n).map(|_| NextLinePrefetcher::new(2).trigger_on_hits()).collect(),
+            l2_pf: GhbPrefetcher::new(2),
+            helpers: cfg.scheme.garibaldi.as_ref().map(|g| {
+                (0..n).map(|_| HelperTable::new(g.helper_entries, g.helper_ways)).collect()
+            }),
+            helper_gar_misses: 0,
+            pf_buf: Vec::with_capacity(8),
+        };
+        let cores = cores
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, asp))| EpochCore {
+                id: CoreId::new((core_base + i) as u16),
+                src,
+                asp,
+                ipf: InstrPrefetchEngine::default(),
+                ipf_out: Vec::with_capacity(8),
+                clock: 0.0,
+                stack: CpiStack::default(),
+                instrs: 0,
+                records: 0,
+                snap_clock: 0.0,
+                snap_stack: CpiStack::default(),
+                snap_instrs: 0,
+                seq: 0,
+                reqs: Vec::new(),
+                demand_idx: Vec::new(),
+                outcomes: Vec::new(),
+                pending: Vec::new(),
+            })
+            .collect();
+        Self { tier, cores, cfg: cfg.clone() }
+    }
+
+    /// Smallest clock among cores still short of `target` records.
+    pub fn min_unfinished_clock(&self, target: u64) -> Option<f64> {
+        self.cores
+            .iter()
+            .filter(|c| c.records < target)
+            .map(|c| c.clock)
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN clocks"))
+    }
+
+    /// Advances the cluster's cores under min-clock scheduling until every
+    /// core has either reached `target` records or the epoch horizon.
+    pub fn step_epoch(&mut self, epoch_end: f64, target: u64) {
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_clock = f64::INFINITY;
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.records < target && c.clock < epoch_end && c.clock < best_clock {
+                    best_clock = c.clock;
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => self.step_core(i),
+                None => break,
+            }
+        }
+    }
+
+    /// Executes one trace record for core `i`, resolving private-tier
+    /// traffic immediately and buffering LLC-bound work.
+    fn step_core(&mut self, i: usize) {
+        let cfg = &self.cfg;
+        let tier = &mut self.tier;
+        let c = &mut self.cores[i];
+        let rec = c.src.next_record();
+        let il_pa = c.asp.translate_line(rec.pc);
+        let sig = MemoryHierarchy::sig(c.id, rec.pc);
+
+        // Frontend: fetch the instruction line through the private tier.
+        let i_res = instr_access(tier, c, cfg, sig, il_pa, rec.pc);
+        let est_lat = i_res.est_latency();
+        let est_ifetch_stall = est_lat.saturating_sub(cfg.l1_latency) as f64;
+        let ifetch_seq = match i_res {
+            TierRes::Pending { seq, .. } => Some(seq),
+            TierRes::Done(_) => None,
+        };
+
+        // Frontend prefetch engine reacts to L1I misses.
+        if cfg.l1i_prefetcher && est_lat > cfg.l1_latency {
+            let mut out = std::mem::take(&mut c.ipf_out);
+            c.ipf.on_miss(rec.pc, &mut out);
+            for &va in &out {
+                let pa = c.asp.translate_line(va);
+                prefetch_instr(tier, c, cfg, va, pa);
+            }
+            c.ipf_out = out;
+        }
+
+        // Backend: data references.
+        let mut refs = [PendingRef { lat: 0, seq: None }; MAX_DATA_REFS];
+        let mut n = 0;
+        for d in rec.data_refs() {
+            let d_pa = c.asp.translate_line(d.va);
+            let res = data_access(tier, c, cfg, sig, d_pa, rec.pc, d.rw.is_write(), ifetch_seq);
+            refs[n] = match res {
+                TierRes::Done(lat) => PendingRef { lat, seq: None },
+                TierRes::Pending { est, seq } => PendingRef { lat: est, seq: Some(seq) },
+            };
+            n += 1;
+        }
+        let mut stalls = [0.0f64; MAX_DATA_REFS];
+        for (s, r) in stalls.iter_mut().zip(refs.iter()).take(n) {
+            *s = r.lat.saturating_sub(cfg.l1_latency) as f64;
+        }
+        let est_data_stall = combine_data_stalls(&mut stalls[..n], cfg);
+
+        let base = rec.instrs as f64 * cfg.base_cpi;
+        let branch = if rec.mispredict { cfg.branch_penalty as f64 } else { 0.0 };
+        c.clock += base + est_ifetch_stall + est_data_stall + branch;
+        c.stack.base += base;
+        c.stack.ifetch += est_ifetch_stall;
+        c.stack.data += est_data_stall;
+        c.stack.branch += branch;
+        c.instrs += rec.instrs as u64;
+        c.records += 1;
+
+        if ifetch_seq.is_some() || refs[..n].iter().any(|r| r.seq.is_some()) {
+            c.pending.push(PendingRecord { ifetch_seq, refs, n, est_ifetch_stall, est_data_stall });
+        }
+    }
+
+    /// Applies the coherence invalidations this cluster is named in
+    /// (already key-sorted); returns the number of L2 copies dropped.
+    pub fn apply_invals(&mut self, invals: &[(ReqKey, InvalCmd)]) -> u64 {
+        let bit = 1u64 << self.tier.cluster;
+        let mut dropped = 0;
+        for (_, cmd) in invals {
+            if cmd.others & bit == 0 {
+                continue;
+            }
+            if self.tier.l2.invalidate(cmd.line).is_some() {
+                dropped += 1;
+            }
+            for l1d in self.tier.l1d.iter_mut() {
+                l1d.invalidate(cmd.line);
+            }
+            for l1i in self.tier.l1i.iter_mut() {
+                l1i.invalidate(cmd.line);
+            }
+        }
+        dropped
+    }
+
+    /// Replaces issue-time latency estimates with drained outcomes, then
+    /// clears the epoch's request state.
+    pub fn apply_corrections(&mut self) {
+        let cfg = &self.cfg;
+        for c in self.cores.iter_mut() {
+            for p in c.pending.drain(..) {
+                let actual_if = match p.ifetch_seq {
+                    Some(seq) => {
+                        c.outcomes[seq as usize].latency.saturating_sub(cfg.l1_latency) as f64
+                    }
+                    None => p.est_ifetch_stall,
+                };
+                let mut stalls = [0.0f64; MAX_DATA_REFS];
+                for (s, r) in stalls.iter_mut().zip(p.refs.iter()).take(p.n) {
+                    let lat = match r.seq {
+                        Some(seq) => c.outcomes[seq as usize].latency,
+                        None => r.lat,
+                    };
+                    *s = lat.saturating_sub(cfg.l1_latency) as f64;
+                }
+                let actual_data = combine_data_stalls(&mut stalls[..p.n], cfg);
+                let d_if = actual_if - p.est_ifetch_stall;
+                let d_data = actual_data - p.est_data_stall;
+                c.clock += d_if + d_data;
+                c.stack.ifetch += d_if;
+                c.stack.data += d_data;
+            }
+            c.reqs.clear();
+            c.demand_idx.clear();
+            c.outcomes.clear();
+            c.seq = 0;
+        }
+    }
+}
+
+fn hit_latency(cfg: &SystemConfig) -> u64 {
+    cfg.l1_latency + cfg.l2_latency + cfg.llc_latency
+}
+
+/// Instruction fetch through the private tier (mirrors
+/// `MemoryHierarchy::access_instr` down to the LLC boundary).
+fn instr_access(
+    tier: &mut ClusterTier,
+    c: &mut EpochCore<'_>,
+    cfg: &SystemConfig,
+    sig: u64,
+    line: LineAddr,
+    pc: VirtAddr,
+) -> TierRes {
+    let ctx = AccessCtx::instr(line, sig);
+    let li = c.id.index() - tier.core_base;
+    if tier.l1i[li].access(&ctx, false) {
+        return TierRes::Done(cfg.l1_latency);
+    }
+    if tier.l2.access(&ctx, false) {
+        let _ = tier.l1i[li].insert(line, &ctx, false);
+        c.emit(line, pc, sig, tier.cluster, ReqKind::DirUpdate { record: true, write: false });
+        return TierRes::Done(cfg.l1_latency + cfg.l2_latency);
+    }
+    // LLC-bound: teach the helper table, buffer the access, fill
+    // optimistically (the line is resident after the miss resolves whether
+    // it hit the LLC or DRAM).
+    if !cfg.i_oracle {
+        if let Some(h) = tier.helpers.as_mut() {
+            h[li].insert(pc.vpn(), line.ppn());
+        }
+    }
+    let seq = c.emit(line, pc, sig, tier.cluster, ReqKind::Instr { demand: true });
+    fill_l2(tier, c, line, &ctx);
+    let _ = tier.l1i[li].insert(line, &ctx, false);
+    TierRes::Pending { est: hit_latency(cfg), seq }
+}
+
+/// Demand data access through the private tier (mirrors
+/// `MemoryHierarchy::access_data` down to the LLC boundary).
+#[allow(clippy::too_many_arguments)] // mirrors the access path's natural arity
+fn data_access(
+    tier: &mut ClusterTier,
+    c: &mut EpochCore<'_>,
+    cfg: &SystemConfig,
+    sig: u64,
+    line: LineAddr,
+    pc: VirtAddr,
+    is_write: bool,
+    ifetch_seq: Option<u32>,
+) -> TierRes {
+    let ctx = AccessCtx::data(line, sig);
+    let li = c.id.index() - tier.core_base;
+    if tier.l1d[li].access(&ctx, is_write) {
+        if is_write {
+            // MESI upgrade: remote copies must go even on a private hit.
+            c.emit(line, pc, sig, tier.cluster, ReqKind::DirUpdate { record: false, write: true });
+        }
+        return TierRes::Done(cfg.l1_latency);
+    }
+    if cfg.l1d_prefetcher {
+        let mut buf = std::mem::take(&mut tier.pf_buf);
+        buf.clear();
+        tier.l1d_pf[li].on_access(line, sig, false, &mut buf);
+        for cand in buf.drain(..) {
+            prefetch_fill_l1d(tier, c, cand, pc);
+        }
+        tier.pf_buf = buf;
+    }
+    if tier.l2.access(&ctx, false) {
+        let _ = tier.l1d[li].insert(line, &ctx, is_write);
+        c.emit(line, pc, sig, tier.cluster, ReqKind::DirUpdate { record: true, write: is_write });
+        return TierRes::Done(cfg.l1_latency + cfg.l2_latency);
+    }
+    if cfg.l2_prefetcher {
+        let mut buf = std::mem::take(&mut tier.pf_buf);
+        buf.clear();
+        tier.l2_pf.on_access(line, sig, false, &mut buf);
+        for cand in buf.drain(..) {
+            prefetch_fill_l2(tier, c, cand, pc);
+        }
+        tier.pf_buf = buf;
+    }
+    // LLC-bound: deduce the triggering instruction line now (the helper
+    // table is core-private state), resolve its outcome at the barrier.
+    let il_hint = match tier.helpers.as_mut() {
+        Some(h) => match h[li].lookup(pc.vpn()) {
+            Some(i_ppn) => {
+                Some(LineAddr::from_page_parts(i_ppn, pc.line_page_offset() / LINE_BYTES))
+            }
+            None => {
+                tier.helper_gar_misses += 1;
+                None
+            }
+        },
+        None => None,
+    };
+    let seq = c.emit(line, pc, sig, tier.cluster, ReqKind::Data { is_write, il_hint, ifetch_seq });
+    fill_l2(tier, c, line, &ctx);
+    let _ = tier.l1d[li].insert(line, &ctx, is_write);
+    TierRes::Pending { est: hit_latency(cfg), seq }
+}
+
+/// Frontend instruction prefetch (the I-SPY/FDIP stand-in).
+fn prefetch_instr(
+    tier: &mut ClusterTier,
+    c: &mut EpochCore<'_>,
+    cfg: &SystemConfig,
+    pc: VirtAddr,
+    line: LineAddr,
+) {
+    let li = c.id.index() - tier.core_base;
+    if tier.l1i[li].lookup(line).is_some() {
+        return;
+    }
+    let sig = MemoryHierarchy::sig(c.id, pc);
+    let ctx = AccessCtx { line, pc_sig: sig, is_instr: true, is_prefetch: true };
+    if tier.l2.lookup(line).is_some() {
+        let _ = tier.l1i[li].insert(line, &ctx, false);
+        return;
+    }
+    if !cfg.i_oracle {
+        if let Some(h) = tier.helpers.as_mut() {
+            h[li].insert(pc.vpn(), line.ppn());
+        }
+    }
+    c.emit(line, pc, sig, tier.cluster, ReqKind::Instr { demand: false });
+    fill_l2(tier, c, line, &ctx);
+    let _ = tier.l1i[li].insert(line, &ctx, false);
+}
+
+/// L1D next-line prefetch fill; bandwidth for LLC-missing lines is charged
+/// through a deferred probe.
+fn prefetch_fill_l1d(tier: &mut ClusterTier, c: &mut EpochCore<'_>, line: LineAddr, pc: VirtAddr) {
+    let li = c.id.index() - tier.core_base;
+    if tier.l1d[li].lookup(line).is_some() {
+        return;
+    }
+    let ctx = AccessCtx { line, pc_sig: 0, is_instr: false, is_prefetch: true };
+    if tier.l2.lookup(line).is_none() {
+        c.emit(line, pc, 0, tier.cluster, ReqKind::PfProbe);
+    }
+    let _ = tier.l1d[li].insert(line, &ctx, false);
+}
+
+/// L2 GHB prefetch fill (evictions are dropped, as in the serial tier).
+fn prefetch_fill_l2(tier: &mut ClusterTier, c: &mut EpochCore<'_>, line: LineAddr, pc: VirtAddr) {
+    if tier.l2.lookup(line).is_some() {
+        return;
+    }
+    let ctx = AccessCtx { line, pc_sig: 0, is_instr: false, is_prefetch: true };
+    c.emit(line, pc, 0, tier.cluster, ReqKind::PfProbe);
+    let _ = tier.l2.insert(line, &ctx, false);
+}
+
+/// Demand fill into the cluster L2; displaced dirty lines become deferred
+/// non-inclusive writebacks to the LLC.
+fn fill_l2(tier: &mut ClusterTier, c: &mut EpochCore<'_>, line: LineAddr, ctx: &AccessCtx) {
+    let out = tier.l2.insert(line, ctx, false);
+    if let Some(ev) = out.evicted {
+        if ev.meta.dirty {
+            c.emit(
+                ev.meta.line,
+                VirtAddr::new(0),
+                ctx.pc_sig,
+                tier.cluster,
+                ReqKind::Writeback { is_instr: ev.meta.is_instr },
+            );
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! One set-contiguous LLC shard: cache slice, Garibaldi slice, DRAM slice.
+//!
+//! A shard owns everything reachable from its set range, so phase A of an
+//! epoch barrier can drain all shards in parallel with no locking: the LLC
+//! frames, the replacement-policy state for those sets, the slice of the
+//! Garibaldi pair table and D_PPN table indexed by lines of the range, the
+//! shard's DRAM channel (per-channel occupancy scaled so aggregate
+//! bandwidth matches the unsharded model), the I-oracle seen-set and the
+//! reuse-profiler state of its sets. Cross-shard effects (pair updates
+//! keyed by a *different* line's shard, pairwise prefetch fills) are
+//! emitted as [`ShardCmd`]s and applied in a second parallel pass; remote
+//! private-tier invalidations are emitted as [`InvalCmd`]s.
+
+use super::request::{InvalCmd, LlcRequest, ReqKey, ReqKind, ReqOutcome, ShardCmd};
+use crate::config::SystemConfig;
+use crate::reuse::ReuseProfiler;
+use garibaldi::{instruction_way_mask, DppnTable, GaribaldiConfig, GaribaldiStats, PairTable};
+use garibaldi_cache::{AccessCtx, CacheConfig, LineMeta, MesiState, SetAssocCache};
+use garibaldi_mem::{DramConfig, DramModel};
+use garibaldi_types::{AccessKind, LineAddr};
+use std::collections::HashSet;
+
+/// The Garibaldi state sliced per shard: pair/D_PPN entries for lines whose
+/// LLC set falls in the shard's range, plus this slice's event counters.
+pub struct GarShard {
+    pair: PairTable,
+    dppn: DppnTable,
+    stats: GaribaldiStats,
+    cfg: GaribaldiConfig,
+}
+
+impl GarShard {
+    fn new(cfg: &GaribaldiConfig, shards: usize) -> Self {
+        Self {
+            pair: PairTable::with_entries(cfg, (cfg.pair_entries() / shards).max(64)),
+            dppn: DppnTable::new((cfg.dppn_entries() / shards).max(64)),
+            stats: GaribaldiStats::default(),
+            cfg: cfg.clone(),
+        }
+    }
+}
+
+/// Epoch-frozen snapshot of the threshold unit consumed by shard drains;
+/// the unit itself is replayed serially between the two parallel passes.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdSnapshot {
+    /// Current color of the l-bit timer.
+    pub color: u8,
+    /// Current protection threshold.
+    pub threshold: u32,
+}
+
+/// Everything a shard produced during a phase-A drain.
+#[derive(Default)]
+pub struct DrainOut {
+    /// `(core, seq)`-addressed outcomes to scatter back to the cores.
+    pub outcomes: Vec<(u16, u32, ReqOutcome)>,
+    /// Cross-shard commands (sorted globally, routed by target line).
+    pub cmds: Vec<(ReqKey, ShardCmd)>,
+    /// Remote-copy invalidations for the private tiers.
+    pub invals: Vec<(ReqKey, InvalCmd)>,
+}
+
+/// One LLC shard.
+pub struct LlcShard {
+    cache: SetAssocCache,
+    dram: DramModel,
+    gar: Option<GarShard>,
+    oracle_seen: HashSet<u64>,
+    profiler: Option<ReuseProfiler>,
+    qbs_cycles: u64,
+    cfg: SystemConfig,
+}
+
+impl LlcShard {
+    /// Builds shard `idx` of `shards`, owning global LLC sets
+    /// `[base, base + sets)` of a `total_sets`-set LLC.
+    pub fn new(cfg: &SystemConfig, idx: usize, shards: usize, total_sets: usize) -> Self {
+        let (base, sets) = shard_range(total_sets, shards, idx);
+        let cache = SetAssocCache::new(
+            CacheConfig::shard(format!("llc.s{idx}"), total_sets, base, sets, cfg.llc_ways),
+            cfg.scheme.policy,
+        );
+        // Keep aggregate DRAM bandwidth equal to the unsharded model: each
+        // shard gets one channel whose per-line occupancy is scaled by
+        // shards / channels.
+        let dcfg = DramConfig {
+            channels: 1,
+            transfer_occupancy: (cfg.dram.transfer_occupancy * shards as u64
+                / cfg.dram.channels.max(1) as u64)
+                .max(1),
+            ..cfg.dram
+        };
+        Self {
+            cache,
+            dram: DramModel::new(dcfg),
+            gar: cfg.scheme.garibaldi.as_ref().map(|g| GarShard::new(g, shards)),
+            oracle_seen: HashSet::new(),
+            profiler: cfg.profile_reuse.then(|| ReuseProfiler::new(total_sets)),
+            qbs_cycles: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Shard cache (read-only; reporting).
+    pub fn cache(&self) -> &SetAssocCache {
+        &self.cache
+    }
+
+    /// Shard DRAM slice (read-only; reporting).
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// Shard Garibaldi stats, if configured.
+    pub fn garibaldi_stats(&self) -> Option<&GaribaldiStats> {
+        self.gar.as_ref().map(|g| &g.stats)
+    }
+
+    /// Shard reuse profiler, if enabled.
+    pub fn profiler(&self) -> Option<&ReuseProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Takes the shard's profiler for the end-of-run merge.
+    pub fn take_profiler(&mut self) -> Option<ReuseProfiler> {
+        self.profiler.take()
+    }
+
+    /// Cycles spent on QBS pair-table queries at this shard.
+    pub fn qbs_cycles(&self) -> u64 {
+        self.qbs_cycles
+    }
+
+    /// Clears statistics at the warmup boundary; cache contents, pair/D_PPN
+    /// state and the DRAM channel stay.
+    pub fn reset_stats(&mut self) {
+        *self.cache.stats_mut() = Default::default();
+        self.dram.reset_stats();
+        if let Some(g) = self.gar.as_mut() {
+            g.stats = GaribaldiStats::default();
+        }
+        if self.profiler.is_some() {
+            // The profiler samples by *global* set: size it with the parent
+            // modulus recovered from the shard view.
+            let total_sets = match self.cache.config().indexing {
+                garibaldi_cache::SetIndexing::Shard { modulus, .. } => modulus as usize,
+                garibaldi_cache::SetIndexing::Modulo => self.cache.config().sets,
+            };
+            self.profiler = Some(ReuseProfiler::new(total_sets));
+        }
+        self.qbs_cycles = 0;
+    }
+
+    /// Phase A: drains `reqs` (already sorted by key, all targeting this
+    /// shard) against the shard state.
+    pub fn drain(&mut self, reqs: &[LlcRequest], snap: ThresholdSnapshot) -> DrainOut {
+        let mut out = DrainOut::default();
+        for r in reqs {
+            match r.kind {
+                ReqKind::Instr { demand } => self.drain_instr(r, demand, snap, &mut out),
+                ReqKind::Data { is_write, il_hint, .. } => {
+                    self.drain_data(r, is_write, il_hint, snap, &mut out);
+                }
+                ReqKind::Writeback { is_instr } => {
+                    if let Some(m) = self.cache.peek_mut(r.line) {
+                        m.dirty = true;
+                    } else {
+                        let ctx =
+                            AccessCtx { line: r.line, pc_sig: r.sig, is_instr, is_prefetch: false };
+                        self.insert_guarded(r.line, &ctx, true, snap);
+                    }
+                }
+                ReqKind::PfProbe => {
+                    if self.cache.lookup(r.line).is_none() {
+                        self.dram.access(r.line, r.key.now, false);
+                    }
+                }
+                ReqKind::DirUpdate { record, write } => {
+                    if record {
+                        self.record_sharer(r.line, r.cluster as usize);
+                    }
+                    if write {
+                        self.write_upgrade(r, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn hit_latency(&self) -> u64 {
+        self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.llc_latency
+    }
+
+    fn drain_instr(
+        &mut self,
+        r: &LlcRequest,
+        demand: bool,
+        snap: ThresholdSnapshot,
+        out: &mut DrainOut,
+    ) {
+        let ctx = AccessCtx { line: r.line, pc_sig: r.sig, is_instr: true, is_prefetch: !demand };
+
+        if self.cfg.i_oracle {
+            // Fig 3d headroom study: instruction lines hit after first touch.
+            if !demand {
+                self.oracle_seen.insert(r.line.get());
+                return;
+            }
+            let seen = !self.oracle_seen.insert(r.line.get());
+            self.cache.stats_mut().record_access(AccessKind::Instr, seen);
+            let latency = if seen {
+                self.hit_latency()
+            } else {
+                self.hit_latency() + self.dram.access(r.line, r.key.now, false)
+            };
+            out.outcomes.push((r.key.core, r.key.seq, ReqOutcome { latency, llc_hit: seen }));
+            return;
+        }
+
+        if demand {
+            if let Some(p) = self.profiler.as_mut() {
+                p.on_access(r.line, AccessKind::Instr, r.sig);
+            }
+        }
+        let hit = if demand {
+            self.cache.access(&ctx, false)
+        } else {
+            self.cache.lookup(r.line).is_some()
+        };
+
+        if let Some(g) = self.gar.as_mut() {
+            g.stats.instr_accesses += 1;
+            if demand && !hit {
+                g.stats.instr_misses += 1;
+                if g.pair.lookup(r.line).is_some() {
+                    let protected = g.pair.query_protect(r.line, snap.color, snap.threshold);
+                    if protected {
+                        g.stats.protected_entry_misses += 1;
+                    } else if g.cfg.enable_prefetch {
+                        let cands = g.pair.prefetch_candidates(r.line, &g.dppn);
+                        g.stats.prefetches_issued += cands.len() as u64;
+                        for dl in cands {
+                            out.cmds.push((
+                                r.key,
+                                ShardCmd::PairwisePrefetch { dl, sig: r.sig, now: r.key.now },
+                            ));
+                        }
+                    }
+                }
+                g.pair.on_instr_miss(r.line);
+            }
+        }
+
+        let latency = if hit {
+            self.hit_latency()
+        } else {
+            let dram_lat = self.dram.access(r.line, r.key.now, false);
+            let qbs = self.insert_guarded(r.line, &ctx, false, snap);
+            self.hit_latency() + dram_lat + qbs
+        };
+        self.record_sharer(r.line, r.cluster as usize);
+        if demand {
+            out.outcomes.push((r.key.core, r.key.seq, ReqOutcome { latency, llc_hit: hit }));
+        }
+    }
+
+    fn drain_data(
+        &mut self,
+        r: &LlcRequest,
+        is_write: bool,
+        il_hint: Option<LineAddr>,
+        snap: ThresholdSnapshot,
+        out: &mut DrainOut,
+    ) {
+        let ctx = AccessCtx { line: r.line, pc_sig: r.sig, is_instr: false, is_prefetch: false };
+        if let Some(p) = self.profiler.as_mut() {
+            p.on_access(r.line, AccessKind::Data, r.sig);
+        }
+        let hit = self.cache.access(&ctx, is_write);
+        if let Some(g) = self.gar.as_mut() {
+            g.stats.data_accesses += 1;
+            if let Some(il) = il_hint {
+                // Routed to (and counted at) the shard owning `il` in B′.
+                out.cmds.push((r.key, ShardCmd::PairUpdate { il, data_hit: hit, dl: r.line }));
+            }
+        }
+        let latency = if hit {
+            self.hit_latency()
+        } else {
+            let dram_lat = self.dram.access(r.line, r.key.now, false);
+            let qbs = self.insert_guarded(r.line, &ctx, false, snap);
+            self.hit_latency() + dram_lat + qbs
+        };
+        self.record_sharer(r.line, r.cluster as usize);
+        if is_write {
+            self.write_upgrade(r, out);
+        }
+        out.outcomes.push((r.key.core, r.key.seq, ReqOutcome { latency, llc_hit: hit }));
+    }
+
+    fn record_sharer(&mut self, line: LineAddr, cluster: usize) {
+        if let Some(m) = self.cache.peek_mut(line) {
+            m.sharers |= 1 << cluster;
+            m.state = if m.sharers.count_ones() > 1 {
+                MesiState::Shared
+            } else if m.dirty {
+                MesiState::Modified
+            } else {
+                MesiState::Exclusive
+            };
+        }
+    }
+
+    fn write_upgrade(&mut self, r: &LlcRequest, out: &mut DrainOut) {
+        let Some(m) = self.cache.peek_mut(r.line) else { return };
+        let others = m.sharers & !(1 << r.cluster);
+        if others == 0 {
+            m.state = MesiState::Modified;
+            return;
+        }
+        m.sharers = 1 << r.cluster;
+        m.state = MesiState::Modified;
+        out.invals.push((r.key, InvalCmd { line: r.line, others }));
+    }
+
+    /// Guarded LLC insertion (QBS + way partitioning), mirroring
+    /// `MemoryHierarchy::insert_llc_guarded`. Returns the QBS latency.
+    fn insert_guarded(
+        &mut self,
+        line: LineAddr,
+        ctx: &AccessCtx,
+        dirty: bool,
+        snap: ThresholdSnapshot,
+    ) -> u64 {
+        if self.cfg.partition_instr_ways > 0 {
+            let (i_mask, d_mask) =
+                instruction_way_mask(self.cfg.llc_ways, self.cfg.partition_instr_ways);
+            let mask = if ctx.is_instr { i_mask } else { d_mask };
+            let out = self.cache.insert_restricted(line, ctx, dirty, mask);
+            if let Some(ev) = out.evicted {
+                self.on_evict(ev.meta);
+            }
+            return 0;
+        }
+
+        let Some(g) = self.gar.as_mut() else {
+            let out = self.cache.insert(line, ctx, dirty);
+            if let Some(ev) = out.evicted {
+                self.on_evict(ev.meta);
+            }
+            return 0;
+        };
+
+        let enable_protection = g.cfg.enable_protection;
+        let qbs_lookup_cost = g.cfg.qbs_lookup_cost;
+        let max_protects = if enable_protection { g.cfg.qbs_max_attempts } else { 0 };
+        let no_bypass = ctx.is_instr
+            && enable_protection
+            && g.pair
+                .lookup(line)
+                .map(|e| g.pair.aged_cost(e, snap.color) > snap.threshold)
+                .unwrap_or(false);
+        let mut queries = 0u32;
+        let pair = &mut g.pair;
+        let stats = &mut g.stats;
+        let out = self.cache.insert_with_guard_opts(
+            line,
+            ctx,
+            dirty,
+            max_protects,
+            !no_bypass,
+            |meta: &LineMeta| {
+                queries += 1;
+                let protect =
+                    enable_protection && pair.query_protect(meta.line, snap.color, snap.threshold);
+                if protect {
+                    stats.protections += 1;
+                } else {
+                    stats.declines += 1;
+                }
+                protect
+            },
+        );
+        let qbs_lat = qbs_lookup_cost * queries as u64;
+        self.qbs_cycles += qbs_lat;
+        if no_bypass && out.way.is_some() {
+            self.cache.protect_line(line);
+        }
+        if let Some(ev) = out.evicted {
+            self.on_evict(ev.meta);
+        }
+        qbs_lat
+    }
+
+    fn on_evict(&mut self, meta: LineMeta) {
+        if meta.dirty {
+            self.dram.access(meta.line, 0, true);
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.on_evict(meta.line, meta.is_instr);
+        }
+    }
+
+    /// Phase B′: applies cross-shard commands routed to this shard, in key
+    /// order, under the same epoch-frozen threshold snapshot.
+    pub fn apply_cmds(&mut self, cmds: &[(ReqKey, ShardCmd)], snap: ThresholdSnapshot) {
+        for (_, cmd) in cmds {
+            match *cmd {
+                ShardCmd::PairUpdate { il, data_hit, dl } => {
+                    if let Some(g) = self.gar.as_mut() {
+                        let idx = g.dppn.insert(dl.ppn());
+                        g.pair.update_on_data(
+                            il,
+                            data_hit,
+                            idx,
+                            dl.line_in_page() as u8,
+                            snap.color,
+                            snap.threshold,
+                        );
+                        g.stats.pair_updates += 1;
+                    }
+                }
+                ShardCmd::PairwisePrefetch { dl, sig, now } => {
+                    if self.cache.lookup(dl).is_none() {
+                        let ctx =
+                            AccessCtx { line: dl, pc_sig: sig, is_instr: false, is_prefetch: true };
+                        self.dram.access(dl, now, false);
+                        self.insert_guarded(dl, &ctx, false, snap);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `(base, len)` of shard `idx` in an even contiguous split of `sets`.
+pub fn shard_range(sets: usize, shards: usize, idx: usize) -> (usize, usize) {
+    let per = sets / shards;
+    let rem = sets % shards;
+    let len = per + usize::from(idx < rem);
+    let base = idx * per + idx.min(rem);
+    (base, len)
+}
+
+/// Shard owning global set `set` under the same even contiguous split.
+pub fn shard_of_set(sets: usize, shards: usize, set: usize) -> usize {
+    let per = sets / shards;
+    let rem = sets % shards;
+    let boundary = rem * (per + 1);
+    if set < boundary {
+        set / (per + 1)
+    } else {
+        rem + (set - boundary) / per.max(1)
+    }
+}

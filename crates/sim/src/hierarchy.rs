@@ -107,7 +107,7 @@ impl MemoryHierarchy {
     /// PC signature mixing the core id (distinct address spaces must not
     /// alias in PC-indexed predictors).
     #[inline]
-    fn sig(core: CoreId, pc: VirtAddr) -> u64 {
+    pub(crate) fn sig(core: CoreId, pc: VirtAddr) -> u64 {
         (pc.get() & !63).wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ (core.get() as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
     }

@@ -24,18 +24,21 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod core_model;
 pub mod energy;
+pub mod engine;
 pub mod experiment;
 pub mod hierarchy;
 pub mod metrics;
 pub mod reuse;
 pub mod system;
 
-pub use config::{LlcScheme, SystemConfig};
+pub use config::{EngineConfig, LlcScheme, SystemConfig};
 pub use core_model::CpiStack;
 pub use energy::{EnergyModel, EnergyReport};
+pub use engine::ParallelEngine;
 pub use experiment::{geomean, ExperimentScale, WeightedSpeedup};
 pub use hierarchy::MemoryHierarchy;
 pub use metrics::{ConditionalMatrix, CoreResult, RunResult};

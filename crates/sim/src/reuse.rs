@@ -7,14 +7,28 @@
 //! from data accesses. It also tracks per-line access counts (Fig 3c) and
 //! insertion-to-eviction PC sharing (the §3.2 "73.7 % of data lines shared
 //! by multiple instructions" measurement).
+//!
+//! Distances come from a `RecencyTracker`: an epoch (sequence) counter, a
+//! `line → last-sequence` map and a Fenwick tree marking each tracked
+//! line's most recent access position. The unique-line distance of a
+//! re-access is the number of marks after the line's previous position —
+//! an O(log w) query instead of the O(depth) `Vec::position` scan the
+//! original recency stack paid on every sampled access (the structure the
+//! `micro_reuse` bench guards).
 
 use garibaldi_types::{AccessKind, LineAddr};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Sample one of this many sets.
 const SAMPLE_STRIDE: u64 = 8;
 /// Reuse distances at or above this bound land in the overflow bucket.
 const MAX_TRACKED_DISTANCE: usize = 512;
+/// Distinct lines tracked per set (beyond this, the least recent line is
+/// forgotten and its next access counts as cold — the recency stack's cap).
+const TRACKED_LINES: usize = MAX_TRACKED_DISTANCE + 1;
+/// Fenwick window capacity (power of two, comfortably above the tracked
+/// line count so rebases stay rare).
+const WINDOW: usize = 2048;
 
 /// Distance histogram for one access kind.
 #[derive(Debug, Clone, Default)]
@@ -68,19 +82,119 @@ impl DistanceHistogram {
         let ok: u64 = self.buckets.iter().take(ways).sum();
         ok as f64 / n as f64
     }
+
+    /// Accumulates another histogram (shard merge).
+    pub fn merge(&mut self, other: &DistanceHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.cold += other.cold;
+    }
 }
 
-#[derive(Debug, Default)]
-struct SetState {
-    /// Recency list of (line, kind); front = most recent.
-    stack: Vec<(u64, AccessKind)>,
+/// Per-set recency state: sequence counter + Fenwick marks + last-access
+/// positions. Each tracked line carries exactly one mark, at its most
+/// recent access position, so the number of marks strictly after a line's
+/// previous position *is* its unique-line reuse distance.
+// No `Default` derive on purpose: a defaulted tracker would carry an empty
+// Fenwick array; construction must go through `new()`.
+#[derive(Debug)]
+struct RecencyTracker {
+    /// Next position to assign.
+    seq: u64,
+    /// Fenwick tree over positions `[0, WINDOW)` (rebased when full).
+    fenwick: Vec<u32>,
+    /// line → position of its last access (every entry is marked).
+    last: HashMap<u64, u64>,
+    /// Mark positions in insertion order; stale entries (the line was
+    /// re-marked later) are skipped lazily.
+    order: VecDeque<(u64, u64)>,
+}
+
+impl RecencyTracker {
+    fn new() -> Self {
+        Self { seq: 0, fenwick: vec![0; WINDOW + 1], last: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn fenwick_add(&mut self, pos: u64, delta: i64) {
+        let mut i = pos as usize + 1;
+        while i <= WINDOW {
+            self.fenwick[i] = (self.fenwick[i] as i64 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Marks at positions `[0, pos]`.
+    fn fenwick_prefix(&self, pos: u64) -> u64 {
+        let mut i = pos as usize + 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.fenwick[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Records an access; returns the unique-line distance of the reuse,
+    /// or `None` for a cold (untracked) line.
+    fn access(&mut self, line: u64) -> Option<usize> {
+        let d = self.last.get(&line).copied().map(|prev| {
+            let after = self.last.len() as u64 - self.fenwick_prefix(prev);
+            self.fenwick_add(prev, -1);
+            after as usize
+        });
+        if d.is_some() {
+            self.last.remove(&line);
+        }
+
+        if self.seq as usize >= WINDOW {
+            self.rebase();
+        }
+        let pos = self.seq;
+        self.seq += 1;
+        self.fenwick_add(pos, 1);
+        self.last.insert(line, pos);
+        self.order.push_back((pos, line));
+
+        // Forget the least recent line beyond the tracked capacity.
+        while self.last.len() > TRACKED_LINES {
+            let Some((pos, line)) = self.order.pop_front() else { break };
+            if self.last.get(&line) == Some(&pos) {
+                self.last.remove(&line);
+                self.fenwick_add(pos, -1);
+            }
+        }
+        d
+    }
+
+    /// Compacts positions: surviving marks keep their order but restart at
+    /// zero. Amortized O(1) per access (runs every `WINDOW - tracked`
+    /// accesses, costs O(tracked + WINDOW)).
+    fn rebase(&mut self) {
+        let old_order = std::mem::take(&mut self.order);
+        self.fenwick.iter_mut().for_each(|c| *c = 0);
+        self.seq = 0;
+        for (pos, line) in old_order {
+            if self.last.get(&line) == Some(&pos) {
+                let new_pos = self.seq;
+                self.seq += 1;
+                self.fenwick_add(new_pos, 1);
+                self.last.insert(line, new_pos);
+                self.order.push_back((new_pos, line));
+            }
+        }
+    }
 }
 
 /// The sampling reuse profiler.
 #[derive(Debug)]
 pub struct ReuseProfiler {
     sets: u64,
-    set_state: HashMap<u64, SetState>,
+    set_state: HashMap<u64, RecencyTracker>,
     instr: DistanceHistogram,
     data: DistanceHistogram,
     /// Per-line demand access counts (i_count, d_count), sampled sets only.
@@ -119,27 +233,21 @@ impl ReuseProfiler {
             return;
         }
         let set = line.get() % self.sets;
-        let state = self.set_state.entry(set).or_default();
+        let state = self.set_state.entry(set).or_insert_with(RecencyTracker::new);
         let key = line.get();
 
-        // Unique-line distance = position in the recency stack.
-        match state.stack.iter().position(|&(l, _)| l == key) {
-            Some(pos) => {
+        match state.access(key) {
+            Some(d) => {
                 let hist = match kind {
                     AccessKind::Instr => &mut self.instr,
                     AccessKind::Data => &mut self.data,
                 };
-                hist.record(pos);
-                state.stack.remove(pos);
+                hist.record(d);
             }
             None => match kind {
                 AccessKind::Instr => self.instr.cold += 1,
                 AccessKind::Data => self.data.cold += 1,
             },
-        }
-        state.stack.insert(0, (key, kind));
-        if state.stack.len() > MAX_TRACKED_DISTANCE + 1 {
-            state.stack.pop();
         }
 
         let counts = self.line_counts.entry(key).or_insert((0, 0));
@@ -204,6 +312,24 @@ impl ReuseProfiler {
         } else {
             self.shared_lifecycles as f64 / self.total_lifecycles as f64
         }
+    }
+
+    /// Absorbs another profiler covering *disjoint* sets (the LLC shards of
+    /// the parallel engine each profile their own set range).
+    pub fn merge(&mut self, other: ReuseProfiler) {
+        self.set_state.extend(other.set_state);
+        self.instr.merge(&other.instr);
+        self.data.merge(&other.data);
+        for (line, (i, d)) in other.line_counts {
+            let e = self.line_counts.entry(line).or_insert((0, 0));
+            e.0 += i;
+            e.1 += d;
+        }
+        for (line, pcs) in other.lifecycle_pcs {
+            self.lifecycle_pcs.entry(line).or_default().extend(pcs);
+        }
+        self.shared_lifecycles += other.shared_lifecycles;
+        self.total_lifecycles += other.total_lifecycles;
     }
 }
 
@@ -282,5 +408,54 @@ mod tests {
         let (i, d) = p.accesses_per_line();
         assert!((i - 2.0).abs() < 1e-12);
         assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_reuse_overflows_and_untracked_lines_go_cold() {
+        let mut p = profiler();
+        let target = LineAddr::new(0);
+        p.on_access(target, AccessKind::Data, 1);
+        // Push `target` beyond the tracked capacity with distinct lines.
+        for i in 1..=(TRACKED_LINES as u64 + 8) {
+            p.on_access(LineAddr::new(i * 8), AccessKind::Data, 1);
+        }
+        // `target` was forgotten: this access is cold, not a huge distance.
+        let cold_before = p.data_hist().cold;
+        p.on_access(target, AccessKind::Data, 1);
+        assert_eq!(p.data_hist().cold, cold_before + 1);
+    }
+
+    #[test]
+    fn rebase_preserves_distances() {
+        let mut p = profiler();
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(8);
+        // Drive the sequence counter through several rebases with a 2-line
+        // working set; every reuse must still measure distance 1.
+        p.on_access(a, AccessKind::Data, 1);
+        p.on_access(b, AccessKind::Data, 1);
+        for _ in 0..3 * WINDOW {
+            p.on_access(a, AccessKind::Data, 1);
+            p.on_access(b, AccessKind::Data, 1);
+        }
+        assert_eq!(p.data_hist().cold, 2);
+        assert_eq!(p.data_hist().buckets.get(1).copied().unwrap_or(0), 2 * 3 * WINDOW as u64);
+        assert_eq!(p.data_hist().reuses(), 2 * 3 * WINDOW as u64);
+    }
+
+    #[test]
+    fn merge_accumulates_disjoint_shards() {
+        let mut a = ReuseProfiler::new(1);
+        let mut b = ReuseProfiler::new(1);
+        a.on_access(LineAddr::new(0), AccessKind::Data, 1);
+        a.on_access(LineAddr::new(0), AccessKind::Data, 1);
+        b.on_access(LineAddr::new(8), AccessKind::Instr, 2);
+        b.on_evict(LineAddr::new(8), false);
+        a.merge(b);
+        assert_eq!(a.data_hist().reuses(), 1);
+        assert_eq!(a.instr_hist().cold, 1);
+        let (i, d) = a.accesses_per_line();
+        assert!((d - 2.0).abs() < 1e-12);
+        assert!((i - 1.0).abs() < 1e-12, "b's instruction line merged in");
     }
 }

@@ -7,14 +7,16 @@
 //! victims) the paper studies — without the cost of cycle-by-cycle
 //! lock-step simulation.
 
-use crate::config::SystemConfig;
+use crate::config::{EngineConfig, SystemConfig};
 use crate::core_model::CoreState;
 use crate::energy::EnergyModel;
+use crate::engine::private::RecordSource;
+use crate::engine::ParallelEngine;
 use crate::hierarchy::MemoryHierarchy;
 use crate::metrics::{CoreResult, GaribaldiReport, ReuseSummary, RunResult};
 use garibaldi_trace::{
-    registry, AddressSpace, PpnAllocator, SyntheticProgram, TraceGenerator, WorkloadClass,
-    WorkloadMix,
+    registry, AddressSpace, PpnAllocator, SharedAddressSpace, SyntheticProgram, TraceGenerator,
+    TraceRecord, WorkloadClass, WorkloadMix,
 };
 use garibaldi_types::CoreId;
 use std::cell::RefCell;
@@ -52,7 +54,20 @@ impl SimRunner {
 
     /// Runs `warmup` + `records` trace records per core and returns the
     /// measured-region result.
+    ///
+    /// Uses the serial min-clock engine unless `GARIBALDI_WORKERS` is set,
+    /// in which case the whole run goes through the epoch-sharded parallel
+    /// engine (see [`SimRunner::run_parallel`]) — the forcing mechanism the
+    /// CI matrix leg uses to exercise the full suite on the new engine.
     pub fn run(&self, records: u64, warmup: u64) -> RunResult {
+        if let Some(eng) = EngineConfig::from_env() {
+            return self.run_parallel(records, warmup, &eng);
+        }
+        self.run_serial(records, warmup)
+    }
+
+    /// The serial min-clock reference engine.
+    pub fn run_serial(&self, records: u64, warmup: u64) -> RunResult {
         // Build one program per distinct workload (shared by its cores).
         let mut programs: HashMap<&str, SyntheticProgram> = HashMap::new();
         for name in self.mix.distinct() {
@@ -161,6 +176,120 @@ impl SimRunner {
             qbs_cycles: hier.qbs_cycles(),
             invalidations: hier.invalidations(),
         }
+    }
+}
+
+impl SimRunner {
+    /// Builds one program per distinct workload (shared by its cores).
+    /// Seeding mirrors [`SimRunner::run_serial`] so both engines (and
+    /// dumped traces) walk identical record streams.
+    fn build_programs(&self) -> HashMap<String, SyntheticProgram> {
+        let mut programs = HashMap::new();
+        for name in self.mix.distinct() {
+            let profile =
+                registry::by_name(name).expect("validated").scaled(self.cfg.profile_scale);
+            let pseed = self.seed ^ fxhash(name.as_bytes());
+            programs.insert(
+                registry::by_name(name).unwrap().name.clone(),
+                SyntheticProgram::build(&profile, pseed),
+            );
+        }
+        programs
+    }
+
+    /// Per-core `(source, space)` pairs for the parallel engine. Walk seeds
+    /// match the serial engine; address spaces use the pure shared mapping
+    /// (threads of one server process share one space, SPEC workloads get
+    /// private ones).
+    fn build_parallel_cores<'p>(
+        &self,
+        programs: &'p HashMap<String, SyntheticProgram>,
+        replay: Option<&'p [Vec<TraceRecord>]>,
+    ) -> Vec<(RecordSource<'p>, SharedAddressSpace)> {
+        let mut alloc = PpnAllocator::new();
+        let mut shared_spaces: HashMap<&str, SharedAddressSpace> = HashMap::new();
+        let mut thread_index: HashMap<&str, u64> = HashMap::new();
+        self.mix
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let profile = registry::by_name(name).expect("validated");
+                let walk_seed = self.seed.wrapping_mul(0x517c_c1b7_2722_0a95) ^ i as u64;
+                let (tid, asp) = if profile.class == WorkloadClass::Server {
+                    let t = thread_index.entry(profile.name.as_str()).or_insert(0);
+                    let tid = *t;
+                    *t += 1;
+                    let asp = shared_spaces
+                        .entry(profile.name.as_str())
+                        .or_insert_with(|| SharedAddressSpace::new(alloc.alloc_space()))
+                        .clone();
+                    (Some(tid), asp)
+                } else {
+                    (None, SharedAddressSpace::new(alloc.alloc_space()))
+                };
+                let src = match replay {
+                    Some(streams) => {
+                        assert!(!streams[i].is_empty(), "empty replay stream for core {i}");
+                        RecordSource::Replay { records: &streams[i], pos: 0 }
+                    }
+                    None => {
+                        let program = &programs[name.as_str()];
+                        let gen = match tid {
+                            Some(t) => TraceGenerator::new(program, walk_seed).with_private_cold(t),
+                            None => TraceGenerator::new(program, walk_seed),
+                        };
+                        RecordSource::Gen(gen)
+                    }
+                };
+                (src, asp)
+            })
+            .collect()
+    }
+
+    /// Runs on the epoch-sharded parallel engine (`docs/ARCHITECTURE.md`
+    /// §"Parallel sharded engine"). The result depends on `eng.epoch_cycles`
+    /// and `eng.llc_shards` but never on `eng.workers`.
+    pub fn run_parallel(&self, records: u64, warmup: u64, eng: &EngineConfig) -> RunResult {
+        let programs = self.build_programs();
+        let cores = self.build_parallel_cores(&programs, None);
+        ParallelEngine::new(&self.cfg, eng, self.mix.clone(), cores).run(records, warmup)
+    }
+
+    /// Replays pre-recorded per-core streams (from
+    /// [`SimRunner::generate_streams`] / `garibaldi-cli --dump-trace`) on
+    /// the parallel engine; streams shorter than the run wrap around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count does not match the core count or any
+    /// stream is empty.
+    pub fn run_parallel_replay(
+        &self,
+        streams: &[Vec<TraceRecord>],
+        records: u64,
+        warmup: u64,
+        eng: &EngineConfig,
+    ) -> RunResult {
+        assert_eq!(streams.len(), self.cfg.cores, "one record stream per core");
+        let programs = HashMap::new();
+        let cores = self.build_parallel_cores(&programs, Some(streams));
+        ParallelEngine::new(&self.cfg, eng, self.mix.clone(), cores).run(records, warmup)
+    }
+
+    /// Generates the per-core record streams this runner would simulate
+    /// (`total` records each) without touching a hierarchy — trace
+    /// generation is independent of cache state, so a dump taken here
+    /// replays bit-identically under any scheme or engine.
+    pub fn generate_streams(&self, total: u64) -> Vec<Vec<TraceRecord>> {
+        let programs = self.build_programs();
+        self.build_parallel_cores(&programs, None)
+            .into_iter()
+            .map(|(src, _)| {
+                let mut src = src;
+                (0..total).map(|_| src.next_record()).collect()
+            })
+            .collect()
     }
 }
 

@@ -40,5 +40,5 @@ pub use mix::{random_server_mixes, server_spec_mix, WorkloadMix};
 pub use profiles::{WorkloadClass, WorkloadProfile};
 pub use program::SyntheticProgram;
 pub use record::{DataRef, TraceRecord, MAX_DATA_REFS};
-pub use vm::{AddressSpace, PpnAllocator};
+pub use vm::{AddressSpace, PpnAllocator, SharedAddressSpace};
 pub use zipf::Zipf;

@@ -116,6 +116,51 @@ pub fn decode(buf: impl AsRef<[u8]>) -> Result<Vec<TraceRecord>, DecodeError> {
     Ok(out)
 }
 
+/// Magic bytes identifying a multi-stream dump ("GRBM"): one segment per
+/// core, as written by `garibaldi-cli --dump-trace`.
+pub const MULTI_MAGIC: u32 = 0x4752_424d;
+
+/// Encodes one trace segment per core into a single buffer: the
+/// [`MULTI_MAGIC`] word, a stream count, then a length-prefixed
+/// [`encode`]-format segment per stream.
+pub fn encode_multi(streams: &[Vec<TraceRecord>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MULTI_MAGIC.to_be_bytes());
+    buf.extend_from_slice(&(streams.len() as u32).to_be_bytes());
+    for s in streams {
+        let seg = encode(s);
+        buf.extend_from_slice(&(seg.len() as u64).to_be_bytes());
+        buf.extend_from_slice(&seg);
+    }
+    buf
+}
+
+/// Decodes a buffer produced by [`encode_multi`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on magic mismatch, truncation, or a malformed
+/// inner segment.
+pub fn decode_multi(buf: impl AsRef<[u8]>) -> Result<Vec<Vec<TraceRecord>>, DecodeError> {
+    let mut r = Reader { buf: buf.as_ref() };
+    let magic = r.u32().ok_or(DecodeError::Truncated)?;
+    if magic != MULTI_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let n = r.u32().ok_or(DecodeError::Truncated)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let len = r.u64().ok_or(DecodeError::Truncated)? as usize;
+        if r.buf.len() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let (seg, rest) = r.buf.split_at(len);
+        r.buf = rest;
+        out.push(decode(seg)?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +190,19 @@ mod tests {
         let bytes = encode(&records);
         let cut = &bytes[..bytes.len() - 3];
         assert_eq!(decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn multi_stream_round_trip() {
+        let prog = SyntheticProgram::build(registry::by_name("tpcc").unwrap(), 1);
+        let streams: Vec<Vec<_>> =
+            (0..3u64).map(|c| TraceGenerator::new(&prog, c).take(50).collect()).collect();
+        let bytes = encode_multi(&streams);
+        assert_eq!(decode_multi(&bytes).unwrap(), streams);
+        // Truncation inside the last segment is detected.
+        assert_eq!(decode_multi(&bytes[..bytes.len() - 2]), Err(DecodeError::Truncated));
+        // A single-segment file is not a multi file.
+        assert!(matches!(decode_multi(encode(&streams[0])), Err(DecodeError::BadMagic(_))));
     }
 
     #[test]

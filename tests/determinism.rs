@@ -2,7 +2,7 @@
 //! identical results; different seeds differ.
 
 use garibaldi_cache::PolicyKind;
-use garibaldi_sim::{ExperimentScale, LlcScheme, SimRunner, SystemConfig};
+use garibaldi_sim::{EngineConfig, ExperimentScale, LlcScheme, SimRunner, SystemConfig};
 use garibaldi_trace::WorkloadMix;
 
 fn run(seed: u64, scheme: LlcScheme) -> garibaldi_sim::RunResult {
@@ -10,6 +10,50 @@ fn run(seed: u64, scheme: LlcScheme) -> garibaldi_sim::RunResult {
     let cfg = SystemConfig::scaled(&s, scheme);
     SimRunner::new(cfg, WorkloadMix::homogeneous("twitter", s.cores), seed)
         .run(s.records_per_core, s.warmup_per_core)
+}
+
+fn runner(seed: u64, scheme: LlcScheme, cores: usize) -> SimRunner {
+    let s = ExperimentScale { cores, ..ExperimentScale::smoke() };
+    let cfg = SystemConfig::scaled(&s, scheme);
+    SimRunner::new(cfg, WorkloadMix::homogeneous("twitter", cores), seed)
+}
+
+/// The sharded engine's determinism contract: same seed ⇒ byte-identical
+/// `RunResult` for `workers = 1` vs `workers = N`. Exercised across both a
+/// plain policy and the full Garibaldi stack, and with a core count that
+/// does not divide evenly into clusters or shard chunks.
+#[test]
+fn parallel_engine_worker_count_invariance() {
+    let s = ExperimentScale::smoke();
+    for scheme in [LlcScheme::plain(PolicyKind::Mockingjay), LlcScheme::mockingjay_garibaldi()] {
+        for cores in [s.cores, 6] {
+            let base = runner(42, scheme.clone(), cores).run_parallel(
+                s.records_per_core,
+                s.warmup_per_core,
+                &EngineConfig::with_workers(1),
+            );
+            for workers in [2, 4] {
+                let r = runner(42, scheme.clone(), cores).run_parallel(
+                    s.records_per_core,
+                    s.warmup_per_core,
+                    &EngineConfig::with_workers(workers),
+                );
+                assert_eq!(base, r, "{} cores={cores} workers={workers}", scheme.label());
+            }
+        }
+    }
+}
+
+/// Dumped record streams replay bit-identically on the sharded backend.
+#[test]
+fn parallel_engine_replay_matches_live_generation() {
+    let s = ExperimentScale::smoke();
+    let r = runner(42, LlcScheme::mockingjay_garibaldi(), s.cores);
+    let streams = r.generate_streams(s.records_per_core + s.warmup_per_core);
+    let eng = EngineConfig::with_workers(2);
+    let live = r.run_parallel(s.records_per_core, s.warmup_per_core, &eng);
+    let replayed = r.run_parallel_replay(&streams, s.records_per_core, s.warmup_per_core, &eng);
+    assert_eq!(live, replayed);
 }
 
 #[test]

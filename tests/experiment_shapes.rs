@@ -6,8 +6,23 @@ use garibaldi_sim::experiment::{geomean, run_homogeneous};
 use garibaldi_sim::{ExperimentScale, LlcScheme, SimRunner, SystemConfig};
 use garibaldi_trace::WorkloadMix;
 
-/// A slightly larger scale than `smoke` so populations stabilise.
+/// A slightly larger scale than `smoke` so populations stabilise. The
+/// default suite runs the shapes at a CI-friendly budget (<10 s in debug);
+/// the `full_scale_*` variants below re-check them at the original scale
+/// behind `#[ignore]` (run via `cargo test -- --ignored`, as the CI heavy
+/// leg does).
 fn scale() -> ExperimentScale {
+    ExperimentScale {
+        factor: 0.25,
+        cores: 8,
+        records_per_core: 6_000,
+        warmup_per_core: 1_500,
+        color_period: 2_000,
+    }
+}
+
+/// The original (pre-shrink) scale of this suite.
+fn full_scale() -> ExperimentScale {
     ExperimentScale {
         factor: 0.25,
         cores: 8,
@@ -17,19 +32,28 @@ fn scale() -> ExperimentScale {
     }
 }
 
-#[test]
-fn server_has_higher_llc_instruction_ratio_than_spec() {
-    let server = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "tpcc", 42);
-    let spec = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "lbm", 42);
+fn check_server_has_higher_llc_instruction_ratio_than_spec(sc: &ExperimentScale) {
+    let server = run_homogeneous(sc, LlcScheme::plain(PolicyKind::Mockingjay), "tpcc", 42);
+    let spec = run_homogeneous(sc, LlcScheme::plain(PolicyKind::Mockingjay), "lbm", 42);
     let s = server.llc.instr_access_ratio();
     let p = spec.llc.instr_access_ratio();
     assert!(s > 5.0 * p.max(1e-6) && s > 0.02, "Fig 3(b) shape: server {s:.4} vs SPEC {p:.4}");
 }
 
 #[test]
-fn server_ifetch_cpi_dwarfs_spec() {
-    let server = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "kafka", 42);
-    let spec = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), "bwaves", 42);
+fn server_has_higher_llc_instruction_ratio_than_spec() {
+    check_server_has_higher_llc_instruction_ratio_than_spec(&scale());
+}
+
+#[test]
+#[ignore = "full-scale shape check (~10 s); CI heavy leg runs it"]
+fn full_scale_server_has_higher_llc_instruction_ratio_than_spec() {
+    check_server_has_higher_llc_instruction_ratio_than_spec(&full_scale());
+}
+
+fn check_server_ifetch_cpi_dwarfs_spec(sc: &ExperimentScale) {
+    let server = run_homogeneous(sc, LlcScheme::plain(PolicyKind::Mockingjay), "kafka", 42);
+    let spec = run_homogeneous(sc, LlcScheme::plain(PolicyKind::Mockingjay), "bwaves", 42);
     assert!(
         server.mean_cpi_stack().ifetch > 4.0 * spec.mean_cpi_stack().ifetch,
         "Fig 1 shape: server ifetch {} vs SPEC {}",
@@ -39,12 +63,22 @@ fn server_ifetch_cpi_dwarfs_spec() {
 }
 
 #[test]
-fn smart_policies_beat_lru_on_server_geomean() {
+fn server_ifetch_cpi_dwarfs_spec() {
+    check_server_ifetch_cpi_dwarfs_spec(&scale());
+}
+
+#[test]
+#[ignore = "full-scale shape check (~10 s); CI heavy leg runs it"]
+fn full_scale_server_ifetch_cpi_dwarfs_spec() {
+    check_server_ifetch_cpi_dwarfs_spec(&full_scale());
+}
+
+fn check_smart_policies_beat_lru_on_server_geomean(sc: &ExperimentScale) {
     let workloads = ["noop", "tpcc", "twitter", "voter"];
     let mut speedups = Vec::new();
     for w in workloads {
-        let lru = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Lru), w, 42);
-        let mj = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
+        let lru = run_homogeneous(sc, LlcScheme::plain(PolicyKind::Lru), w, 42);
+        let mj = run_homogeneous(sc, LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
         speedups.push(mj.harmonic_mean_ipc() / lru.harmonic_mean_ipc());
     }
     let gm = geomean(&speedups);
@@ -52,14 +86,23 @@ fn smart_policies_beat_lru_on_server_geomean() {
 }
 
 #[test]
-fn i_oracle_bounds_instruction_side_gains() {
+fn smart_policies_beat_lru_on_server_geomean() {
+    check_smart_policies_beat_lru_on_server_geomean(&scale());
+}
+
+#[test]
+#[ignore = "full-scale shape check (~20 s); CI heavy leg runs it"]
+fn full_scale_smart_policies_beat_lru_on_server_geomean() {
+    check_smart_policies_beat_lru_on_server_geomean(&full_scale());
+}
+
+fn check_i_oracle_bounds_instruction_side_gains(sc: &ExperimentScale) {
     let w = "verilator";
-    let mj = run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
-    let mut cfg = SystemConfig::scaled(&scale(), LlcScheme::plain(PolicyKind::Mockingjay));
+    let mj = run_homogeneous(sc, LlcScheme::plain(PolicyKind::Mockingjay), w, 42);
+    let mut cfg = SystemConfig::scaled(sc, LlcScheme::plain(PolicyKind::Mockingjay));
     cfg.i_oracle = true;
-    let s = scale();
-    let oracle = SimRunner::new(cfg, WorkloadMix::homogeneous(w, s.cores), 42)
-        .run(s.records_per_core, s.warmup_per_core);
+    let oracle = SimRunner::new(cfg, WorkloadMix::homogeneous(w, sc.cores), 42)
+        .run(sc.records_per_core, sc.warmup_per_core);
     assert!(
         oracle.mean_cpi_stack().ifetch <= mj.mean_cpi_stack().ifetch,
         "Fig 3(d): the I-oracle cannot have more ifetch stalls"
@@ -71,15 +114,25 @@ fn i_oracle_bounds_instruction_side_gains() {
 }
 
 #[test]
-fn garibaldi_reduces_ifetch_stalls_on_server_aggregate() {
+fn i_oracle_bounds_instruction_side_gains() {
+    check_i_oracle_bounds_instruction_side_gains(&scale());
+}
+
+#[test]
+#[ignore = "full-scale shape check (~10 s); CI heavy leg runs it"]
+fn full_scale_i_oracle_bounds_instruction_side_gains() {
+    check_i_oracle_bounds_instruction_side_gains(&full_scale());
+}
+
+fn check_garibaldi_reduces_ifetch_stalls_on_server_aggregate(sc: &ExperimentScale) {
     let workloads = ["tpcc", "noop", "verilator"];
     let mut with_g = 0.0;
     let mut without = 0.0;
     for w in workloads {
-        without += run_homogeneous(&scale(), LlcScheme::plain(PolicyKind::Mockingjay), w, 42)
+        without += run_homogeneous(sc, LlcScheme::plain(PolicyKind::Mockingjay), w, 42)
             .total_ifetch_stall();
-        with_g += run_homogeneous(&scale(), LlcScheme::mockingjay_garibaldi(), w, 42)
-            .total_ifetch_stall();
+        with_g +=
+            run_homogeneous(sc, LlcScheme::mockingjay_garibaldi(), w, 42).total_ifetch_stall();
     }
     assert!(
         with_g <= without * 1.03,
@@ -88,20 +141,40 @@ fn garibaldi_reduces_ifetch_stalls_on_server_aggregate() {
 }
 
 #[test]
-fn bigger_llc_never_hurts() {
-    let s = scale();
-    let mut small_cfg = SystemConfig::scaled(&s, LlcScheme::plain(PolicyKind::Lru));
+fn garibaldi_reduces_ifetch_stalls_on_server_aggregate() {
+    check_garibaldi_reduces_ifetch_stalls_on_server_aggregate(&scale());
+}
+
+#[test]
+#[ignore = "full-scale shape check (~15 s); CI heavy leg runs it"]
+fn full_scale_garibaldi_reduces_ifetch_stalls_on_server_aggregate() {
+    check_garibaldi_reduces_ifetch_stalls_on_server_aggregate(&full_scale());
+}
+
+fn check_bigger_llc_never_hurts(sc: &ExperimentScale) {
+    let mut small_cfg = SystemConfig::scaled(sc, LlcScheme::plain(PolicyKind::Lru));
     let mut big_cfg = small_cfg.clone();
     big_cfg.llc_bytes *= 2;
     small_cfg.llc_bytes /= 2;
-    let small = SimRunner::new(small_cfg, WorkloadMix::homogeneous("voter", s.cores), 42)
-        .run(s.records_per_core, s.warmup_per_core);
-    let big = SimRunner::new(big_cfg, WorkloadMix::homogeneous("voter", s.cores), 42)
-        .run(s.records_per_core, s.warmup_per_core);
+    let small = SimRunner::new(small_cfg, WorkloadMix::homogeneous("voter", sc.cores), 42)
+        .run(sc.records_per_core, sc.warmup_per_core);
+    let big = SimRunner::new(big_cfg, WorkloadMix::homogeneous("voter", sc.cores), 42)
+        .run(sc.records_per_core, sc.warmup_per_core);
     assert!(
         big.harmonic_mean_ipc() >= small.harmonic_mean_ipc() * 0.98,
         "Fig 16 sanity: 4x LLC capacity must not lose ({} vs {})",
         big.harmonic_mean_ipc(),
         small.harmonic_mean_ipc()
     );
+}
+
+#[test]
+fn bigger_llc_never_hurts() {
+    check_bigger_llc_never_hurts(&scale());
+}
+
+#[test]
+#[ignore = "full-scale shape check (~10 s); CI heavy leg runs it"]
+fn full_scale_bigger_llc_never_hurts() {
+    check_bigger_llc_never_hurts(&full_scale());
 }

@@ -8,7 +8,6 @@
 
 use garibaldi_bench::*;
 use garibaldi_cache::PolicyKind;
-use garibaldi_sim::SimRunner;
 use garibaldi_trace::WorkloadMix;
 
 /// A deferred run producing one labeled result row.
@@ -22,19 +21,20 @@ fn profiled(scale: &ExperimentScale, scheme: LlcScheme, w: &str, cores: usize) -
     s.cores = cores;
     let mut cfg = SystemConfig::scaled(&s, scheme);
     cfg.profile_reuse = true;
-    SimRunner::new(cfg, WorkloadMix::homogeneous(w, cores), 42)
-        .run(s.records_per_core, s.warmup_per_core)
+    let runner = SimRunner::new(cfg, WorkloadMix::homogeneous(w, cores), 42);
+    bench_run(&runner, s.records_per_core, s.warmup_per_core)
 }
 
 fn oracle(scale: &ExperimentScale, w: &str) -> RunResult {
     let mut cfg = SystemConfig::scaled(scale, LlcScheme::plain(PolicyKind::Mockingjay));
     cfg.i_oracle = true;
-    SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42)
-        .run(scale.records_per_core, scale.warmup_per_core)
+    let runner = SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42);
+    bench_run(&runner, scale.records_per_core, scale.warmup_per_core)
 }
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    println!("[engine] {} (GARIBALDI_ENGINE=serial for the min-clock reference)", engine_tag());
     let spec = ["gcc", "gobmk", "bwaves", "lbm"];
     let server = ["noop", "tpcc", "cassandra", "kafka", "verilator", "xalan", "dotty", "tomcat"];
 

@@ -5,11 +5,11 @@
 
 use garibaldi_bench::*;
 use garibaldi_cache::PolicyKind;
-use garibaldi_sim::SimRunner;
 use garibaldi_trace::{registry, WorkloadMix};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    println!("[engine] {} (GARIBALDI_ENGINE=serial for the min-clock reference)", engine_tag());
     let jobs: Vec<Box<dyn FnOnce() -> (String, RunResult) + Send>> = registry::SERVER_NAMES
         .iter()
         .map(|&w| {
@@ -17,8 +17,8 @@ fn main() {
                 let mut cfg =
                     SystemConfig::scaled(&scale, LlcScheme::plain(PolicyKind::Mockingjay));
                 cfg.profile_reuse = true;
-                let r = SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42)
-                    .run(scale.records_per_core, scale.warmup_per_core);
+                let runner = SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42);
+                let r = bench_run(&runner, scale.records_per_core, scale.warmup_per_core);
                 (w.to_string(), r)
             }) as _
         })

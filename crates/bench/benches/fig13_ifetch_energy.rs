@@ -8,6 +8,7 @@ use garibaldi_trace::registry;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    println!("[engine] {} (GARIBALDI_ENGINE=serial for the min-clock reference)", engine_tag());
     let schemes = [
         LlcScheme::plain(PolicyKind::Lru),
         LlcScheme::plain(PolicyKind::Drrip),

@@ -22,6 +22,7 @@ fn garibaldi_with(f: impl FnOnce(&mut GaribaldiConfig)) -> LlcScheme {
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    println!("[engine] {} (GARIBALDI_ENGINE=serial for the min-clock reference)", engine_tag());
     let n_mixes: usize =
         std::env::var("GARIBALDI_MIXES").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
     let mixes = random_server_mixes(n_mixes, scale.cores, 99);
@@ -73,9 +74,8 @@ fn main() {
             jobs.push(Box::new(move || {
                 let mut cfg = SystemConfig::scaled(&scale, scheme);
                 cfg.partition_instr_ways = part;
-                garibaldi_sim::SimRunner::new(cfg, mix, 42)
-                    .run(scale.records_per_core, scale.warmup_per_core)
-                    .ipc_sum()
+                let runner = SimRunner::new(cfg, mix, 42);
+                bench_run(&runner, scale.records_per_core, scale.warmup_per_core).ipc_sum()
             }));
         }
     }

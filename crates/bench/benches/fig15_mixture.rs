@@ -8,6 +8,7 @@ use garibaldi_trace::server_spec_mix;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    println!("[engine] {} (GARIBALDI_ENGINE=serial for the min-clock reference)", engine_tag());
 
     // (a) server percentage sweep.
     let pcts = [0u32, 25, 50, 75, 100];
@@ -69,13 +70,13 @@ fn main() {
                 let mut cfg = SystemConfig::scaled(&scale, scheme);
                 cfg.llc_bytes += dllc;
                 cfg.l1i_bytes += dl1i;
-                garibaldi_sim::SimRunner::new(
+                let runner = SimRunner::new(
                     cfg,
                     garibaldi_trace::WorkloadMix::homogeneous(w, scale.cores),
                     42,
-                )
-                .run(scale.records_per_core, scale.warmup_per_core)
-                .harmonic_mean_ipc()
+                );
+                bench_run(&runner, scale.records_per_core, scale.warmup_per_core)
+                    .harmonic_mean_ipc()
             }));
         }
     }

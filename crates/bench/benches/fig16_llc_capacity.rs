@@ -9,6 +9,7 @@ use garibaldi_trace::WorkloadMix;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    println!("[engine] {} (GARIBALDI_ENGINE=serial for the min-clock reference)", engine_tag());
     let server8 =
         ["noop", "smallbank", "tpcc", "voter", "kafka", "verilator", "finagle-http", "tomcat"];
     let factors = [0.5f64, 1.0, 1.25, 1.5, 2.0];
@@ -26,8 +27,8 @@ fn main() {
                 jobs.push(Box::new(move || {
                     let mut cfg = SystemConfig::scaled(&scale, scheme);
                     cfg.llc_bytes = (cfg.llc_bytes as f64 * f) as u64 / 4096 * 4096;
-                    garibaldi_sim::SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42)
-                        .run(scale.records_per_core, scale.warmup_per_core)
+                    let runner = SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42);
+                    bench_run(&runner, scale.records_per_core, scale.warmup_per_core)
                         .harmonic_mean_ipc()
                 }));
             }

@@ -7,6 +7,7 @@ use garibaldi_trace::WorkloadMix;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    println!("[engine] {} (GARIBALDI_ENGINE=serial for the min-clock reference)", engine_tag());
     let server8 =
         ["noop", "sibench", "twitter", "voter", "finagle-http", "tomcat", "verilator", "tpcc"];
     let ways = [6usize, 12, 24, 48];
@@ -24,8 +25,8 @@ fn main() {
                 jobs.push(Box::new(move || {
                     let mut cfg = SystemConfig::scaled(&scale, scheme);
                     cfg.llc_ways = a;
-                    garibaldi_sim::SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42)
-                        .run(scale.records_per_core, scale.warmup_per_core)
+                    let runner = SimRunner::new(cfg, WorkloadMix::homogeneous(w, scale.cores), 42);
+                    bench_run(&runner, scale.records_per_core, scale.warmup_per_core)
                         .harmonic_mean_ipc()
                 }));
             }

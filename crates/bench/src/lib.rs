@@ -8,6 +8,14 @@
 //! Scale: targets default to [`ExperimentScale::from_env`] — the
 //! half-size 8-core configuration — and switch to the paper's full Table 1
 //! system under `GARIBALDI_FULL=1`.
+//!
+//! Engine: since the fidelity study (`docs/fidelity/`, ARCHITECTURE.md
+//! §"Fidelity") every figure target defaults to the **epoch-sharded
+//! parallel engine** at the validated default `epoch_cycles`, with
+//! `GARIBALDI_INNER_WORKERS` threads per run. `GARIBALDI_ENGINE=serial`
+//! is the escape hatch back to the serial min-clock reference;
+//! `GARIBALDI_WORKERS` / `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH` override
+//! the geometry (see [`bench_engine`]).
 
 #![warn(missing_docs)]
 
@@ -15,22 +23,89 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-pub use garibaldi_sim::experiment::{
-    geomean, ipc_single, run_homogeneous, run_mix, weighted_speedup,
+pub use garibaldi_sim::experiment::{geomean, weighted_speedup};
+pub use garibaldi_sim::{
+    EngineChoice, EngineConfig, ExperimentScale, LlcScheme, RunResult, SimRunner, SystemConfig,
 };
-pub use garibaldi_sim::{EngineConfig, ExperimentScale, LlcScheme, RunResult, SystemConfig};
 
-/// Identity of the simulation model the current environment selects —
-/// `"serial"` or `"sharded-s<shards>-e<epoch>"` when `GARIBALDI_WORKERS`
-/// reroutes runs through the epoch-sharded engine. Worker count is *not*
-/// part of the identity (it never changes results); shard count and epoch
-/// window are. Embed this in checkpoint keys so rows produced under
-/// different engines are never silently mixed.
-pub fn engine_tag() -> String {
-    match EngineConfig::from_env() {
-        None => "serial".to_string(),
-        Some(e) => format!("sharded-s{}-e{}", e.llc_shards, e.epoch_cycles),
+/// The engine every bench run uses: [`EngineChoice::from_env_or`] with a
+/// **parallel** default — [`EngineConfig::default`] geometry (the
+/// fidelity-validated `epoch_cycles`) and [`inner_workers`] threads per
+/// run. Set `GARIBALDI_ENGINE=serial` for the serial reference engine.
+pub fn bench_engine() -> EngineChoice {
+    let default = EngineConfig { workers: inner_workers(), ..EngineConfig::default() };
+    EngineChoice::from_env_or(EngineChoice::Parallel(default))
+}
+
+/// Per-run worker threads from `GARIBALDI_INNER_WORKERS` (default 1).
+/// This feeds [`bench_engine`]'s default geometry; note `GARIBALDI_WORKERS`
+/// (when set) overrides it at engine resolution, and [`parallel_runs`]
+/// divides the outer job pool by the *resolved* per-run thread count —
+/// whichever variable won — so outer jobs × engine workers never
+/// oversubscribes the host.
+///
+/// # Panics
+///
+/// Panics on an invalid value (0, garbage, overflow) — a typo must not
+/// silently serialize the sweep.
+pub fn inner_workers() -> usize {
+    garibaldi_sim::config::parse_positive(
+        "GARIBALDI_INNER_WORKERS",
+        std::env::var("GARIBALDI_INNER_WORKERS").ok().as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+    .unwrap_or(1)
+}
+
+/// Threads each bench run will actually use under the resolved engine
+/// (the pool divisor for [`parallel_runs`]): the parallel engine's worker
+/// count, or 1 for the serial engine.
+pub fn per_run_threads() -> usize {
+    match bench_engine() {
+        EngineChoice::Parallel(c) => c.workers,
+        EngineChoice::Serial => 1,
     }
+}
+
+/// Identity of the simulation model the benches run under — `"serial"` or
+/// `"sharded-s<shards>-e<epoch>"` (see [`EngineChoice::tag`]). Worker
+/// count is *not* part of the identity (it never changes results); shard
+/// count and epoch window are. Embed this in checkpoint keys so rows
+/// produced under different engines are never silently mixed.
+pub fn engine_tag() -> String {
+    bench_engine().tag()
+}
+
+/// Runs `runner` on the bench-default engine (see [`bench_engine`]) —
+/// the entry point every figure target's direct simulations go through.
+pub fn bench_run(runner: &SimRunner, records: u64, warmup: u64) -> RunResult {
+    runner.run_on(records, warmup, bench_engine())
+}
+
+/// [`garibaldi_sim::experiment::run_homogeneous`] on the bench-default
+/// engine.
+pub fn run_homogeneous(
+    scale: &ExperimentScale,
+    scheme: LlcScheme,
+    workload: &str,
+    seed: u64,
+) -> RunResult {
+    garibaldi_sim::experiment::run_homogeneous_on(scale, scheme, workload, seed, bench_engine())
+}
+
+/// [`garibaldi_sim::experiment::run_mix`] on the bench-default engine.
+pub fn run_mix(
+    scale: &ExperimentScale,
+    scheme: LlcScheme,
+    mix: &garibaldi_trace::WorkloadMix,
+    seed: u64,
+) -> RunResult {
+    garibaldi_sim::experiment::run_mix_on(scale, scheme, mix, seed, bench_engine())
+}
+
+/// [`garibaldi_sim::experiment::ipc_single`] on the bench-default engine.
+pub fn ipc_single(scale: &ExperimentScale, scheme: LlcScheme, workload: &str, seed: u64) -> f64 {
+    garibaldi_sim::experiment::ipc_single_on(scale, scheme, workload, seed, bench_engine())
 }
 
 /// Directory where harness CSVs are written (the workspace-level
@@ -81,18 +156,17 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Runs `jobs` closures in parallel (bounded by available cores) and
 /// returns their results in input order.
 ///
-/// Reads `GARIBALDI_INNER_WORKERS` as the per-job inner parallelism (jobs
-/// that run the epoch-sharded engine with N workers each): the outer pool
-/// is divided by it so outer × inner never oversubscribes the host. Use
-/// [`parallel_runs_inner`] to pass the knob explicitly.
+/// The outer pool is divided by [`per_run_threads`] — the thread count of
+/// the engine the environment actually resolves to, whether it came from
+/// `GARIBALDI_INNER_WORKERS` or a winning `GARIBALDI_WORKERS` — so
+/// outer × inner never oversubscribes the host. Use
+/// [`parallel_runs_inner`] to pass the divisor explicitly.
 pub fn parallel_runs<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let inner =
-        std::env::var("GARIBALDI_INNER_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
-    parallel_runs_inner(jobs, inner)
+    parallel_runs_inner(jobs, per_run_threads())
 }
 
 /// [`parallel_runs`] with an explicit inner-parallelism divisor: with
@@ -197,12 +271,86 @@ pub fn speedup_over(base: f64, x: f64) -> f64 {
 mod tests {
     use super::*;
 
+    /// Serializes tests that read or mutate the engine environment
+    /// variables (`parallel_runs`, [`inner_workers`], [`bench_engine`]) so
+    /// env-mutating cases cannot race env-reading ones.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `f` with the engine variables cleared, then restores whatever
+    /// was set before (the CI parallel-engine leg exports `GARIBALDI_*`
+    /// for the whole process — tests must not strip it from later tests).
+    fn with_clean_env<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = env_lock();
+        let vars = [
+            "GARIBALDI_ENGINE",
+            "GARIBALDI_WORKERS",
+            "GARIBALDI_SHARDS",
+            "GARIBALDI_EPOCH",
+            "GARIBALDI_INNER_WORKERS",
+        ];
+        let saved: Vec<_> = vars.iter().map(|v| (*v, std::env::var(v).ok())).collect();
+        for v in vars {
+            std::env::remove_var(v);
+        }
+        let out = f();
+        for (v, val) in saved {
+            match val {
+                Some(val) => std::env::set_var(v, val),
+                None => std::env::remove_var(v),
+            }
+        }
+        out
+    }
+
     #[test]
     fn parallel_runs_preserve_order() {
+        let _env = env_lock();
         let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
             (0..16usize).map(|i| Box::new(move || i * 2) as _).collect();
         let out = parallel_runs(jobs);
         assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inner_workers_defaults_and_rejects_garbage() {
+        with_clean_env(|| {
+            assert_eq!(inner_workers(), 1, "unset → documented default of 1");
+            std::env::set_var("GARIBALDI_INNER_WORKERS", "3");
+            assert_eq!(inner_workers(), 3);
+            for bad in ["0", "many", "9999999999999999999999"] {
+                std::env::set_var("GARIBALDI_INNER_WORKERS", bad);
+                let err = std::panic::catch_unwind(inner_workers)
+                    .expect_err("invalid GARIBALDI_INNER_WORKERS must fail loudly");
+                let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+                assert!(msg.contains("GARIBALDI_INNER_WORKERS"), "names the variable: {msg:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn bench_engine_defaults_to_parallel_with_serial_escape_hatch() {
+        with_clean_env(|| {
+            match bench_engine() {
+                EngineChoice::Parallel(c) => {
+                    assert_eq!(c, EngineConfig::default(), "validated default geometry");
+                }
+                EngineChoice::Serial => panic!("benches must default to the parallel engine"),
+            }
+            std::env::set_var("GARIBALDI_INNER_WORKERS", "2");
+            match bench_engine() {
+                EngineChoice::Parallel(c) => {
+                    assert_eq!(c.workers, 2, "inner workers feed the engine");
+                }
+                EngineChoice::Serial => panic!("still parallel"),
+            }
+            std::env::set_var("GARIBALDI_ENGINE", "serial");
+            assert_eq!(bench_engine(), EngineChoice::Serial, "the documented escape hatch");
+            assert_eq!(engine_tag(), "serial");
+        });
     }
 
     #[test]
@@ -222,10 +370,11 @@ mod tests {
     #[test]
     fn checkpointed_runs_skip_completed_keys() {
         use garibaldi_cache::PolicyKind;
-        use garibaldi_sim::{ExperimentScale, SimRunner};
+        use garibaldi_sim::ExperimentScale;
         use garibaldi_trace::WorkloadMix;
         use std::sync::atomic::{AtomicUsize, Ordering};
 
+        let _env = env_lock();
         let file = "test_checkpoint_harness.jsonl";
         let path = out_dir().join(file);
         let _ = std::fs::remove_file(&path);

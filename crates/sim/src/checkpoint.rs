@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 
 // ---- writing ---------------------------------------------------------------
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -40,7 +40,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -175,45 +175,57 @@ pub fn to_json_line(key: &str, r: &RunResult) -> String {
 
 // ---- minimal JSON reader ---------------------------------------------------
 
-/// A parsed JSON value (just enough for checkpoint lines).
+/// A parsed JSON value (just enough for checkpoint lines; also the reader
+/// behind `crate::fidelity`'s report format). Unsigned-integer tokens are
+/// kept exact in [`Json::UInt`] — routing them through `f64` would corrupt
+/// counters above 2^53 (caught by `tests/checkpoint_properties.rs`).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
+    UInt(u64),
     Str(String),
     Arr(Vec<Json>),
     Obj(HashMap<String, Json>),
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(m) => m.get(key),
             _ => None,
         }
     }
 
-    fn u64_field(&self, key: &str) -> u64 {
+    pub(crate) fn u64_field(&self, key: &str) -> u64 {
         match self.get(key) {
+            Some(Json::UInt(n)) => *n,
             Some(Json::Num(n)) => *n as u64,
             _ => 0,
         }
     }
 
-    fn f64_field(&self, key: &str) -> f64 {
+    pub(crate) fn f64_field(&self, key: &str) -> f64 {
         match self.get(key) {
+            Some(Json::UInt(n)) => *n as f64,
             Some(Json::Num(n)) => *n,
             _ => 0.0,
         }
     }
 
-    fn str_field(&self, key: &str) -> String {
+    pub(crate) fn str_field(&self, key: &str) -> String {
         match self.get(key) {
             Some(Json::Str(s)) => s.clone(),
             _ => String::new(),
         }
     }
+}
+
+/// Parses one line of JSON (used by checkpoint lines and fidelity reports).
+pub(crate) fn parse_json(line: &str) -> Option<Json> {
+    let mut p = Parser { b: line.as_bytes(), i: 0 };
+    p.value()
 }
 
 struct Parser<'a> {
@@ -373,7 +385,13 @@ impl<'a> Parser<'a> {
         {
             self.i += 1;
         }
-        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok().map(Json::Num)
+        let tok = std::str::from_utf8(&self.b[start..self.i]).ok()?;
+        // Plain non-negative integers stay exact (u64 counters exceed f64's
+        // 53-bit mantissa); everything else goes through f64.
+        if let Ok(u) = tok.parse::<u64>() {
+            return Some(Json::UInt(u));
+        }
+        tok.parse().ok().map(Json::Num)
     }
 }
 
@@ -407,8 +425,7 @@ fn stack_from(j: &Json) -> CpiStack {
 
 /// Parses one checkpoint line back into `(key, RunResult)`.
 pub fn parse_json_line(line: &str) -> Option<(String, RunResult)> {
-    let mut p = Parser { b: line.as_bytes(), i: 0 };
-    let j = p.value()?;
+    let j = parse_json(line)?;
     let key = j.str_field("key");
     let cores = match j.get("cores")? {
         Json::Arr(v) => v
@@ -509,15 +526,30 @@ pub fn load(path: &std::path::Path) -> HashMap<String, RunResult> {
 
 /// Appends one run to a checkpoint file (created on demand).
 ///
+/// If the file's last line was cut short (a previous run was killed
+/// mid-write), a newline is inserted first so the partial record is
+/// isolated as one unparseable line instead of corrupting this one —
+/// resuming after a crash loses at most the record that was being
+/// written (`tests/checkpoint_properties.rs`).
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn append(path: &std::path::Path, key: &str, r: &RunResult) -> std::io::Result<()> {
-    use std::io::Write;
+    use std::io::{Read, Seek, SeekFrom, Write};
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut f = std::fs::OpenOptions::new().create(true).read(true).append(true).open(path)?;
+    let len = f.metadata()?.len();
+    if len > 0 {
+        f.seek(SeekFrom::End(-1))?;
+        let mut last = [0u8];
+        f.read_exact(&mut last)?;
+        if last[0] != b'\n' {
+            writeln!(f)?;
+        }
+    }
     writeln!(f, "{}", to_json_line(key, r))
 }
 

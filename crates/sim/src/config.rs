@@ -228,6 +228,14 @@ pub struct EngineConfig {
 }
 
 impl Default for EngineConfig {
+    /// The fidelity-validated default geometry. `epoch_cycles = 20_000`
+    /// was selected by the epoch sweep in `docs/fidelity/`: figure-level
+    /// geomean error vs the serial engine is nearly flat in the window
+    /// size (the residual is intra-epoch issue optimism, not staleness),
+    /// so the choice is driven by barrier amortization — 20 k keeps the
+    /// measured fig11/fig12 error at ≤ 1.73 % (hard gate 2 %, enforced by
+    /// `tests/fidelity.rs`) with 2.5× fewer barriers than the 1 %-error
+    /// region of the grid.
     fn default() -> Self {
         Self { workers: 1, epoch_cycles: 20_000, llc_shards: 8 }
     }
@@ -239,32 +247,56 @@ impl EngineConfig {
         Self { workers: workers.max(1), ..Self::default() }
     }
 
-    /// Reads `GARIBALDI_WORKERS` / `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH`;
-    /// returns `None` when `GARIBALDI_WORKERS` is unset (callers then keep
-    /// the serial min-clock engine).
+    /// The parallel-engine config the environment selects, or `None` when
+    /// the environment selects the serial engine (callers then keep the
+    /// serial min-clock engine). Delegates to [`EngineChoice::from_env_or`]
+    /// with a serial default, so the full precedence applies — in
+    /// particular `GARIBALDI_ENGINE=serial` wins over `GARIBALDI_WORKERS`.
     ///
     /// # Panics
     ///
-    /// Panics on a set-but-malformed value: a typo'd `GARIBALDI_WORKERS`
-    /// silently falling back to the serial engine would make the CI leg
-    /// that forces the parallel engine pass without testing it.
+    /// Panics on a set-but-invalid value (garbage, overflow, or zero): a
+    /// typo'd `GARIBALDI_WORKERS` silently falling back to the serial
+    /// engine would make the CI leg that forces the parallel engine pass
+    /// without testing it. The parsing itself is the pure (unit-tested)
+    /// [`EngineConfig::parse_env`] / [`EngineChoice::resolve`].
     pub fn from_env() -> Option<Self> {
-        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
-            let raw = std::env::var(var).ok()?;
-            match raw.trim().parse() {
-                Ok(v) => Some(v),
-                Err(_) => panic!("{var} must be a non-negative integer, got {raw:?}"),
-            }
+        match EngineChoice::from_env_or(EngineChoice::Serial) {
+            EngineChoice::Serial => None,
+            EngineChoice::Parallel(cfg) => Some(cfg),
         }
-        let workers: usize = parse("GARIBALDI_WORKERS")?;
-        let mut cfg = Self::with_workers(workers);
-        if let Some(s) = parse("GARIBALDI_SHARDS") {
+    }
+
+    /// Pure form of [`EngineConfig::from_env`]: builds a config from the
+    /// raw values of the three environment variables. `Ok(None)` when
+    /// `workers` is absent.
+    ///
+    /// # Errors
+    ///
+    /// Rejects garbage, overflow and zero for every variable with a
+    /// message naming the variable and the offending value — never a
+    /// silent fallback. All three variables are validated even when
+    /// `workers` is unset, so e.g. a bad `GARIBALDI_SHARDS` cannot hide
+    /// behind a serial run.
+    pub fn parse_env(
+        workers: Option<&str>,
+        shards: Option<&str>,
+        epoch: Option<&str>,
+    ) -> Result<Option<Self>, String> {
+        let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
+        let shards = parse_positive("GARIBALDI_SHARDS", shards)?;
+        let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
+        let Some(workers) = workers else {
+            return Ok(None);
+        };
+        let mut cfg = Self { workers, ..Self::default() };
+        if let Some(s) = shards {
             cfg.llc_shards = s;
         }
-        if let Some(e) = parse("GARIBALDI_EPOCH") {
-            cfg.epoch_cycles = e;
+        if let Some(e) = epoch {
+            cfg.epoch_cycles = e as u64;
         }
-        Some(cfg)
+        Ok(Some(cfg))
     }
 
     /// Validates structural invariants.
@@ -284,6 +316,142 @@ impl EngineConfig {
         }
         Ok(())
     }
+}
+
+/// Which simulation engine a run uses (see `docs/ARCHITECTURE.md`
+/// §"Parallel sharded engine"): the serial min-clock reference, or the
+/// epoch-sharded parallel engine with a concrete [`EngineConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The serial min-clock reference engine.
+    Serial,
+    /// The epoch-sharded parallel engine.
+    Parallel(EngineConfig),
+}
+
+impl EngineChoice {
+    /// Resolves the engine from the environment, with `default` applying
+    /// when nothing relevant is set. Precedence:
+    ///
+    /// 1. `GARIBALDI_ENGINE=serial` forces the serial engine (the escape
+    ///    hatch the benches document), even if `GARIBALDI_WORKERS` is set.
+    /// 2. `GARIBALDI_ENGINE=parallel` (alias `sharded`) forces the
+    ///    parallel engine.
+    /// 3. `GARIBALDI_ENGINE` unset but `GARIBALDI_WORKERS` set: parallel
+    ///    (the PR-2 forcing mechanism the CI matrix leg uses).
+    /// 4. Nothing set: `default`.
+    ///
+    /// Whenever the outcome is parallel, its geometry starts from the
+    /// caller's `default` when that is parallel (else
+    /// [`EngineConfig::default`]) and each of `GARIBALDI_WORKERS` /
+    /// `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH` that is set overrides its
+    /// field — so e.g. `GARIBALDI_EPOCH=5000` alone re-windows a bench
+    /// run (the benches default to parallel). When the outcome is serial,
+    /// the geometry variables have nothing to configure and are only
+    /// validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message on malformed values (unknown engine
+    /// name, zero/garbage/overflowing counts) — misconfiguration must
+    /// never silently select a different engine than intended. The pure,
+    /// unit-tested resolution is [`EngineChoice::resolve`].
+    pub fn from_env_or(default: Self) -> Self {
+        Self::resolve(
+            env_raw("GARIBALDI_ENGINE").as_deref(),
+            env_raw("GARIBALDI_WORKERS").as_deref(),
+            env_raw("GARIBALDI_SHARDS").as_deref(),
+            env_raw("GARIBALDI_EPOCH").as_deref(),
+            default,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Pure form of [`EngineChoice::from_env_or`] over raw variable values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending variable and value for an
+    /// unknown engine name or an invalid count.
+    pub fn resolve(
+        engine: Option<&str>,
+        workers: Option<&str>,
+        shards: Option<&str>,
+        epoch: Option<&str>,
+        default: Self,
+    ) -> Result<Self, String> {
+        let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
+        let shards = parse_positive("GARIBALDI_SHARDS", shards)?;
+        let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
+        // Which engine, and from which base geometry?
+        let base = match engine.map(str::trim) {
+            Some("serial") => return Ok(Self::Serial),
+            Some("parallel" | "sharded") => Some(default),
+            Some(other) => {
+                return Err(format!(
+                    "GARIBALDI_ENGINE must be \"serial\" or \"parallel\", got {other:?}"
+                ))
+            }
+            None if workers.is_some() => Some(default),
+            None => match default {
+                // A parallel default still takes the geometry overrides
+                // below (the benches' documented contract).
+                Self::Parallel(_) => Some(default),
+                Self::Serial => None,
+            },
+        };
+        let Some(base) = base else {
+            return Ok(Self::Serial);
+        };
+        let mut cfg = match base {
+            Self::Parallel(c) => c,
+            Self::Serial => EngineConfig::default(),
+        };
+        if let Some(w) = workers {
+            cfg.workers = w;
+        }
+        if let Some(s) = shards {
+            cfg.llc_shards = s;
+        }
+        if let Some(e) = epoch {
+            cfg.epoch_cycles = e as u64;
+        }
+        Ok(Self::Parallel(cfg))
+    }
+
+    /// Stable identity string for checkpoint keys and reports: `"serial"`
+    /// or `"sharded-s<shards>-e<epoch>"`. Worker count is deliberately
+    /// excluded — it never changes simulated results (the determinism
+    /// contract), so runs under different worker counts may share rows.
+    pub fn tag(&self) -> String {
+        match self {
+            Self::Serial => "serial".to_string(),
+            Self::Parallel(e) => format!("sharded-s{}-e{}", e.llc_shards, e.epoch_cycles),
+        }
+    }
+}
+
+/// Parses an env-var value as a positive count. `Ok(None)` when unset.
+///
+/// # Errors
+///
+/// Rejects empty strings, garbage, overflow (> `usize::MAX`) and zero,
+/// naming `var` and the value — invalid values must fail loudly rather
+/// than silently selecting a default.
+pub fn parse_positive(var: &str, raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    let v: usize =
+        raw.trim().parse().map_err(|_| format!("{var} must be a positive integer, got {raw:?}"))?;
+    if v == 0 {
+        return Err(format!("{var} must be at least 1, got 0 (unset it to use the default)"));
+    }
+    Ok(Some(v))
+}
+
+fn env_raw(var: &str) -> Option<String> {
+    std::env::var(var).ok()
 }
 
 fn scale_bytes(bytes: u64, f: f64, min: u64) -> u64 {
@@ -331,5 +499,114 @@ mod tests {
         c.partition_instr_ways = 0;
         c.mlp_overlap = 1.5;
         assert!(c.validate().is_err());
+    }
+
+    // --- env hardening: every invalid value errs with the variable name ---
+
+    #[test]
+    fn parse_positive_accepts_counts_and_whitespace() {
+        assert_eq!(parse_positive("X", None).unwrap(), None);
+        assert_eq!(parse_positive("X", Some("4")).unwrap(), Some(4));
+        assert_eq!(parse_positive("X", Some(" 16 ")).unwrap(), Some(16));
+    }
+
+    #[test]
+    fn parse_positive_rejects_zero_garbage_and_overflow() {
+        for bad in ["0", "banana", "", "-3", "4.5", "99999999999999999999999999"] {
+            let err = parse_positive("GARIBALDI_WORKERS", Some(bad)).unwrap_err();
+            assert!(err.contains("GARIBALDI_WORKERS"), "error names the variable: {err}");
+            assert!(
+                bad.is_empty() || err.contains(bad.trim()),
+                "error shows the offending value: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_config_parse_env_cases() {
+        // Unset workers → None regardless of the other knobs.
+        assert_eq!(EngineConfig::parse_env(None, Some("4"), Some("1000")).unwrap(), None);
+        // Workers alone → defaults for the rest.
+        let c = EngineConfig::parse_env(Some("2"), None, None).unwrap().unwrap();
+        assert_eq!(c.workers, 2);
+        assert_eq!(c, EngineConfig { workers: 2, ..EngineConfig::default() });
+        // Full triple.
+        let c = EngineConfig::parse_env(Some("4"), Some("2"), Some("5000")).unwrap().unwrap();
+        assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (4, 2, 5000));
+        // Invalid values err rather than falling back.
+        assert!(EngineConfig::parse_env(Some("0"), None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("two"), None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), Some("0"), None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), None, Some("0")).is_err());
+        assert!(EngineConfig::parse_env(Some("18446744073709551616"), None, None).is_err());
+    }
+
+    #[test]
+    fn engine_choice_resolution_precedence() {
+        let default_par = EngineChoice::Parallel(EngineConfig::default());
+        // Nothing set → the caller's default.
+        assert_eq!(
+            EngineChoice::resolve(None, None, None, None, EngineChoice::Serial).unwrap(),
+            EngineChoice::Serial
+        );
+        assert_eq!(
+            EngineChoice::resolve(None, None, None, None, default_par).unwrap(),
+            default_par
+        );
+        // serial wins even over GARIBALDI_WORKERS.
+        assert_eq!(
+            EngineChoice::resolve(Some("serial"), Some("4"), None, None, default_par).unwrap(),
+            EngineChoice::Serial
+        );
+        // Back-compat: workers alone flips to parallel.
+        match EngineChoice::resolve(None, Some("3"), None, None, EngineChoice::Serial).unwrap() {
+            EngineChoice::Parallel(c) => assert_eq!(c.workers, 3),
+            other => panic!("expected parallel, got {other:?}"),
+        }
+        // parallel with a parallel default keeps its geometry, env overrides.
+        let tuned =
+            EngineChoice::Parallel(EngineConfig { workers: 2, epoch_cycles: 77, llc_shards: 4 });
+        match EngineChoice::resolve(Some("parallel"), None, None, Some("123"), tuned).unwrap() {
+            EngineChoice::Parallel(c) => {
+                assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (2, 4, 123));
+            }
+            other => panic!("expected parallel, got {other:?}"),
+        }
+        // Geometry overrides also apply when the *default* supplies the
+        // parallel engine (the benches' contract): GARIBALDI_EPOCH alone
+        // re-windows a bench run instead of being silently ignored.
+        match EngineChoice::resolve(None, None, Some("16"), Some("123"), tuned).unwrap() {
+            EngineChoice::Parallel(c) => {
+                assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (2, 16, 123));
+            }
+            other => panic!("expected parallel, got {other:?}"),
+        }
+        // With a serial default, geometry variables alone do not flip the
+        // engine — but they are still validated.
+        assert_eq!(
+            EngineChoice::resolve(None, None, None, Some("123"), EngineChoice::Serial).unwrap(),
+            EngineChoice::Serial
+        );
+        assert!(EngineChoice::resolve(None, None, None, Some("0"), EngineChoice::Serial).is_err());
+        // Unknown engine name is a hard error naming the value.
+        let err = EngineChoice::resolve(Some("turbo"), None, None, None, EngineChoice::Serial)
+            .unwrap_err();
+        assert!(err.contains("GARIBALDI_ENGINE") && err.contains("turbo"), "{err}");
+        // Invalid counts propagate even under an explicit engine name.
+        assert!(EngineChoice::resolve(
+            Some("parallel"),
+            Some("0"),
+            None,
+            None,
+            EngineChoice::Serial
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn engine_choice_tags() {
+        assert_eq!(EngineChoice::Serial.tag(), "serial");
+        let e = EngineConfig { workers: 9, epoch_cycles: 50_000, llc_shards: 8 };
+        assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000", "workers excluded");
     }
 }

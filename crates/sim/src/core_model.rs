@@ -16,11 +16,9 @@
 use crate::config::SystemConfig;
 use crate::hierarchy::MemoryHierarchy;
 use garibaldi_cache::{Prefetcher, TemporalPrefetcher};
-use garibaldi_trace::{AddressSpace, TraceGenerator};
+use garibaldi_trace::{SharedAddressSpace, TraceGenerator};
 use garibaldi_types::{CoreId, LineAddr, VirtAddr, LINE_BYTES};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Sequential run-ahead depth of the frontend prefetch engine (FDIP-style).
 const IPF_RUNAHEAD: u64 = 6;
@@ -122,7 +120,7 @@ pub struct CoreState<'p> {
     /// Core identifier.
     pub id: CoreId,
     gen: TraceGenerator<'p>,
-    asp: Rc<RefCell<AddressSpace>>,
+    asp: SharedAddressSpace,
     ipf: InstrPrefetchEngine,
     ipf_out: Vec<VirtAddr>,
     /// Local clock in cycles.
@@ -138,8 +136,14 @@ pub struct CoreState<'p> {
 
 impl<'p> CoreState<'p> {
     /// Creates a core walking `gen` in address space `asp` (threads of one
-    /// server process pass clones of the same `Rc`, sharing translations).
-    pub fn new(id: CoreId, gen: TraceGenerator<'p>, asp: Rc<RefCell<AddressSpace>>) -> Self {
+    /// server process pass clones of the same space, sharing translations).
+    ///
+    /// Both engines translate through the pure-hash [`SharedAddressSpace`],
+    /// so a serial and a parallel run of the same (config, mix, seed) see
+    /// identical physical layouts — the fidelity study (`docs/fidelity/`)
+    /// compares engines on epoch mechanics alone, not on accidental
+    /// differences in page placement.
+    pub fn new(id: CoreId, gen: TraceGenerator<'p>, asp: SharedAddressSpace) -> Self {
         Self {
             id,
             gen,
@@ -197,7 +201,7 @@ impl<'p> CoreState<'p> {
     pub fn step(&mut self, hier: &mut MemoryHierarchy, cfg: &SystemConfig) {
         let rec = self.gen.next_record();
         let now = self.clock as u64;
-        let il_pa = self.asp.borrow_mut().translate_line(rec.pc);
+        let il_pa = self.asp.translate_line(rec.pc);
 
         // Frontend: fetch the instruction line.
         let i_out = hier.access_instr(self.id, rec.pc, il_pa, now);
@@ -210,7 +214,7 @@ impl<'p> CoreState<'p> {
             let mut out = std::mem::take(&mut self.ipf_out);
             self.ipf.on_miss(rec.pc, &mut out);
             for &va in &out {
-                let pa = self.asp.borrow_mut().translate_line(va);
+                let pa = self.asp.translate_line(va);
                 hier.prefetch_instr(self.id, va, pa, now);
             }
             self.ipf_out = out;
@@ -221,7 +225,7 @@ impl<'p> CoreState<'p> {
             [0.0; garibaldi_trace::MAX_DATA_REFS];
         let mut n = 0;
         for d in rec.data_refs() {
-            let d_pa = self.asp.borrow_mut().translate_line(d.va);
+            let d_pa = self.asp.translate_line(d.va);
             let out = hier.access_data(self.id, rec.pc, d_pa, d.rw, now, i_llc_miss);
             stalls[n] = out.latency.saturating_sub(cfg.l1_latency) as f64;
             n += 1;

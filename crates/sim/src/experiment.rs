@@ -1,6 +1,6 @@
 //! Experiment scaffolding: scales, weighted speedup, common sweeps.
 
-use crate::config::{LlcScheme, SystemConfig};
+use crate::config::{EngineChoice, LlcScheme, SystemConfig};
 use crate::metrics::RunResult;
 use crate::system::SimRunner;
 use garibaldi_trace::WorkloadMix;
@@ -50,6 +50,21 @@ impl ExperimentScale {
         }
     }
 
+    /// The fidelity-study scale (`docs/fidelity/`): the default figure
+    /// scale's 8-core half-size caches, but a shorter measured region so
+    /// the serial×parallel×epoch-grid cross product stays tractable on one
+    /// host. Runs ~8 epochs at the default window and ~2 at the largest
+    /// grid point, so the sweep still exercises barrier-frequency extremes.
+    pub fn fidelity_small() -> Self {
+        Self {
+            factor: 0.5,
+            cores: 8,
+            records_per_core: 60_000,
+            warmup_per_core: 15_000,
+            color_period: 10_000,
+        }
+    }
+
     /// The paper's full Table 1 configuration (slow: hours, not minutes).
     pub fn full() -> Self {
         Self {
@@ -82,9 +97,25 @@ pub fn run_homogeneous(
     workload: &str,
     seed: u64,
 ) -> RunResult {
+    let choice = EngineChoice::from_env_or(EngineChoice::Serial);
+    run_homogeneous_on(scale, scheme, workload, seed, choice)
+}
+
+/// [`run_homogeneous`] on an explicitly chosen engine (the bench harness
+/// routes every figure target through this with its parallel default).
+pub fn run_homogeneous_on(
+    scale: &ExperimentScale,
+    scheme: LlcScheme,
+    workload: &str,
+    seed: u64,
+    choice: EngineChoice,
+) -> RunResult {
     let cfg = SystemConfig::scaled(scale, scheme);
-    SimRunner::new(cfg, WorkloadMix::homogeneous(workload, scale.cores), seed)
-        .run(scale.records_per_core, scale.warmup_per_core)
+    SimRunner::new(cfg, WorkloadMix::homogeneous(workload, scale.cores), seed).run_on(
+        scale.records_per_core,
+        scale.warmup_per_core,
+        choice,
+    )
 }
 
 /// Runs an arbitrary mix under `scheme`.
@@ -94,17 +125,48 @@ pub fn run_mix(
     mix: &WorkloadMix,
     seed: u64,
 ) -> RunResult {
+    let choice = EngineChoice::from_env_or(EngineChoice::Serial);
+    run_mix_on(scale, scheme, mix, seed, choice)
+}
+
+/// [`run_mix`] on an explicitly chosen engine.
+pub fn run_mix_on(
+    scale: &ExperimentScale,
+    scheme: LlcScheme,
+    mix: &WorkloadMix,
+    seed: u64,
+    choice: EngineChoice,
+) -> RunResult {
     let cfg = SystemConfig::scaled(scale, scheme);
-    SimRunner::new(cfg, mix.clone(), seed).run(scale.records_per_core, scale.warmup_per_core)
+    SimRunner::new(cfg, mix.clone(), seed).run_on(
+        scale.records_per_core,
+        scale.warmup_per_core,
+        choice,
+    )
 }
 
 /// Single-core IPC of a workload (denominator of weighted speedup); uses
 /// the same per-core cache ratios with a 1-core LLC slice.
 pub fn ipc_single(scale: &ExperimentScale, scheme: LlcScheme, workload: &str, seed: u64) -> f64 {
+    let choice = EngineChoice::from_env_or(EngineChoice::Serial);
+    ipc_single_on(scale, scheme, workload, seed, choice)
+}
+
+/// [`ipc_single`] on an explicitly chosen engine.
+pub fn ipc_single_on(
+    scale: &ExperimentScale,
+    scheme: LlcScheme,
+    workload: &str,
+    seed: u64,
+    choice: EngineChoice,
+) -> f64 {
     let single = ExperimentScale { cores: 1, ..*scale };
     let cfg = SystemConfig::scaled(&single, scheme);
-    let r = SimRunner::new(cfg, WorkloadMix::homogeneous(workload, 1), seed)
-        .run(scale.records_per_core.min(60_000), scale.warmup_per_core.min(15_000));
+    let r = SimRunner::new(cfg, WorkloadMix::homogeneous(workload, 1), seed).run_on(
+        scale.records_per_core.min(60_000),
+        scale.warmup_per_core.min(15_000),
+        choice,
+    );
     r.cores[0].ipc
 }
 

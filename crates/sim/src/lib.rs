@@ -30,16 +30,18 @@ pub mod core_model;
 pub mod energy;
 pub mod engine;
 pub mod experiment;
+pub mod fidelity;
 pub mod hierarchy;
 pub mod metrics;
 pub mod reuse;
 pub mod system;
 
-pub use config::{EngineConfig, LlcScheme, SystemConfig};
+pub use config::{EngineChoice, EngineConfig, LlcScheme, SystemConfig};
 pub use core_model::CpiStack;
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::ParallelEngine;
 pub use experiment::{geomean, ExperimentScale, WeightedSpeedup};
+pub use fidelity::{FidelityReport, FidelitySuite};
 pub use hierarchy::MemoryHierarchy;
 pub use metrics::{ConditionalMatrix, CoreResult, RunResult};
 pub use reuse::ReuseProfiler;

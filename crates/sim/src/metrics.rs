@@ -199,6 +199,144 @@ impl RunResult {
     pub fn total_ifetch_stall(&self) -> f64 {
         self.cores.iter().map(|c| c.stack.ifetch).sum()
     }
+
+    /// Total instructions retired across cores.
+    pub fn total_instrs(&self) -> u64 {
+        self.cores.iter().map(|c| c.instrs).sum()
+    }
+
+    /// LLC misses per kilo-instruction (demand I+D).
+    pub fn llc_mpki(&self) -> f64 {
+        per_kilo_instr(self.llc.misses(), self.total_instrs())
+    }
+
+    /// LLC *instruction* misses per kilo-instruction — the frontend-facing
+    /// half of the MPKI split the paper's mechanism targets.
+    pub fn llc_instr_mpki(&self) -> f64 {
+        per_kilo_instr(self.llc.i_misses(), self.total_instrs())
+    }
+
+    /// Fraction of demand instruction LLC accesses served without going to
+    /// DRAM ("instruction-miss coverage": 1 − instruction miss rate).
+    pub fn llc_instr_coverage(&self) -> f64 {
+        if self.llc.i_accesses == 0 {
+            0.0
+        } else {
+            self.llc.i_hits as f64 / self.llc.i_accesses as f64
+        }
+    }
+
+    /// The figure-bearing scalar metrics of a run, by stable name. This is
+    /// the metric set [`RunResult::diff`] compares and the fidelity harness
+    /// (`crate::fidelity`) sweeps; names are part of the golden-baseline
+    /// format, so extend it rather than renaming.
+    pub fn key_metrics(&self) -> Vec<Metric> {
+        vec![
+            Metric { name: "ipc_sum", value: self.ipc_sum() },
+            Metric { name: "harmonic_mean_ipc", value: self.harmonic_mean_ipc() },
+            Metric { name: "aggregate_ipc", value: self.aggregate_ipc() },
+            Metric { name: "llc_mpki", value: self.llc_mpki() },
+            Metric { name: "llc_instr_mpki", value: self.llc_instr_mpki() },
+            Metric { name: "llc_instr_coverage", value: self.llc_instr_coverage() },
+            Metric {
+                name: "ifetch_stall_per_instr",
+                value: self.total_ifetch_stall() / (self.total_instrs().max(1) as f64),
+            },
+        ]
+    }
+
+    /// Tolerance-aware comparison of this run (the *candidate*, e.g. the
+    /// epoch-sharded engine) against `baseline` (e.g. the serial engine):
+    /// one [`MetricDiff`] per [`RunResult::key_metrics`] entry.
+    pub fn diff(&self, baseline: &RunResult) -> RunDiff {
+        let b = baseline.key_metrics();
+        let c = self.key_metrics();
+        debug_assert_eq!(b.len(), c.len());
+        RunDiff {
+            metrics: b
+                .into_iter()
+                .zip(c)
+                .map(|(b, c)| MetricDiff {
+                    name: b.name,
+                    baseline: b.value,
+                    candidate: c.value,
+                    rel_err: rel_err(b.value, c.value),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One named scalar observable of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metric {
+    /// Stable metric name (golden-baseline key).
+    pub name: &'static str,
+    /// Metric value.
+    pub value: f64,
+}
+
+/// One metric compared across two runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricDiff {
+    /// Metric name (see [`RunResult::key_metrics`]).
+    pub name: &'static str,
+    /// Baseline (reference-engine) value.
+    pub baseline: f64,
+    /// Candidate (engine-under-test) value.
+    pub candidate: f64,
+    /// Relative error (see [`rel_err`]).
+    pub rel_err: f64,
+}
+
+/// The per-metric comparison of two runs ([`RunResult::diff`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunDiff {
+    /// One entry per key metric, in [`RunResult::key_metrics`] order.
+    pub metrics: Vec<MetricDiff>,
+}
+
+impl RunDiff {
+    /// Largest relative error across the metric set.
+    pub fn max_rel_err(&self) -> f64 {
+        self.metrics.iter().map(|m| m.rel_err).fold(0.0, f64::max)
+    }
+
+    /// The metric with the largest relative error, if any.
+    pub fn worst(&self) -> Option<&MetricDiff> {
+        self.metrics.iter().max_by(|a, b| a.rel_err.total_cmp(&b.rel_err))
+    }
+
+    /// Whether every metric is within `tol` relative error.
+    pub fn within(&self, tol: f64) -> bool {
+        self.max_rel_err() <= tol
+    }
+
+    /// Entries exceeding `tol`, for error messages.
+    pub fn violations(&self, tol: f64) -> Vec<&MetricDiff> {
+        self.metrics.iter().filter(|m| m.rel_err > tol).collect()
+    }
+}
+
+/// Relative error of `candidate` against `baseline`:
+/// `|c − b| / max(|b|, ABS_FLOOR)`. The floor makes near-zero baselines
+/// (e.g. an MPKI of 1e-9) compare by absolute rather than relative
+/// distance, so noise around zero never reads as an infinite error.
+pub fn rel_err(baseline: f64, candidate: f64) -> f64 {
+    /// Baseline magnitudes below this compare absolutely.
+    const ABS_FLOOR: f64 = 1e-3;
+    if !baseline.is_finite() || !candidate.is_finite() {
+        return f64::INFINITY;
+    }
+    (candidate - baseline).abs() / baseline.abs().max(ABS_FLOOR)
+}
+
+fn per_kilo_instr(events: u64, instrs: u64) -> f64 {
+    if instrs == 0 {
+        0.0
+    } else {
+        events as f64 * 1000.0 / instrs as f64
+    }
 }
 
 #[cfg(test)]
@@ -255,5 +393,53 @@ mod tests {
         let r = mk_result(&[1.0, 0.5]);
         assert!((r.wall_cycles() - 2000.0).abs() < 1e-9);
         assert!((r.aggregate_ipc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_and_coverage_derivations() {
+        let mut r = mk_result(&[1.0]); // 1000 instrs
+        r.llc.i_accesses = 100;
+        r.llc.i_hits = 75;
+        r.llc.d_accesses = 100;
+        r.llc.d_hits = 50;
+        assert!((r.llc_mpki() - 75.0).abs() < 1e-12, "75 misses / 1k instrs");
+        assert!((r.llc_instr_mpki() - 25.0).abs() < 1e-12);
+        assert!((r.llc_instr_coverage() - 0.75).abs() < 1e-12);
+        let empty = mk_result(&[1.0]);
+        assert_eq!(empty.llc_mpki(), 0.0);
+        assert_eq!(empty.llc_instr_coverage(), 0.0);
+    }
+
+    #[test]
+    fn diff_of_identical_runs_is_zero() {
+        let mut r = mk_result(&[1.0, 0.5]);
+        r.llc.i_accesses = 10;
+        r.llc.i_hits = 4;
+        let d = r.diff(&r.clone());
+        assert_eq!(d.metrics.len(), r.key_metrics().len());
+        assert_eq!(d.max_rel_err(), 0.0);
+        assert!(d.within(0.0));
+        assert!(d.violations(0.0).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_the_worst_metric() {
+        let base = mk_result(&[1.0, 1.0]);
+        let cand = mk_result(&[1.05, 1.0]); // ipc_sum 2.05 vs 2.0 → 2.5 %
+        let d = cand.diff(&base);
+        assert!(!d.within(0.01));
+        assert!(d.within(0.10));
+        let worst = d.worst().expect("non-empty");
+        // harmonic mean moves more than ipc_sum for a one-core bump.
+        assert!(worst.rel_err >= 0.024, "worst {} = {}", worst.name, worst.rel_err);
+        assert_eq!(d.violations(0.02).len(), d.metrics.iter().filter(|m| m.rel_err > 0.02).count());
+    }
+
+    #[test]
+    fn rel_err_floors_near_zero_baselines() {
+        assert!((rel_err(2.0, 2.2) - 0.1).abs() < 1e-12);
+        // A 1e-9 absolute wobble around a zero baseline is not an error.
+        assert!(rel_err(0.0, 1e-9) < 1e-5);
+        assert!(rel_err(f64::NAN, 1.0).is_infinite());
     }
 }

@@ -7,7 +7,7 @@
 //! victims) the paper studies — without the cost of cycle-by-cycle
 //! lock-step simulation.
 
-use crate::config::{EngineConfig, SystemConfig};
+use crate::config::{EngineChoice, EngineConfig, SystemConfig};
 use crate::core_model::CoreState;
 use crate::energy::EnergyModel;
 use crate::engine::private::RecordSource;
@@ -15,13 +15,11 @@ use crate::engine::ParallelEngine;
 use crate::hierarchy::MemoryHierarchy;
 use crate::metrics::{CoreResult, GaribaldiReport, ReuseSummary, RunResult};
 use garibaldi_trace::{
-    registry, AddressSpace, PpnAllocator, SharedAddressSpace, SyntheticProgram, TraceGenerator,
-    TraceRecord, WorkloadClass, WorkloadMix,
+    registry, PpnAllocator, SharedAddressSpace, SyntheticProgram, TraceGenerator, TraceRecord,
+    WorkloadClass, WorkloadMix,
 };
 use garibaldi_types::CoreId;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// A configured simulation ready to run.
 #[derive(Debug, Clone)]
@@ -55,62 +53,42 @@ impl SimRunner {
     /// Runs `warmup` + `records` trace records per core and returns the
     /// measured-region result.
     ///
-    /// Uses the serial min-clock engine unless `GARIBALDI_WORKERS` is set,
-    /// in which case the whole run goes through the epoch-sharded parallel
-    /// engine (see [`SimRunner::run_parallel`]) — the forcing mechanism the
-    /// CI matrix leg uses to exercise the full suite on the new engine.
+    /// Engine selection follows [`EngineChoice::from_env_or`] with a serial
+    /// default: `GARIBALDI_ENGINE=serial|parallel` picks explicitly, a bare
+    /// `GARIBALDI_WORKERS` routes through the epoch-sharded parallel engine
+    /// (see [`SimRunner::run_parallel`]) — the forcing mechanism the CI
+    /// matrix leg uses to exercise the full suite on the new engine — and
+    /// with nothing set the serial min-clock engine runs. The benches
+    /// default to the parallel engine instead via [`SimRunner::run_on`].
     pub fn run(&self, records: u64, warmup: u64) -> RunResult {
-        if let Some(eng) = EngineConfig::from_env() {
-            return self.run_parallel(records, warmup, &eng);
+        self.run_on(records, warmup, EngineChoice::from_env_or(EngineChoice::Serial))
+    }
+
+    /// Runs on an explicitly chosen engine.
+    pub fn run_on(&self, records: u64, warmup: u64, choice: EngineChoice) -> RunResult {
+        match choice {
+            EngineChoice::Serial => self.run_serial(records, warmup),
+            EngineChoice::Parallel(eng) => self.run_parallel(records, warmup, &eng),
         }
-        self.run_serial(records, warmup)
     }
 
     /// The serial min-clock reference engine.
+    ///
+    /// Shares trace construction and the pure-hash address-space mapping
+    /// with the parallel engine (`build_parallel_cores`), so the two
+    /// engines differ only in epoch mechanics — the property the fidelity
+    /// study ([`crate::fidelity`]) relies on.
     pub fn run_serial(&self, records: u64, warmup: u64) -> RunResult {
-        // Build one program per distinct workload (shared by its cores).
-        let mut programs: HashMap<&str, SyntheticProgram> = HashMap::new();
-        for name in self.mix.distinct() {
-            let profile =
-                registry::by_name(name).expect("validated").scaled(self.cfg.profile_scale);
-            let pseed = self.seed ^ fxhash(name.as_bytes());
-            programs.insert(
-                registry::by_name(name).unwrap().name.as_str(),
-                SyntheticProgram::build(&profile, pseed),
-            );
-        }
-
+        let programs = self.build_programs();
         let mut hier = MemoryHierarchy::new(&self.cfg);
-        let mut alloc = PpnAllocator::new();
-        // Server workloads are multithreaded services: cores running the
-        // same server workload are threads of one process and share an
-        // address space (shared text + hot data, private cold streams via
-        // per-thread salts). SPEC workloads are separate processes.
-        let mut shared_spaces: HashMap<&str, Rc<RefCell<AddressSpace>>> = HashMap::new();
-        let mut thread_index: HashMap<&str, u64> = HashMap::new();
         let mut cores: Vec<CoreState<'_>> = self
-            .mix
-            .slots
-            .iter()
+            .build_parallel_cores(&programs, None)
+            .into_iter()
             .enumerate()
-            .map(|(i, name)| {
-                let program = &programs[name.as_str()];
-                let profile = registry::by_name(name).expect("validated");
-                let walk_seed = self.seed.wrapping_mul(0x517c_c1b7_2722_0a95) ^ i as u64;
-                let (gen, asp) = if profile.class == WorkloadClass::Server {
-                    let t = thread_index.entry(profile.name.as_str()).or_insert(0);
-                    let tid = *t;
-                    *t += 1;
-                    let asp = shared_spaces
-                        .entry(profile.name.as_str())
-                        .or_insert_with(|| {
-                            Rc::new(RefCell::new(AddressSpace::new(alloc.alloc_space())))
-                        })
-                        .clone();
-                    (TraceGenerator::new(program, walk_seed).with_private_cold(tid), asp)
-                } else {
-                    let asp = Rc::new(RefCell::new(AddressSpace::new(alloc.alloc_space())));
-                    (TraceGenerator::new(program, walk_seed), asp)
+            .map(|(i, (src, asp))| {
+                let gen = match src {
+                    RecordSource::Gen(gen) => gen,
+                    RecordSource::Replay { .. } => unreachable!("serial runs generate live"),
                 };
                 CoreState::new(CoreId::new(i as u16), gen, asp)
             })

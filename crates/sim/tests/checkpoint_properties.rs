@@ -1,0 +1,171 @@
+//! Property tests for the JSON-lines checkpoint serializer: randomized
+//! `RunResult`s round-trip bit-identically, and corrupted files recover
+//! to the last good record.
+
+use garibaldi::GaribaldiStats;
+use garibaldi_cache::CacheStats;
+use garibaldi_mem::DramStats;
+use garibaldi_sim::checkpoint;
+use garibaldi_sim::metrics::{ConditionalMatrix, CoreResult, GaribaldiReport, ReuseSummary};
+use garibaldi_sim::{CpiStack, RunResult};
+use proptest::prelude::*;
+
+/// Finite floats with awkward shortest-representations (ratios of random
+/// integers exercise long decimal expansions; scale varies by exponent).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX, 1u64..1_000_000, 0i32..5)
+        .prop_map(|(n, d, e)| (n as f64 / d as f64) * 10f64.powi(e - 2))
+}
+
+/// Strings mixing escapes, unicode and control characters.
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x1_0000, 0..12)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn arb_cache_stats() -> impl Strategy<Value = CacheStats> {
+    prop::collection::vec(0u64..=u64::MAX / 2, 12..13).prop_map(|v| CacheStats {
+        i_accesses: v[0],
+        i_hits: v[1],
+        d_accesses: v[2],
+        d_hits: v[3],
+        evictions: v[4],
+        writebacks: v[5],
+        prefetch_fills: v[6],
+        prefetch_useful: v[7],
+        bypasses: v[8],
+        guarded_protections: v[9],
+        invalidations: v[10],
+        i_evictions: v[11],
+    })
+}
+
+fn arb_core() -> impl Strategy<Value = CoreResult> {
+    (arb_string(), 0u64..=u64::MAX / 2, arb_f64(), arb_f64(), arb_f64(), arb_f64()).prop_map(
+        |(workload, instrs, cycles, ipc, a, b)| CoreResult {
+            workload,
+            instrs,
+            cycles,
+            ipc,
+            stack: CpiStack { base: a, ifetch: b, data: a + b, branch: a * 0.5 },
+        },
+    )
+}
+
+fn arb_run_result() -> impl Strategy<Value = RunResult> {
+    (
+        (arb_string(), prop::collection::vec(arb_core(), 0..5)),
+        (arb_cache_stats(), arb_cache_stats(), arb_cache_stats(), arb_cache_stats()),
+        prop::collection::vec(0u64..=u64::MAX / 2, 10..11),
+        (prop::bool::ANY, prop::bool::ANY, arb_f64(), arb_f64()),
+    )
+        .prop_map(|((scheme, cores), (l1, l1i, l2, llc), u, (has_g, has_r, fa, fb))| {
+            RunResult {
+                scheme,
+                cores,
+                l1,
+                l1i,
+                l2,
+                llc,
+                dram: DramStats {
+                    reads: u[0],
+                    writes: u[1],
+                    queue_delay: u[2],
+                    queued_requests: u[3],
+                },
+                garibaldi: has_g.then(|| GaribaldiReport {
+                    stats: GaribaldiStats {
+                        instr_accesses: u[4],
+                        instr_misses: u[5],
+                        pair_updates: u[6],
+                        ..Default::default()
+                    },
+                    final_threshold: u[7] as u32,
+                    color_ticks: u[8],
+                    helper_hit_rate: fa.min(1.0),
+                }),
+                conditional: ConditionalMatrix {
+                    dhit_imiss: u[4],
+                    dhit_total: u[5],
+                    dmiss_imiss: u[6],
+                    dmiss_total: u[7],
+                },
+                reuse: has_r.then(|| ReuseSummary {
+                    instr_mean_distance: fa,
+                    data_mean_distance: fb,
+                    instr_within_assoc: (fa / (fa + 1.0)).min(1.0),
+                    data_within_assoc: (fb / (fb + 1.0)).min(1.0),
+                    accesses_per_instr_line: fa + fb,
+                    accesses_per_data_line: fa * 0.25,
+                    shared_lifecycle_fraction: (fb / (fb + 2.0)).min(1.0),
+                }),
+                energy: garibaldi_sim::EnergyReport { dynamic_j: fa, static_j: fb },
+                qbs_cycles: u[8],
+                invalidations: u[9],
+            }
+        })
+}
+
+proptest! {
+    /// parse(serialize(run)) is the identity, for any key and result.
+    #[test]
+    fn json_line_round_trip_is_identity(key in arb_string(), r in arb_run_result()) {
+        let line = checkpoint::to_json_line(&key, &r);
+        prop_assert!(!line.contains('\n'), "one run = one line");
+        let (k, back) = checkpoint::parse_json_line(&line).expect("round-trip parse");
+        prop_assert_eq!(k, key);
+        prop_assert_eq!(back, r);
+    }
+}
+
+/// A checkpoint file whose tail was cut mid-line (the crash/kill case)
+/// recovers every record before the cut, and appending resumes cleanly.
+#[test]
+fn truncated_file_resumes_from_last_good_record() {
+    let sample = |ipc: f64| RunResult {
+        scheme: "LRU".into(),
+        cores: vec![CoreResult {
+            workload: "tpcc".into(),
+            instrs: 1000,
+            cycles: 1000.0 / ipc,
+            ipc,
+            stack: CpiStack::default(),
+        }],
+        l1: CacheStats::default(),
+        l1i: CacheStats::default(),
+        l2: CacheStats::default(),
+        llc: CacheStats::default(),
+        dram: DramStats::default(),
+        garibaldi: None,
+        conditional: ConditionalMatrix::default(),
+        reuse: None,
+        energy: garibaldi_sim::EnergyReport::default(),
+        qbs_cycles: 0,
+        invalidations: 0,
+    };
+    let dir = std::env::temp_dir().join("garibaldi-checkpoint-truncation");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("runs.jsonl");
+
+    checkpoint::append(&path, "a", &sample(1.0)).unwrap();
+    checkpoint::append(&path, "b", &sample(2.0)).unwrap();
+    checkpoint::append(&path, "c", &sample(3.0)).unwrap();
+
+    // Cut the file mid-way through the last line.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = text.len() - lines[2].len() / 2;
+    std::fs::write(&path, &text.as_bytes()[..keep]).unwrap();
+
+    let m = checkpoint::load(&path);
+    assert_eq!(m.len(), 2, "the truncated record is dropped, the rest survive");
+    assert!((m["a"].cores[0].ipc - 1.0).abs() < 1e-12);
+    assert!((m["b"].cores[0].ipc - 2.0).abs() < 1e-12);
+
+    // Resuming appends after the partial line; the file stays loadable.
+    checkpoint::append(&path, "c", &sample(3.0)).unwrap();
+    let m = checkpoint::load(&path);
+    assert_eq!(m.len(), 3, "re-run of the lost record resumes the sweep");
+    assert!((m["c"].cores[0].ipc - 3.0).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}

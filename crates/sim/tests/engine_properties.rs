@@ -1,0 +1,106 @@
+//! Property tests for the epoch-sharded engine over arbitrary traces.
+//!
+//! Streams are generated records (not registry workloads), replayed with
+//! [`SimRunner::run_parallel_replay`], so the properties hold for inputs
+//! no calibrated profile would produce.
+
+use garibaldi_cache::PolicyKind;
+use garibaldi_sim::{EngineConfig, ExperimentScale, LlcScheme, SimRunner, SystemConfig};
+use garibaldi_trace::{TraceRecord, WorkloadMix};
+use garibaldi_types::{RwKind, VirtAddr};
+use proptest::prelude::*;
+
+/// Epoch-window grid the properties sweep (cycles). Runs are a few
+/// thousand cycles long, so this spans "many barriers" → "one barrier".
+const EPOCH_GRID: [u64; 3] = [1_000, 8_000, 64_000];
+
+/// Cores per run: deliberately not a multiple of the 4-core cluster size.
+const CORES: usize = 6;
+
+/// Cross-window tolerance for figure-bearing metrics. The fidelity study
+/// (`docs/fidelity/`) measures ≤2 % on calibrated workloads at scale;
+/// arbitrary tiny traces with maximal feedback staleness drift more, but
+/// the engine must stay within the same order of magnitude.
+const CROSS_EPOCH_TOL: f64 = 0.15;
+
+/// Absolute slack: rate-type metrics (coverage, MPKI on barely-reused
+/// random traces) sit near zero, where tiny absolute wobbles are huge
+/// relative errors; a metric also passes when it moved by less than this.
+const CROSS_EPOCH_ABS: f64 = 0.02;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0x40_0000u64..0x48_0000,
+        1u8..9,
+        prop::collection::vec((0u64..0x200_0000, prop::bool::ANY), 0..4),
+        prop::bool::ANY,
+    )
+        .prop_map(|(pc, instrs, data, mis)| {
+            let mut r = TraceRecord::fetch_only(VirtAddr::new(pc & !0x3), instrs);
+            for (va, w) in data {
+                r.push_data(VirtAddr::new(va), if w { RwKind::Write } else { RwKind::Read });
+            }
+            r.mispredict = mis;
+            r
+        })
+}
+
+fn arb_streams() -> impl Strategy<Value = Vec<Vec<TraceRecord>>> {
+    prop::collection::vec(prop::collection::vec(arb_record(), 40..220), CORES..CORES + 1)
+}
+
+fn runner(scheme: LlcScheme) -> SimRunner {
+    let scale = ExperimentScale { cores: CORES, ..ExperimentScale::smoke() };
+    let cfg = SystemConfig::scaled(&scale, scheme);
+    SimRunner::new(cfg, WorkloadMix::homogeneous("twitter", CORES), 99)
+}
+
+proptest! {
+    /// Determinism contract on arbitrary inputs: for any trace set and any
+    /// fixed `epoch_cycles`, the worker count never changes one byte of the
+    /// result.
+    #[test]
+    fn worker_count_never_changes_results(streams in arb_streams(), gi in 0usize..3) {
+        let epoch = EPOCH_GRID[gi];
+        let r = runner(LlcScheme::mockingjay_garibaldi());
+        let records = streams[0].len() as u64;
+        let warmup = records / 4;
+        let eng = |w| EngineConfig { workers: w, epoch_cycles: epoch, llc_shards: 8 };
+        let base = r.run_parallel_replay(&streams, records, warmup, &eng(1));
+        for workers in [2usize, 4] {
+            let other = r.run_parallel_replay(&streams, records, warmup, &eng(workers));
+            prop_assert_eq!(&base, &other, "workers={} epoch={}", workers, epoch);
+        }
+    }
+
+    /// Changing the epoch window is a *model* change, but a bounded one:
+    /// figure-bearing metrics stay within tolerance across the grid.
+    #[test]
+    fn epoch_window_changes_metrics_only_within_tolerance(streams in arb_streams()) {
+        let r = runner(LlcScheme::plain(PolicyKind::Mockingjay));
+        let records = streams[0].len() as u64;
+        let warmup = records / 4;
+        let runs: Vec<_> = EPOCH_GRID
+            .iter()
+            .map(|&e| {
+                let eng = EngineConfig { workers: 1, epoch_cycles: e, llc_shards: 8 };
+                r.run_parallel_replay(&streams, records, warmup, &eng)
+            })
+            .collect();
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            let diff = run.diff(&runs[0]);
+            let bad: Vec<_> = diff
+                .violations(CROSS_EPOCH_TOL)
+                .into_iter()
+                .filter(|m| (m.candidate - m.baseline).abs() > CROSS_EPOCH_ABS)
+                .collect();
+            prop_assert!(
+                bad.is_empty(),
+                "epoch {} vs {}: {:?}",
+                EPOCH_GRID[i],
+                EPOCH_GRID[0],
+                bad
+            );
+        }
+    }
+}

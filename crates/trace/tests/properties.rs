@@ -33,6 +33,26 @@ proptest! {
         prop_assert_eq!(records, decoded);
     }
 
+    /// Multi-stream (per-core dump) serialization round-trips arbitrary
+    /// stream sets — including empty streams and empty sets — and rejects
+    /// arbitrary truncation points instead of mis-decoding.
+    #[test]
+    fn multi_stream_serialization_round_trips(
+        streams in prop::collection::vec(prop::collection::vec(arb_record(), 0..40), 0..6),
+        cut in 1usize..64,
+    ) {
+        let encoded = serial::encode_multi(&streams);
+        let decoded = serial::decode_multi(&encoded).expect("decode");
+        prop_assert_eq!(&streams, &decoded);
+        let cut = cut.min(encoded.len().saturating_sub(1));
+        if cut > 0 {
+            prop_assert!(
+                serial::decode_multi(&encoded[..encoded.len() - cut]).is_err(),
+                "truncation by {cut} bytes must not decode"
+            );
+        }
+    }
+
     /// Zipf samples stay in range, and rank 0 is drawn at least as often
     /// as the last rank (up to sampling noise) for positive exponents.
     #[test]

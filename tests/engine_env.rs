@@ -1,0 +1,114 @@
+//! Environment-driven engine selection, end to end.
+//!
+//! These tests mutate real environment variables, so they live in their
+//! own test binary (its own process) and serialize on one mutex — the
+//! other test binaries never read these variables while this one runs.
+
+use garibaldi_sim::{
+    EngineChoice, EngineConfig, ExperimentScale, LlcScheme, RunResult, SimRunner, SystemConfig,
+};
+use garibaldi_trace::WorkloadMix;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+const VARS: [&str; 4] =
+    ["GARIBALDI_ENGINE", "GARIBALDI_WORKERS", "GARIBALDI_SHARDS", "GARIBALDI_EPOCH"];
+
+/// Runs `f` with exactly `vars` set, restoring a clean slate after.
+fn with_env<T>(vars: &[(&str, &str)], f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for v in VARS {
+        std::env::remove_var(v);
+    }
+    for (k, v) in vars {
+        std::env::set_var(k, v);
+    }
+    let out = f();
+    for v in VARS {
+        std::env::remove_var(v);
+    }
+    out
+}
+
+fn runner() -> SimRunner {
+    let s = ExperimentScale::smoke();
+    let cfg = SystemConfig::scaled(&s, LlcScheme::mockingjay_garibaldi());
+    SimRunner::new(cfg, WorkloadMix::homogeneous("twitter", s.cores), 42)
+}
+
+fn smoke_run(r: &SimRunner) -> RunResult {
+    let s = ExperimentScale::smoke();
+    r.run(s.records_per_core, s.warmup_per_core)
+}
+
+/// `GARIBALDI_ENGINE=serial` reproduces the serial engine exactly — even
+/// when `GARIBALDI_WORKERS` would otherwise force the parallel one (the
+/// escape hatch the benches' parallel-default flip documents).
+#[test]
+fn engine_serial_reproduces_serial_engine() {
+    let r = runner();
+    let s = ExperimentScale::smoke();
+    let reference = r.run_serial(s.records_per_core, s.warmup_per_core);
+    let forced =
+        with_env(&[("GARIBALDI_ENGINE", "serial"), ("GARIBALDI_WORKERS", "2")], || smoke_run(&r));
+    assert_eq!(reference, forced);
+    let plain = with_env(&[("GARIBALDI_ENGINE", "serial")], || smoke_run(&r));
+    assert_eq!(reference, plain);
+}
+
+/// `GARIBALDI_ENGINE=parallel` routes through the epoch-sharded engine
+/// with env-overridable geometry.
+#[test]
+fn engine_parallel_forces_parallel_engine() {
+    let r = runner();
+    let s = ExperimentScale::smoke();
+    let eng = EngineConfig { workers: 1, epoch_cycles: 7_000, llc_shards: 4 };
+    let reference = r.run_parallel(s.records_per_core, s.warmup_per_core, &eng);
+    let forced = with_env(
+        &[("GARIBALDI_ENGINE", "parallel"), ("GARIBALDI_EPOCH", "7000"), ("GARIBALDI_SHARDS", "4")],
+        || smoke_run(&r),
+    );
+    assert_eq!(reference, forced);
+    // Serial differs from the 7k-epoch parallel run on this workload
+    // (otherwise the two assertions above prove nothing).
+    let serial = r.run_serial(s.records_per_core, s.warmup_per_core);
+    assert_ne!(serial, reference, "engines must be distinguishable at smoke scale");
+}
+
+/// Bare `GARIBALDI_WORKERS` still flips to the parallel engine (the PR-2
+/// forcing mechanism CI's parallel-engine leg uses).
+#[test]
+fn bare_workers_still_selects_parallel() {
+    let choice =
+        with_env(&[("GARIBALDI_WORKERS", "3")], || EngineChoice::from_env_or(EngineChoice::Serial));
+    match choice {
+        EngineChoice::Parallel(c) => assert_eq!(c.workers, 3),
+        EngineChoice::Serial => panic!("GARIBALDI_WORKERS must select the parallel engine"),
+    }
+}
+
+/// Every malformed value fails loudly instead of silently selecting an
+/// unintended engine or geometry.
+#[test]
+fn malformed_values_panic_with_the_variable_name() {
+    let cases: [(&str, &str); 5] = [
+        ("GARIBALDI_ENGINE", "turbo"),
+        ("GARIBALDI_WORKERS", "0"),
+        ("GARIBALDI_WORKERS", "banana"),
+        ("GARIBALDI_SHARDS", "-1"),
+        ("GARIBALDI_EPOCH", "99999999999999999999999999"),
+    ];
+    for (var, val) in cases {
+        let err = with_env(&[(var, val)], || {
+            std::panic::catch_unwind(|| EngineChoice::from_env_or(EngineChoice::Serial))
+                .expect_err(&format!("{var}={val} must panic"))
+        });
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains(var), "panic for {var}={val} names the variable: {msg:?}");
+    }
+}

@@ -1,12 +1,16 @@
 //! Epoch-engine fidelity sweep — the study behind the default
-//! `EngineConfig::epoch_cycles` and the benches' parallel-engine flip.
+//! `EngineConfig::epoch_cycles`, the benches' parallel-engine flip, and
+//! the ewma estimator default.
 //!
 //! Runs matched (mix, scale, scheme) points through the serial min-clock
-//! engine and the epoch-sharded engine across an `epoch_cycles` grid,
-//! prints the per-epoch error table, and writes the machine-readable
-//! report to `target/garibaldi-results/fidelity_report.jsonl` (the
-//! committed copy lives in `docs/fidelity/`). Individual runs checkpoint
-//! through `fidelity_sweep.jsonl`, so an interrupted sweep resumes.
+//! engine and the epoch-sharded engine across an `epoch_cycles` ×
+//! issue-latency-estimator grid ({optimistic, ewma} — see
+//! `sim::engine::estimate`), prints the per-(epoch, estimator) error
+//! table, and writes the machine-readable report to
+//! `target/garibaldi-results/fidelity_report.jsonl` (the committed copy
+//! lives in `docs/fidelity/`). Individual runs checkpoint through
+//! `fidelity_sweep.jsonl`, so an interrupted sweep resumes (estimator
+//! tags keep rows from different profiles apart).
 //!
 //! Knobs:
 //! - `GARIBALDI_FID_GRID` — comma-separated `epoch_cycles` values
@@ -79,34 +83,39 @@ fn main() {
 
     let target_tol = 0.01;
     let hard_tol = 0.02;
-    if let Some(e) = report.recommend_epoch(target_tol) {
-        if report.max_figure_err(e) <= target_tol {
+    if let Some((e, est)) = report.recommend(target_tol) {
+        let err = report.max_figure_err_for(e, est);
+        if err <= target_tol {
             println!(
-                "recommended default epoch_cycles: {e} — largest grid point with figure-geomean \
-                 error ≤ {:.1}% (hard gate {:.1}%)",
+                "recommended default: epoch_cycles = {e} with the {est} estimator — largest grid \
+                 point with figure-geomean error ≤ {:.1}% ({:.4}%; hard gate {:.1}%)",
                 target_tol * 100.0,
+                err * 100.0,
                 hard_tol * 100.0
             );
         } else {
             println!(
-                "no grid point meets the {:.1}% target; least-error point is {e} at {:.4}% \
-                 (hard gate {:.1}%)",
+                "no (epoch, estimator) cell meets the {:.1}% target; least-error cell is \
+                 ({e}, {est}) at {:.4}% (hard gate {:.1}%)",
                 target_tol * 100.0,
-                report.max_figure_err(e) * 100.0,
+                err * 100.0,
                 hard_tol * 100.0
             );
         }
     }
     let current = EngineConfig::default().epoch_cycles;
     if report.epoch_grid.contains(&current) {
-        let (f, c) = (report.max_figure_err(current), report.max_cell_err(current));
-        let verdict = if f <= hard_tol { "within the hard gate" } else { "OVER the hard gate" };
-        println!(
-            "current EngineConfig::default().epoch_cycles = {current}: figure err {:.4}%, \
-             cell err {:.4}% — {verdict}",
-            f * 100.0,
-            c * 100.0
-        );
+        for est in &report.estimators {
+            let (f, c) =
+                (report.max_figure_err_for(current, est), report.max_cell_err_for(current, est));
+            let verdict = if f <= hard_tol { "within the hard gate" } else { "OVER the hard gate" };
+            println!(
+                "default epoch_cycles = {current}, {est}: figure err {:.4}%, cell err {:.4}% — \
+                 {verdict}",
+                f * 100.0,
+                c * 100.0
+            );
+        }
     } else {
         println!(
             "current EngineConfig::default().epoch_cycles = {current} is not in the sweep grid; \

@@ -171,6 +171,21 @@ impl SetAssocCache {
         self.policy.name()
     }
 
+    /// Exports the policy's PC-indexed learned state (see
+    /// [`ReplacementPolicy::export_learned`]); empty for policies without
+    /// learned tables.
+    pub fn export_policy_learned(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.policy.export_learned(&mut out);
+        out
+    }
+
+    /// Installs the deterministic consensus of same-policy `peers` exports
+    /// (see [`ReplacementPolicy::import_learned`]).
+    pub fn import_policy_learned(&mut self, peers: &[Vec<u32>]) {
+        self.policy.import_learned(peers);
+    }
+
     /// Set index of a line (local to this cache/shard).
     ///
     /// For shard views the caller must only present lines whose global set

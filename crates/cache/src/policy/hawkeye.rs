@@ -44,6 +44,9 @@ pub struct Hawkeye {
     ways: usize,
     window: usize,
     predictor: Vec<SatCounter>,
+    /// Predictor values as of the last learned-state sync (the shared
+    /// baseline the delta-sum merge in `import_learned` works from).
+    synced: Vec<u32>,
     sampled: HashMap<usize, SampledSet>,
     rrpv: Vec<u8>,
     friendly: Vec<bool>,
@@ -66,6 +69,7 @@ impl Hawkeye {
             ways,
             window,
             predictor: vec![SatCounter::new(3, 4); 1 << PRED_BITS],
+            synced: vec![4; 1 << PRED_BITS],
             sampled,
             rrpv: vec![HK_RRPV_MAX; sets * ways],
             friendly: vec![false; sets * ways],
@@ -202,6 +206,32 @@ impl ReplacementPolicy for Hawkeye {
         }
     }
 
+    fn export_learned(&self, out: &mut Vec<u32>) {
+        out.extend(self.predictor.iter().map(|c| c.get()));
+    }
+
+    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+        // The predictor trains by ±1 steps, so the pooled equivalent of
+        // one globally-trained table is the *sum of every slice's
+        // training deltas* since the last sync, applied to the shared
+        // baseline — state averaging would wash out confident counters.
+        // All peers share the same baseline (every sync installs the same
+        // values everywhere), so the merge stays a pure function of the
+        // exports.
+        for (i, c) in self.predictor.iter_mut().enumerate() {
+            let base = self.synced[i] as i64;
+            let mut delta = 0i64;
+            for p in peers {
+                if let Some(&v) = p.get(i) {
+                    delta += v as i64 - base;
+                }
+            }
+            let merged = (base + delta).clamp(0, c.max() as i64) as u32;
+            c.set(merged);
+            self.synced[i] = merged;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Hawkeye"
     }
@@ -214,6 +244,24 @@ mod tests {
 
     fn ctx(line: u64, pc: u64) -> PolicyCtx {
         PolicyCtx::data(LineAddr::new(line), pc)
+    }
+
+    #[test]
+    fn learned_state_merge_sums_training_deltas() {
+        let mut p = Hawkeye::new(8, 2);
+        let idx = 9usize;
+        let n = p.predictor.len();
+        // Baseline is the init value 4; slices trained +3 and −2.
+        let mut peers = vec![vec![4u32; n], vec![4u32; n]];
+        peers[0][idx] = 7;
+        peers[1][idx] = 2;
+        p.import_learned(&peers);
+        assert_eq!(p.predictor[idx].get(), 5, "4 + (+3 − 2)");
+        assert_eq!(p.synced[idx], 5, "merge result becomes the next baseline");
+        // Identical exports (nobody trained) leave the table unchanged.
+        let peers = vec![vec![5u32; 1]; 2];
+        p.import_learned(&peers);
+        assert_eq!(p.predictor[idx].get(), 5, "short peer rows leave untouched entries alone");
     }
 
     #[test]

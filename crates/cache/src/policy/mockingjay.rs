@@ -216,6 +216,41 @@ impl ReplacementPolicy for Mockingjay {
         false
     }
 
+    fn export_learned(&self, out: &mut Vec<u32>) {
+        out.extend_from_slice(&self.rdp);
+    }
+
+    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+        // Per entry: slices that never trained a PC abstain; among trained
+        // slices, SCAN wins only by majority (a stray aged-out sample in
+        // one slice must not force global bypassing), otherwise the
+        // finite observations average — the pooled estimate a single
+        // unsharded RDP would converge to.
+        for (i, entry) in self.rdp.iter_mut().enumerate() {
+            let mut scans = 0u32;
+            let mut finite = 0u64;
+            let mut sum = 0u64;
+            for p in peers {
+                match p.get(i).copied().unwrap_or(RDP_UNTRAINED) {
+                    RDP_UNTRAINED => {}
+                    SCAN_DISTANCE => scans += 1,
+                    d => {
+                        finite += 1;
+                        sum += d as u64;
+                    }
+                }
+            }
+            if finite == 0 && scans == 0 {
+                continue; // nowhere trained: keep the local (untrained) state
+            }
+            *entry = if scans as u64 > finite {
+                SCAN_DISTANCE
+            } else {
+                ((sum + finite / 2) / finite) as u32
+            };
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Mockingjay"
     }
@@ -251,6 +286,35 @@ mod tests {
         // A real observation recovers the entry.
         update_rdp(&mut e, 7);
         assert_eq!(e, 7);
+    }
+
+    #[test]
+    fn learned_state_merge_pools_finite_votes_and_needs_scan_majority() {
+        let mut p = Mockingjay::new(8, 2);
+        let idx = 3usize;
+        // Peers: two finite observations, one scan, one untrained.
+        let mut peers = vec![
+            vec![RDP_UNTRAINED; p.rdp.len()],
+            vec![RDP_UNTRAINED; p.rdp.len()],
+            vec![RDP_UNTRAINED; p.rdp.len()],
+            vec![RDP_UNTRAINED; p.rdp.len()],
+        ];
+        peers[0][idx] = 10;
+        peers[1][idx] = 21;
+        peers[2][idx] = SCAN_DISTANCE;
+        p.import_learned(&peers);
+        assert_eq!(p.rdp[idx], 16, "rounded average of the finite votes (scan is a minority)");
+        // Scan majority wins.
+        peers[1][idx] = SCAN_DISTANCE;
+        p.import_learned(&peers);
+        assert_eq!(p.rdp[idx], SCAN_DISTANCE);
+        // Nowhere trained → local state untouched.
+        assert_eq!(p.rdp[idx + 1], RDP_UNTRAINED);
+        // Export mirrors the table, so peers of identical state converge
+        // to identical tables (the determinism contract).
+        let mut out = Vec::new();
+        p.export_learned(&mut out);
+        assert_eq!(out, p.rdp);
     }
 
     #[test]

@@ -83,6 +83,27 @@ pub trait ReplacementPolicy: Send {
         false
     }
 
+    /// Exports the policy's PC-indexed learned state — predictor tables
+    /// whose meaning is independent of set geometry (Mockingjay's RDP,
+    /// SHiP's SHCT, Hawkeye's PC predictor) — by appending raw entries to
+    /// `out`. Set-local state (ETR/RRPV, samplers) is *not* exported.
+    /// Policies with no learned tables (the default) export nothing.
+    ///
+    /// Used by the epoch engine's learned-state sync: a set-sharded LLC
+    /// splits one logical predictor into per-shard slices that each train
+    /// on a fraction of the samples; exchanging exports at epoch barriers
+    /// lets every slice converge on the pooled statistics.
+    fn export_learned(&self, _out: &mut Vec<u32>) {}
+
+    /// Installs a deterministic consensus of `peers` — the
+    /// [`ReplacementPolicy::export_learned`] tables of same-policy
+    /// instances over disjoint set slices, in slice order (this
+    /// instance's own export included). Every peer that applies the same
+    /// `peers` input must end with the same learned table, regardless of
+    /// which peer it is — the merge is a pure function of the exports.
+    /// No-op by default.
+    fn import_learned(&mut self, _peers: &[Vec<u32>]) {}
+
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }

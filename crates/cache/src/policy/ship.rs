@@ -19,6 +19,9 @@ pub struct Ship {
     ways: usize,
     table: RrpvTable,
     shct: Vec<SatCounter>,
+    /// SHCT values as of the last learned-state sync (the shared baseline
+    /// the delta-sum merge in `import_learned` works from).
+    synced: Vec<u32>,
     /// Per-frame: signature that inserted the line.
     sig: Vec<u16>,
     /// Per-frame: has the line been reused since fill?
@@ -32,6 +35,7 @@ impl Ship {
             ways,
             table: RrpvTable::new(sets, ways),
             shct: vec![SatCounter::new(SHCT_CTR_BITS, 1); 1 << SHCT_BITS],
+            synced: vec![1; 1 << SHCT_BITS],
             sig: vec![0; sets * ways],
             reused: vec![false; sets * ways],
         }
@@ -86,6 +90,30 @@ impl ReplacementPolicy for Ship {
         }
     }
 
+    fn export_learned(&self, out: &mut Vec<u32>) {
+        out.extend(self.shct.iter().map(|c| c.get()));
+    }
+
+    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+        // The SHCT trains by ±1 steps, so the pooled equivalent of one
+        // globally-trained table is the sum of every slice's training
+        // deltas since the last sync, applied to the shared baseline (all
+        // peers install the same values at every sync, so the baseline is
+        // common and the merge is a pure function of the exports).
+        for (i, c) in self.shct.iter_mut().enumerate() {
+            let base = self.synced[i] as i64;
+            let mut delta = 0i64;
+            for p in peers {
+                if let Some(&v) = p.get(i) {
+                    delta += v as i64 - base;
+                }
+            }
+            let merged = (base + delta).clamp(0, c.max() as i64) as u32;
+            c.set(merged);
+            self.synced[i] = merged;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "SHiP"
     }
@@ -122,6 +150,27 @@ mod tests {
         p.on_hit(0, 0, &c);
         p.on_insert(1, 0, &c);
         assert_eq!(p.table.get(1, 0), RRPV_LONG);
+    }
+
+    #[test]
+    fn learned_state_merge_sums_training_deltas_from_the_shared_baseline() {
+        let mut p = Ship::new(1, 1);
+        let idx = 5usize;
+        let n = p.shct.len();
+        // Baseline everywhere is the init value 1. Peers trained +2, 0, −1.
+        let mut peers = vec![vec![1u32; n], vec![1u32; n], vec![1u32; n]];
+        peers[0][idx] = 3;
+        peers[2][idx] = 0;
+        p.import_learned(&peers);
+        assert_eq!(p.shct[idx].get(), 2, "1 + (+2 + 0 − 1)");
+        assert_eq!(p.synced[idx], 2, "the merge result becomes the next baseline");
+        // Saturation clamps: pile on more than the 3-bit counter holds.
+        let mut peers = vec![vec![2u32; n]; 3];
+        for peer in peers.iter_mut() {
+            peer[idx] = 7;
+        }
+        p.import_learned(&peers);
+        assert_eq!(p.shct[idx].get(), 7, "clamped at the counter maximum");
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!                            N worker threads (0 = serial engine; default)
 //!   --shards N               LLC shard count for the parallel engine (8)
 //!   --epoch N                epoch window in cycles (20000)
+//!   --estimator NAME         issue-latency estimator: optimistic|ewma
+//!                            (default optimistic). Selects the parallel
+//!                            engine when given — the estimator only
+//!                            exists there — like GARIBALDI_ESTIMATOR.
+//!                            GARIBALDI_ENGINE_STATS=1 prints its bias/RMS
+//!                            error against drained outcomes
 //!   --dump-trace PATH        write the per-core record streams to PATH and
 //!                            exit (replayable across schemes and engines)
 //!   --replay PATH            replay streams dumped with --dump-trace
@@ -32,7 +38,9 @@
 //! `    --workload verilator --policy mockingjay --garibaldi --cores 8`
 
 use garibaldi_cache::PolicyKind;
-use garibaldi_sim::{EngineConfig, ExperimentScale, LlcScheme, SimRunner, SystemConfig};
+use garibaldi_sim::{
+    EngineConfig, EstimatorKind, ExperimentScale, LlcScheme, SimRunner, SystemConfig,
+};
 use garibaldi_trace::{registry, serial, WorkloadMix};
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -63,6 +71,9 @@ struct Args {
     workers: usize,
     shards: usize,
     epoch: u64,
+    /// Set by `--estimator`; selecting one selects the parallel engine
+    /// (mirrors the `GARIBALDI_ESTIMATOR` precedence rule).
+    estimator: Option<EstimatorKind>,
     dump_trace: Option<String>,
     replay: Option<String>,
 }
@@ -83,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         shards: defaults.llc_shards,
         epoch: defaults.epoch_cycles,
+        estimator: None,
         dump_trace: None,
         replay: None,
     };
@@ -107,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => a.workers = val("--workers")?.parse().map_err(|e| format!("{e}"))?,
             "--shards" => a.shards = val("--shards")?.parse().map_err(|e| format!("{e}"))?,
             "--epoch" => a.epoch = val("--epoch")?.parse().map_err(|e| format!("{e}"))?,
+            "--estimator" => {
+                a.estimator = EstimatorKind::parse("--estimator", Some(&val("--estimator")?))?;
+            }
             "--dump-trace" => a.dump_trace = Some(val("--dump-trace")?),
             "--replay" => a.replay = Some(val("--replay")?),
             "--list" => {
@@ -184,10 +199,15 @@ fn main() {
         return;
     }
 
+    // Like GARIBALDI_ESTIMATOR, `--estimator` alone selects the parallel
+    // engine — silently running the serial engine instead would drop the
+    // flag (the failure mode the env hardening exists to prevent).
+    let parallel = args.workers > 0 || args.estimator.is_some();
     let eng = EngineConfig {
         workers: args.workers.max(1),
         epoch_cycles: args.epoch,
         llc_shards: args.shards,
+        estimator: args.estimator.unwrap_or_default(),
     };
     let replay_streams = args.replay.as_ref().map(|path| {
         let bytes = std::fs::read(path).unwrap_or_else(|e| {
@@ -206,14 +226,19 @@ fn main() {
         args.warmup,
         args.records,
         cfg.scheme.label(),
-        if args.workers > 0 {
-            format!(" [parallel engine: {} workers, {} shards]", eng.workers, eng.llc_shards)
+        if parallel {
+            format!(
+                " [parallel engine: {} workers, {} shards, {} estimator]",
+                eng.workers,
+                eng.llc_shards,
+                eng.estimator.label()
+            )
         } else {
             String::new()
         }
     );
     let t0 = std::time::Instant::now();
-    let r = match (&replay_streams, args.workers > 0) {
+    let r = match (&replay_streams, parallel) {
         // Replay always goes through the (deterministic) parallel engine;
         // --workers only changes wall-clock, never the result.
         (Some(streams), _) => runner.run_parallel_replay(streams, args.records, args.warmup, &eng),

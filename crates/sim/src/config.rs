@@ -1,5 +1,6 @@
 //! System configuration (Table 1) and LLC scheme selection.
 
+use crate::engine::estimate::EstimatorKind;
 use crate::experiment::ExperimentScale;
 use garibaldi::GaribaldiConfig;
 use garibaldi_cache::PolicyKind;
@@ -212,9 +213,9 @@ impl SystemConfig {
 /// Configuration of the epoch-sharded parallel engine (see
 /// `docs/ARCHITECTURE.md` §"Parallel sharded engine").
 ///
-/// Results are a function of `epoch_cycles` and `llc_shards` only — the
-/// worker count changes wall-clock, never the simulated outcome (the
-/// determinism contract tested in `tests/determinism.rs`).
+/// Results are a function of `epoch_cycles`, `llc_shards` and `estimator`
+/// only — the worker count changes wall-clock, never the simulated
+/// outcome (the determinism contract tested in `tests/determinism.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Worker threads stepping L2 clusters and draining LLC shards.
@@ -225,6 +226,18 @@ pub struct EngineConfig {
     /// Number of set-contiguous LLC shards (each owns its slice of the
     /// Garibaldi pair/D_PPN state and of the DRAM channels).
     pub llc_shards: usize,
+    /// Intra-epoch fidelity profile (`sim::engine::estimate`), named after
+    /// its main lever, the issue-time latency estimator: what a deferred
+    /// LLC-bound access is charged until its barrier outcome arrives.
+    /// [`EstimatorKind::Ewma`] additionally turns on the barrier
+    /// learned-state sync (per-shard replacement-policy predictor slices
+    /// exchange their training, closing the other structural gap to the
+    /// serial engine's single globally-trained instance);
+    /// [`EstimatorKind::Optimistic`] is the pre-estimator engine,
+    /// bit-identical. A *model* parameter like `epoch_cycles`: it changes
+    /// simulated results (toward the serial engine, per the fidelity
+    /// study), never determinism.
+    pub estimator: EstimatorKind,
 }
 
 impl Default for EngineConfig {
@@ -237,7 +250,12 @@ impl Default for EngineConfig {
     /// `tests/fidelity.rs`) with 2.5× fewer barriers than the 1 %-error
     /// region of the grid.
     fn default() -> Self {
-        Self { workers: 1, epoch_cycles: 20_000, llc_shards: 8 }
+        Self {
+            workers: 1,
+            epoch_cycles: 20_000,
+            llc_shards: 8,
+            estimator: EstimatorKind::Optimistic,
+        }
     }
 }
 
@@ -268,33 +286,42 @@ impl EngineConfig {
     }
 
     /// Pure form of [`EngineConfig::from_env`]: builds a config from the
-    /// raw values of the three environment variables. `Ok(None)` when
-    /// `workers` is absent.
+    /// raw values of the four environment variables. `Ok(None)` when both
+    /// `workers` and `estimator` are absent (either one selects the
+    /// parallel engine on its own — the estimator only exists there).
     ///
     /// # Errors
     ///
-    /// Rejects garbage, overflow and zero for every variable with a
-    /// message naming the variable and the offending value — never a
-    /// silent fallback. All three variables are validated even when
-    /// `workers` is unset, so e.g. a bad `GARIBALDI_SHARDS` cannot hide
-    /// behind a serial run.
+    /// Rejects garbage, overflow and zero counts — and unknown estimator
+    /// names — for every variable with a message naming the variable and
+    /// the offending value; never a silent fallback. All variables are
+    /// validated even when none selects the engine, so e.g. a bad
+    /// `GARIBALDI_SHARDS` cannot hide behind a serial run.
     pub fn parse_env(
         workers: Option<&str>,
         shards: Option<&str>,
         epoch: Option<&str>,
+        estimator: Option<&str>,
     ) -> Result<Option<Self>, String> {
         let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
         let shards = parse_positive("GARIBALDI_SHARDS", shards)?;
         let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
-        let Some(workers) = workers else {
+        let estimator = EstimatorKind::parse("GARIBALDI_ESTIMATOR", estimator)?;
+        if workers.is_none() && estimator.is_none() {
             return Ok(None);
-        };
-        let mut cfg = Self { workers, ..Self::default() };
+        }
+        let mut cfg = Self::default();
+        if let Some(w) = workers {
+            cfg.workers = w;
+        }
         if let Some(s) = shards {
             cfg.llc_shards = s;
         }
         if let Some(e) = epoch {
             cfg.epoch_cycles = e as u64;
+        }
+        if let Some(k) = estimator {
+            cfg.estimator = k;
         }
         Ok(Some(cfg))
     }
@@ -331,37 +358,50 @@ pub enum EngineChoice {
 
 impl EngineChoice {
     /// Resolves the engine from the environment, with `default` applying
-    /// when nothing relevant is set. Precedence:
+    /// when nothing relevant is set.
+    ///
+    /// **Resolution order** (each step wins over everything below it; the
+    /// same table lives in the README's environment section):
     ///
     /// 1. `GARIBALDI_ENGINE=serial` forces the serial engine (the escape
-    ///    hatch the benches document), even if `GARIBALDI_WORKERS` is set.
-    /// 2. `GARIBALDI_ENGINE=parallel` (alias `sharded`) forces the
-    ///    parallel engine.
-    /// 3. `GARIBALDI_ENGINE` unset but `GARIBALDI_WORKERS` set: parallel
-    ///    (the PR-2 forcing mechanism the CI matrix leg uses).
-    /// 4. Nothing set: `default`.
+    ///    hatch the benches document), even if `GARIBALDI_ESTIMATOR` or
+    ///    `GARIBALDI_WORKERS` is set. `GARIBALDI_ENGINE=parallel` (alias
+    ///    `sharded`) forces the parallel engine.
+    /// 2. `GARIBALDI_ENGINE` unset but `GARIBALDI_ESTIMATOR` set:
+    ///    parallel — the estimator is a parallel-engine model axis, so
+    ///    selecting one selects the engine.
+    /// 3. `GARIBALDI_ENGINE` and `GARIBALDI_ESTIMATOR` unset but
+    ///    `GARIBALDI_WORKERS` set: parallel (the PR-2 forcing mechanism
+    ///    the CI matrix leg uses).
+    /// 4. Nothing set: `default`. (`GARIBALDI_INNER_WORKERS` ranks below
+    ///    all of the above: it never selects an engine — it only feeds the
+    ///    bench harness's default parallel geometry, and a resolved
+    ///    `GARIBALDI_WORKERS` overrides it; see
+    ///    `garibaldi_bench::inner_workers`.)
     ///
     /// Whenever the outcome is parallel, its geometry starts from the
     /// caller's `default` when that is parallel (else
     /// [`EngineConfig::default`]) and each of `GARIBALDI_WORKERS` /
-    /// `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH` that is set overrides its
-    /// field — so e.g. `GARIBALDI_EPOCH=5000` alone re-windows a bench
-    /// run (the benches default to parallel). When the outcome is serial,
-    /// the geometry variables have nothing to configure and are only
-    /// validated.
+    /// `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH` / `GARIBALDI_ESTIMATOR`
+    /// that is set overrides its field — so e.g. `GARIBALDI_EPOCH=5000`
+    /// alone re-windows a bench run (the benches default to parallel).
+    /// When the outcome is serial, the geometry variables have nothing to
+    /// configure and are only validated.
     ///
     /// # Panics
     ///
-    /// Panics with a clear message on malformed values (unknown engine
-    /// name, zero/garbage/overflowing counts) — misconfiguration must
-    /// never silently select a different engine than intended. The pure,
-    /// unit-tested resolution is [`EngineChoice::resolve`].
+    /// Panics with a clear message on malformed values (unknown engine or
+    /// estimator name, zero/garbage/overflowing counts) —
+    /// misconfiguration must never silently select a different engine
+    /// than intended. The pure, unit-tested resolution is
+    /// [`EngineChoice::resolve`].
     pub fn from_env_or(default: Self) -> Self {
         Self::resolve(
             env_raw("GARIBALDI_ENGINE").as_deref(),
             env_raw("GARIBALDI_WORKERS").as_deref(),
             env_raw("GARIBALDI_SHARDS").as_deref(),
             env_raw("GARIBALDI_EPOCH").as_deref(),
+            env_raw("GARIBALDI_ESTIMATOR").as_deref(),
             default,
         )
         .unwrap_or_else(|e| panic!("{e}"))
@@ -372,17 +412,19 @@ impl EngineChoice {
     /// # Errors
     ///
     /// Returns a message naming the offending variable and value for an
-    /// unknown engine name or an invalid count.
+    /// unknown engine or estimator name or an invalid count.
     pub fn resolve(
         engine: Option<&str>,
         workers: Option<&str>,
         shards: Option<&str>,
         epoch: Option<&str>,
+        estimator: Option<&str>,
         default: Self,
     ) -> Result<Self, String> {
         let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
         let shards = parse_positive("GARIBALDI_SHARDS", shards)?;
         let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
+        let estimator = EstimatorKind::parse("GARIBALDI_ESTIMATOR", estimator)?;
         // Which engine, and from which base geometry?
         let base = match engine.map(str::trim) {
             Some("serial") => return Ok(Self::Serial),
@@ -392,7 +434,7 @@ impl EngineChoice {
                     "GARIBALDI_ENGINE must be \"serial\" or \"parallel\", got {other:?}"
                 ))
             }
-            None if workers.is_some() => Some(default),
+            None if estimator.is_some() || workers.is_some() => Some(default),
             None => match default {
                 // A parallel default still takes the geometry overrides
                 // below (the benches' documented contract).
@@ -416,17 +458,30 @@ impl EngineChoice {
         if let Some(e) = epoch {
             cfg.epoch_cycles = e as u64;
         }
+        if let Some(k) = estimator {
+            cfg.estimator = k;
+        }
         Ok(Self::Parallel(cfg))
     }
 
     /// Stable identity string for checkpoint keys and reports: `"serial"`
-    /// or `"sharded-s<shards>-e<epoch>"`. Worker count is deliberately
-    /// excluded — it never changes simulated results (the determinism
-    /// contract), so runs under different worker counts may share rows.
+    /// or `"sharded-s<shards>-e<epoch>[-<estimator>]"` (the estimator
+    /// suffix appears only for non-default estimators, so keys minted
+    /// before the estimator axis existed still name the same model).
+    /// Worker count is deliberately excluded — it never changes simulated
+    /// results (the determinism contract), so runs under different worker
+    /// counts may share rows.
     pub fn tag(&self) -> String {
         match self {
             Self::Serial => "serial".to_string(),
-            Self::Parallel(e) => format!("sharded-s{}-e{}", e.llc_shards, e.epoch_cycles),
+            Self::Parallel(e) => {
+                let mut t = format!("sharded-s{}-e{}", e.llc_shards, e.epoch_cycles);
+                if e.estimator != EstimatorKind::default() {
+                    t.push('-');
+                    t.push_str(e.estimator.label());
+                }
+                t
+            }
         }
     }
 }
@@ -524,21 +579,29 @@ mod tests {
 
     #[test]
     fn engine_config_parse_env_cases() {
-        // Unset workers → None regardless of the other knobs.
-        assert_eq!(EngineConfig::parse_env(None, Some("4"), Some("1000")).unwrap(), None);
+        // Neither workers nor estimator → None regardless of other knobs.
+        assert_eq!(EngineConfig::parse_env(None, Some("4"), Some("1000"), None).unwrap(), None);
         // Workers alone → defaults for the rest.
-        let c = EngineConfig::parse_env(Some("2"), None, None).unwrap().unwrap();
+        let c = EngineConfig::parse_env(Some("2"), None, None, None).unwrap().unwrap();
         assert_eq!(c.workers, 2);
         assert_eq!(c, EngineConfig { workers: 2, ..EngineConfig::default() });
-        // Full triple.
-        let c = EngineConfig::parse_env(Some("4"), Some("2"), Some("5000")).unwrap().unwrap();
+        // Estimator alone also selects the engine (it only exists there).
+        let c = EngineConfig::parse_env(None, None, None, Some("ewma")).unwrap().unwrap();
+        assert_eq!(c, EngineConfig { estimator: EstimatorKind::Ewma, ..EngineConfig::default() });
+        // Full quad.
+        let c = EngineConfig::parse_env(Some("4"), Some("2"), Some("5000"), Some("optimistic"))
+            .unwrap()
+            .unwrap();
         assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (4, 2, 5000));
+        assert_eq!(c.estimator, EstimatorKind::Optimistic);
         // Invalid values err rather than falling back.
-        assert!(EngineConfig::parse_env(Some("0"), None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("two"), None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("2"), Some("0"), None).is_err());
-        assert!(EngineConfig::parse_env(Some("2"), None, Some("0")).is_err());
-        assert!(EngineConfig::parse_env(Some("18446744073709551616"), None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("0"), None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("two"), None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), Some("0"), None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), None, Some("0"), None).is_err());
+        assert!(EngineConfig::parse_env(Some("18446744073709551616"), None, None, None).is_err());
+        let err = EngineConfig::parse_env(Some("2"), None, None, Some("magic")).unwrap_err();
+        assert!(err.contains("GARIBALDI_ESTIMATOR") && err.contains("magic"), "{err}");
     }
 
     #[test]
@@ -546,27 +609,50 @@ mod tests {
         let default_par = EngineChoice::Parallel(EngineConfig::default());
         // Nothing set → the caller's default.
         assert_eq!(
-            EngineChoice::resolve(None, None, None, None, EngineChoice::Serial).unwrap(),
+            EngineChoice::resolve(None, None, None, None, None, EngineChoice::Serial).unwrap(),
             EngineChoice::Serial
         );
         assert_eq!(
-            EngineChoice::resolve(None, None, None, None, default_par).unwrap(),
+            EngineChoice::resolve(None, None, None, None, None, default_par).unwrap(),
             default_par
         );
-        // serial wins even over GARIBALDI_WORKERS.
+        // serial wins even over GARIBALDI_WORKERS and GARIBALDI_ESTIMATOR.
         assert_eq!(
-            EngineChoice::resolve(Some("serial"), Some("4"), None, None, default_par).unwrap(),
+            EngineChoice::resolve(Some("serial"), Some("4"), None, None, None, default_par)
+                .unwrap(),
+            EngineChoice::Serial
+        );
+        assert_eq!(
+            EngineChoice::resolve(Some("serial"), None, None, None, Some("ewma"), default_par)
+                .unwrap(),
             EngineChoice::Serial
         );
         // Back-compat: workers alone flips to parallel.
-        match EngineChoice::resolve(None, Some("3"), None, None, EngineChoice::Serial).unwrap() {
+        match EngineChoice::resolve(None, Some("3"), None, None, None, EngineChoice::Serial)
+            .unwrap()
+        {
             EngineChoice::Parallel(c) => assert_eq!(c.workers, 3),
             other => panic!("expected parallel, got {other:?}"),
         }
+        // An estimator alone flips to parallel too (precedence step 2).
+        match EngineChoice::resolve(None, None, None, None, Some("ewma"), EngineChoice::Serial)
+            .unwrap()
+        {
+            EngineChoice::Parallel(c) => {
+                assert_eq!(c.estimator, EstimatorKind::Ewma);
+                assert_eq!(c.workers, EngineConfig::default().workers);
+            }
+            other => panic!("expected parallel, got {other:?}"),
+        }
         // parallel with a parallel default keeps its geometry, env overrides.
-        let tuned =
-            EngineChoice::Parallel(EngineConfig { workers: 2, epoch_cycles: 77, llc_shards: 4 });
-        match EngineChoice::resolve(Some("parallel"), None, None, Some("123"), tuned).unwrap() {
+        let tuned = EngineChoice::Parallel(EngineConfig {
+            workers: 2,
+            epoch_cycles: 77,
+            llc_shards: 4,
+            ..EngineConfig::default()
+        });
+        match EngineChoice::resolve(Some("parallel"), None, None, Some("123"), None, tuned).unwrap()
+        {
             EngineChoice::Parallel(c) => {
                 assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (2, 4, 123));
             }
@@ -575,38 +661,67 @@ mod tests {
         // Geometry overrides also apply when the *default* supplies the
         // parallel engine (the benches' contract): GARIBALDI_EPOCH alone
         // re-windows a bench run instead of being silently ignored.
-        match EngineChoice::resolve(None, None, Some("16"), Some("123"), tuned).unwrap() {
+        match EngineChoice::resolve(None, None, Some("16"), Some("123"), Some("ewma"), tuned)
+            .unwrap()
+        {
             EngineChoice::Parallel(c) => {
                 assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (2, 16, 123));
+                assert_eq!(c.estimator, EstimatorKind::Ewma);
             }
             other => panic!("expected parallel, got {other:?}"),
         }
         // With a serial default, geometry variables alone do not flip the
         // engine — but they are still validated.
         assert_eq!(
-            EngineChoice::resolve(None, None, None, Some("123"), EngineChoice::Serial).unwrap(),
+            EngineChoice::resolve(None, None, None, Some("123"), None, EngineChoice::Serial)
+                .unwrap(),
             EngineChoice::Serial
         );
-        assert!(EngineChoice::resolve(None, None, None, Some("0"), EngineChoice::Serial).is_err());
+        assert!(
+            EngineChoice::resolve(None, None, None, Some("0"), None, EngineChoice::Serial).is_err()
+        );
         // Unknown engine name is a hard error naming the value.
-        let err = EngineChoice::resolve(Some("turbo"), None, None, None, EngineChoice::Serial)
-            .unwrap_err();
+        let err =
+            EngineChoice::resolve(Some("turbo"), None, None, None, None, EngineChoice::Serial)
+                .unwrap_err();
         assert!(err.contains("GARIBALDI_ENGINE") && err.contains("turbo"), "{err}");
-        // Invalid counts propagate even under an explicit engine name.
+        // Invalid counts and estimator names propagate even under an
+        // explicit engine name — including serial (validated, unused).
         assert!(EngineChoice::resolve(
             Some("parallel"),
             Some("0"),
             None,
             None,
+            None,
             EngineChoice::Serial
         )
         .is_err());
+        let err = EngineChoice::resolve(
+            Some("serial"),
+            None,
+            None,
+            None,
+            Some("magic"),
+            EngineChoice::Serial,
+        )
+        .unwrap_err();
+        assert!(err.contains("GARIBALDI_ESTIMATOR") && err.contains("magic"), "{err}");
     }
 
     #[test]
     fn engine_choice_tags() {
         assert_eq!(EngineChoice::Serial.tag(), "serial");
-        let e = EngineConfig { workers: 9, epoch_cycles: 50_000, llc_shards: 8 };
+        let e = EngineConfig {
+            workers: 9,
+            epoch_cycles: 50_000,
+            llc_shards: 8,
+            ..EngineConfig::default()
+        };
         assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000", "workers excluded");
+        // Non-default estimators are part of the model identity; the
+        // default keeps the pre-estimator tag so old checkpoint rows
+        // still name the same model.
+        let e = EngineConfig { estimator: EstimatorKind::Ewma, ..e };
+        assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000-ewma");
     }
 }

@@ -21,9 +21,14 @@
 //!    and the Fig 4c conditional matrix in the same deterministic order;
 //!    cross-shard Garibaldi traffic (pair updates keyed by the instruction
 //!    line's shard, pairwise prefetch fills keyed by the data line's) is
-//!    key-sorted and applied in a second parallel shard pass; coherence
-//!    invalidations flow back to the private tiers; and every core's
-//!    issue-time latency estimates are corrected to the drained outcomes.
+//!    key-merged and applied in a second parallel shard pass; coherence
+//!    invalidations flow back to the private tiers; under the ewma
+//!    fidelity profile the shards pool their replacement-policy learned
+//!    state; and every core's issue-time latency estimates are corrected
+//!    to the drained outcomes, which also train the configured
+//!    [`estimate::LatencyEstimator`]. All barrier orders are restored by
+//!    stable k-way merges of already-sorted runs ([`merge`]), never by
+//!    comparison sorts.
 //!
 //! Every reduction and drain order is indexed by cluster/shard/core id —
 //! never by worker — so a run's `RunResult` is **bit-identical for any
@@ -32,6 +37,8 @@
 //! pair-table updates and remote invalidations land at the next barrier
 //! instead of instantly, and the threshold/color pair is frozen per epoch.
 
+pub mod estimate;
+pub mod merge;
 pub mod private;
 pub mod request;
 pub mod shard;
@@ -40,16 +47,31 @@ use crate::config::{EngineConfig, SystemConfig};
 use crate::energy::{EnergyEvents, EnergyModel};
 use crate::metrics::{ConditionalMatrix, GaribaldiReport, ReuseSummary, RunResult};
 use crate::reuse::ReuseProfiler;
+use estimate::EstimatorStats;
 use garibaldi::ThresholdUnit;
 use garibaldi_cache::{CacheConfig, CacheStats};
 use garibaldi_mem::DramStats;
 use garibaldi_trace::{SharedAddressSpace, WorkloadMix};
 use garibaldi_types::{LineAddr, ThreadId};
+use merge::kway_merge_into;
 use private::{ClusterSim, EpochCore, RecordSource};
-use request::{LlcRequest, ReqKind, ShardCmd};
+use request::{InvalCmd, LlcRequest, ReqKey, ReqKind, ShardCmd};
 use shard::{shard_of_set, DrainOut, LlcShard, ThresholdSnapshot};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Reusable per-shard request staging: per-core key-sorted runs scattered
+/// during bucketing, k-way merged into drain order at the barrier (the
+/// runs are sorted by construction, so no comparison sort is needed).
+#[derive(Default, Clone)]
+struct ShardBuf {
+    /// Concatenated per-core runs, each ascending in [`ReqKey`].
+    reqs: Vec<LlcRequest>,
+    /// End offset of each run within `reqs`.
+    run_ends: Vec<u32>,
+    /// Merged drain order (scratch, reused across barriers).
+    merged: Vec<LlcRequest>,
+}
 
 /// The assembled parallel engine for one run.
 pub struct ParallelEngine<'p> {
@@ -63,7 +85,7 @@ pub struct ParallelEngine<'p> {
     invalidations: u64,
     llc_sets: usize,
     /// Per-shard request buffers, reused across barriers.
-    shard_bufs: Vec<Vec<LlcRequest>>,
+    shard_bufs: Vec<ShardBuf>,
 }
 
 impl<'p> ParallelEngine<'p> {
@@ -92,7 +114,7 @@ impl<'p> ParallelEngine<'p> {
             let lo = k * cfg.l2_cluster_size;
             let hi = (lo + cfg.l2_cluster_size).min(cfg.cores);
             let members: Vec<_> = cores.drain(..hi - lo).collect();
-            clusters.push(ClusterSim::new(cfg, k, lo, members));
+            clusters.push(ClusterSim::new(cfg, k, lo, members, eng.estimator));
         }
 
         Self {
@@ -109,7 +131,7 @@ impl<'p> ParallelEngine<'p> {
             cond: ConditionalMatrix::default(),
             invalidations: 0,
             llc_sets,
-            shard_bufs: vec![Vec::new(); n_shards],
+            shard_bufs: vec![ShardBuf::default(); n_shards],
         }
     }
 
@@ -197,16 +219,25 @@ impl<'p> ParallelEngine<'p> {
         let n_shards = self.shards.len();
         let workers = self.eng.workers.max(1);
 
-        // Bucket requests by shard (per-core buffers are key-sorted; the
-        // per-shard interleave is restored by one sort below).
+        // Bucket requests by shard. Each core's buffer is key-sorted by
+        // construction, so the scatter produces per-(shard, core) sorted
+        // runs; the per-shard interleave is restored by a k-way merge in
+        // the drain pass — no comparison sort.
         for b in self.shard_bufs.iter_mut() {
-            b.clear();
+            b.reqs.clear();
+            b.run_ends.clear();
         }
         let llc_sets = self.llc_sets;
         for cl in &self.clusters {
             for c in cl.cores.iter() {
                 for r in &c.reqs {
-                    self.shard_bufs[Self::shard_of_line(llc_sets, n_shards, r.line)].push(*r);
+                    self.shard_bufs[Self::shard_of_line(llc_sets, n_shards, r.line)].reqs.push(*r);
+                }
+                for b in self.shard_bufs.iter_mut() {
+                    let end = b.reqs.len() as u32;
+                    if b.run_ends.last().copied().unwrap_or(0) != end {
+                        b.run_ends.push(end);
+                    }
                 }
             }
         }
@@ -215,8 +246,15 @@ impl<'p> ParallelEngine<'p> {
         let td = std::time::Instant::now();
         let outs: Vec<DrainOut> =
             run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, buf| {
-                buf.sort_unstable_by_key(|r| r.key);
-                sh.drain(buf, snap)
+                let ShardBuf { reqs, run_ends, merged } = buf;
+                let mut runs: Vec<&[LlcRequest]> = Vec::with_capacity(run_ends.len());
+                let mut start = 0usize;
+                for &end in run_ends.iter() {
+                    runs.push(&reqs[start..end as usize]);
+                    start = end as usize;
+                }
+                kway_merge_into(&runs, |r| r.key, merged);
+                sh.drain(merged, snap)
             });
         let t_drain = td.elapsed();
 
@@ -238,9 +276,14 @@ impl<'p> ParallelEngine<'p> {
         // Serial replay: threshold unit + conditional matrix, global order.
         self.replay_outcomes();
 
-        // Phase B′: cross-shard commands, key-sorted, routed by target.
-        let mut cmds: Vec<_> = outs.iter().flat_map(|o| o.cmds.iter().copied()).collect();
-        cmds.sort_unstable_by_key(|&(k, _)| k);
+        // Phase B′: cross-shard commands, routed by target. Each shard
+        // drained in key order, so its command stream is already sorted:
+        // global order is a k-way merge of the per-shard runs (same-key
+        // batches — several pairwise-prefetch candidates of one request —
+        // stay in their shard's emission order).
+        let cmd_runs: Vec<&[(ReqKey, ShardCmd)]> = outs.iter().map(|o| o.cmds.as_slice()).collect();
+        let mut cmds: Vec<(ReqKey, ShardCmd)> = Vec::new();
+        kway_merge_into(&cmd_runs, |&(k, _)| k, &mut cmds);
         let mut cmd_bufs: Vec<Vec<_>> = vec![Vec::new(); n_shards];
         for (k, cmd) in cmds {
             let target = match cmd {
@@ -255,12 +298,34 @@ impl<'p> ParallelEngine<'p> {
             sh.apply_cmds(buf, snap);
         });
 
-        // Coherence invalidations flow back to the private tiers.
+        // Coherence invalidations flow back to the private tiers (also
+        // per-shard sorted runs; at most one invalidation per request, so
+        // keys are unique and the merge is exactly the old sorted order).
         let ta = std::time::Instant::now();
-        let mut invals: Vec<_> = outs.iter().flat_map(|o| o.invals.iter().copied()).collect();
-        invals.sort_unstable_by_key(|&(k, _)| k);
+        let inval_runs: Vec<&[(ReqKey, InvalCmd)]> =
+            outs.iter().map(|o| o.invals.as_slice()).collect();
+        let mut invals: Vec<(ReqKey, InvalCmd)> = Vec::new();
+        kway_merge_into(&inval_runs, |&(k, _)| k, &mut invals);
         let dropped = run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_invals(&invals));
         self.invalidations += dropped.iter().sum::<u64>();
+
+        // Learned-state sync (the ewma fidelity profile only — the
+        // optimistic profile stays bit-identical to the pre-estimator
+        // engine): every shard's replacement policy trained its slice of
+        // the PC-indexed predictor on 1/n of the samples this epoch; the
+        // shards exchange exports and each installs the same pooled
+        // consensus, so the sharded policy tracks the serial engine's one
+        // globally-trained instance. Exports are indexed by shard and the
+        // merge is a pure function of them — worker-count invariant.
+        if self.eng.estimator == estimate::EstimatorKind::Ewma {
+            let exports: Vec<Vec<u32>> =
+                self.shards.iter().map(|sh| sh.export_policy_learned()).collect();
+            if exports.iter().any(|e| !e.is_empty()) {
+                run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, _| {
+                    sh.import_policy_learned(&exports)
+                });
+            }
+        }
 
         // Latency corrections + epoch reset.
         run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_corrections());
@@ -356,6 +421,22 @@ impl<'p> ParallelEngine<'p> {
     }
 
     fn collect(mut self) -> RunResult {
+        if std::env::var_os("GARIBALDI_ENGINE_STATS").is_some() {
+            let mut est = EstimatorStats::default();
+            for cl in &self.clusters {
+                for c in cl.cores.iter() {
+                    est.merge(&c.est_stats);
+                }
+            }
+            eprintln!(
+                "[engine] estimator={} samples={} bias={:+.2} rms={:.2} \
+                 (issue estimate − drained latency, cycles, measured region)",
+                self.eng.estimator.label(),
+                est.samples,
+                est.bias(),
+                est.rms(),
+            );
+        }
         let core_results: Vec<_> = self
             .clusters
             .iter()

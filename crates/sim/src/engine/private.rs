@@ -8,10 +8,16 @@
 //! simulated interleaving is a pure function of the cluster's state and
 //! never of which worker thread runs it. Anything shared beyond the
 //! cluster is deferred as an [`LlcRequest`] and resolved at the epoch
-//! barrier; the latency gap between the optimistic issue-time estimate
-//! (an LLC hit) and the drained outcome is charged back through
-//! [`ClusterSim::apply_corrections`].
+//! barrier; the latency gap between the issue-time estimate (produced by
+//! the configured [`LatencyEstimator`], see [`super::estimate`]) and the
+//! drained outcome is charged back through
+//! [`ClusterSim::apply_corrections`], which also feeds the outcomes back
+//! into the estimator's learned state.
 
+use super::estimate::{
+    correct_record, AnyEstimator, EstimatorStats, LatencyEstimator, PendingRecord, PendingRef,
+    StreamClass,
+};
 use super::request::{InvalCmd, LlcRequest, ReqKey, ReqKind, ReqOutcome};
 use crate::config::SystemConfig;
 use crate::core_model::{combine_data_stalls, CpiStack, InstrPrefetchEngine};
@@ -54,23 +60,6 @@ impl RecordSource<'_> {
     }
 }
 
-/// One data reference of a pending record: resolved latency, or the
-/// issue-time estimate plus the request that will refine it.
-#[derive(Clone, Copy)]
-struct PendingRef {
-    lat: u64,
-    seq: Option<u32>,
-}
-
-/// A record whose memory latencies are partly unresolved until the barrier.
-struct PendingRecord {
-    ifetch_seq: Option<u32>,
-    refs: [PendingRef; MAX_DATA_REFS],
-    n: usize,
-    est_ifetch_stall: f64,
-    est_data_stall: f64,
-}
-
 /// One simulated core inside a [`ClusterSim`].
 pub struct EpochCore<'p> {
     id: CoreId,
@@ -96,6 +85,11 @@ pub struct EpochCore<'p> {
     /// Drain outcomes scattered back by the barrier, indexed by seq.
     pub outcomes: Vec<ReqOutcome>,
     pending: Vec<PendingRecord>,
+    /// Issue-latency estimator (frozen within an epoch, learns at
+    /// barriers — see [`super::estimate`]).
+    est: AnyEstimator,
+    /// Estimate-vs-outcome error account over the measured region.
+    pub est_stats: EstimatorStats,
 }
 
 impl<'p> EpochCore<'p> {
@@ -104,11 +98,14 @@ impl<'p> EpochCore<'p> {
         self.records
     }
 
-    /// Marks the measurement start (end of warmup).
+    /// Marks the measurement start (end of warmup). The estimator's
+    /// learned state is kept (it is model state, like cache contents);
+    /// only the error account restarts.
     pub fn snapshot(&mut self) {
         self.snap_clock = self.clock;
         self.snap_stack = self.stack;
         self.snap_instrs = self.instrs;
+        self.est_stats = EstimatorStats::default();
     }
 
     /// Per-core result over the measured region.
@@ -233,12 +230,14 @@ pub struct ClusterSim<'p> {
 }
 
 impl<'p> ClusterSim<'p> {
-    /// Builds cluster `cluster` with one `(source, space)` pair per core.
+    /// Builds cluster `cluster` with one `(source, space)` pair per core,
+    /// each issuing through a fresh `estimator`-kind latency estimator.
     pub fn new(
         cfg: &SystemConfig,
         cluster: usize,
         core_base: usize,
         cores: Vec<(RecordSource<'p>, SharedAddressSpace)>,
+        estimator: super::estimate::EstimatorKind,
     ) -> Self {
         let n = cores.len();
         let tier = ClusterTier {
@@ -301,6 +300,8 @@ impl<'p> ClusterSim<'p> {
                 demand_idx: Vec::new(),
                 outcomes: Vec::new(),
                 pending: Vec::new(),
+                est: AnyEstimator::new(estimator, cfg),
+                est_stats: EstimatorStats::default(),
             })
             .collect();
         Self { tier, cores, cfg: cfg.clone() }
@@ -393,7 +394,13 @@ impl<'p> ClusterSim<'p> {
         c.records += 1;
 
         if ifetch_seq.is_some() || refs[..n].iter().any(|r| r.seq.is_some()) {
-            c.pending.push(PendingRecord { ifetch_seq, refs, n, est_ifetch_stall, est_data_stall });
+            c.pending.push(PendingRecord {
+                ifetch: PendingRef { lat: est_lat, seq: ifetch_seq },
+                refs,
+                n,
+                est_ifetch_stall,
+                est_data_stall,
+            });
         }
     }
 
@@ -419,29 +426,17 @@ impl<'p> ClusterSim<'p> {
         dropped
     }
 
-    /// Replaces issue-time latency estimates with drained outcomes, then
-    /// clears the epoch's request state.
+    /// Replaces issue-time latency estimates with drained outcomes
+    /// ([`correct_record`]) — feeding each outcome back into the core's
+    /// estimator, in sequence order — then clears the epoch's request
+    /// state. Runs per cluster, each core touching only its own state, so
+    /// estimator evolution is worker-count invariant.
     pub fn apply_corrections(&mut self) {
         let cfg = &self.cfg;
         for c in self.cores.iter_mut() {
             for p in c.pending.drain(..) {
-                let actual_if = match p.ifetch_seq {
-                    Some(seq) => {
-                        c.outcomes[seq as usize].latency.saturating_sub(cfg.l1_latency) as f64
-                    }
-                    None => p.est_ifetch_stall,
-                };
-                let mut stalls = [0.0f64; MAX_DATA_REFS];
-                for (s, r) in stalls.iter_mut().zip(p.refs.iter()).take(p.n) {
-                    let lat = match r.seq {
-                        Some(seq) => c.outcomes[seq as usize].latency,
-                        None => r.lat,
-                    };
-                    *s = lat.saturating_sub(cfg.l1_latency) as f64;
-                }
-                let actual_data = combine_data_stalls(&mut stalls[..p.n], cfg);
-                let d_if = actual_if - p.est_ifetch_stall;
-                let d_data = actual_data - p.est_data_stall;
+                let (d_if, d_data) =
+                    correct_record(&p, &c.outcomes, cfg, &mut c.est, &mut c.est_stats);
                 c.clock += d_if + d_data;
                 c.stack.ifetch += d_if;
                 c.stack.data += d_data;
@@ -452,10 +447,6 @@ impl<'p> ClusterSim<'p> {
             c.seq = 0;
         }
     }
-}
-
-fn hit_latency(cfg: &SystemConfig) -> u64 {
-    cfg.l1_latency + cfg.l2_latency + cfg.llc_latency
 }
 
 /// Instruction fetch through the private tier (mirrors
@@ -489,7 +480,7 @@ fn instr_access(
     let seq = c.emit(line, pc, sig, tier.cluster, ReqKind::Instr { demand: true });
     fill_l2(tier, c, line, &ctx);
     let _ = tier.l1i[li].insert(line, &ctx, false);
-    TierRes::Pending { est: hit_latency(cfg), seq }
+    TierRes::Pending { est: c.est.issue_estimate(StreamClass::Ifetch), seq }
 }
 
 /// Demand data access through the private tier (mirrors
@@ -554,7 +545,7 @@ fn data_access(
     let seq = c.emit(line, pc, sig, tier.cluster, ReqKind::Data { is_write, il_hint, ifetch_seq });
     fill_l2(tier, c, line, &ctx);
     let _ = tier.l1d[li].insert(line, &ctx, is_write);
-    TierRes::Pending { est: hit_latency(cfg), seq }
+    TierRes::Pending { est: c.est.issue_estimate(StreamClass::Data), seq }
 }
 
 /// Frontend instruction prefetch (the I-SPY/FDIP stand-in).

@@ -107,6 +107,18 @@ impl LlcShard {
         &self.cache
     }
 
+    /// Exports this shard's replacement-policy learned state (empty when
+    /// the policy has none) for the barrier's learned-state sync.
+    pub fn export_policy_learned(&self) -> Vec<u32> {
+        self.cache.export_policy_learned()
+    }
+
+    /// Installs the consensus of all shards' policy exports (the
+    /// learned-state sync's second half; deterministic in shard order).
+    pub fn import_policy_learned(&mut self, peers: &[Vec<u32>]) {
+        self.cache.import_policy_learned(peers);
+    }
+
     /// Shard DRAM slice (read-only; reporting).
     pub fn dram(&self) -> &DramModel {
         &self.dram

@@ -5,15 +5,21 @@
 //! other test binaries never read these variables while this one runs.
 
 use garibaldi_sim::{
-    EngineChoice, EngineConfig, ExperimentScale, LlcScheme, RunResult, SimRunner, SystemConfig,
+    EngineChoice, EngineConfig, EstimatorKind, ExperimentScale, LlcScheme, RunResult, SimRunner,
+    SystemConfig,
 };
 use garibaldi_trace::WorkloadMix;
 use std::sync::Mutex;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-const VARS: [&str; 4] =
-    ["GARIBALDI_ENGINE", "GARIBALDI_WORKERS", "GARIBALDI_SHARDS", "GARIBALDI_EPOCH"];
+const VARS: [&str; 5] = [
+    "GARIBALDI_ENGINE",
+    "GARIBALDI_WORKERS",
+    "GARIBALDI_SHARDS",
+    "GARIBALDI_EPOCH",
+    "GARIBALDI_ESTIMATOR",
+];
 
 /// Runs `f` with exactly `vars` set, restoring a clean slate after.
 fn with_env<T>(vars: &[(&str, &str)], f: impl FnOnce() -> T) -> T {
@@ -63,7 +69,7 @@ fn engine_serial_reproduces_serial_engine() {
 fn engine_parallel_forces_parallel_engine() {
     let r = runner();
     let s = ExperimentScale::smoke();
-    let eng = EngineConfig { workers: 1, epoch_cycles: 7_000, llc_shards: 4 };
+    let eng = EngineConfig { workers: 1, epoch_cycles: 7_000, llc_shards: 4, ..Default::default() };
     let reference = r.run_parallel(s.records_per_core, s.warmup_per_core, &eng);
     let forced = with_env(
         &[("GARIBALDI_ENGINE", "parallel"), ("GARIBALDI_EPOCH", "7000"), ("GARIBALDI_SHARDS", "4")],
@@ -74,6 +80,32 @@ fn engine_parallel_forces_parallel_engine() {
     // (otherwise the two assertions above prove nothing).
     let serial = r.run_serial(s.records_per_core, s.warmup_per_core);
     assert_ne!(serial, reference, "engines must be distinguishable at smoke scale");
+}
+
+/// `GARIBALDI_ESTIMATOR` alone selects the parallel engine with that
+/// estimator (precedence step 2: the estimator is a parallel-engine
+/// model axis) — and reproduces the explicitly configured run exactly.
+#[test]
+fn estimator_alone_selects_parallel_with_that_estimator() {
+    let r = runner();
+    let s = ExperimentScale::smoke();
+    let eng = EngineConfig { estimator: EstimatorKind::Ewma, ..Default::default() };
+    let reference = r.run_parallel(s.records_per_core, s.warmup_per_core, &eng);
+    let forced = with_env(&[("GARIBALDI_ESTIMATOR", "ewma")], || smoke_run(&r));
+    assert_eq!(reference, forced);
+    // The estimator is a *model* axis: at smoke scale the ewma run must
+    // differ from the optimistic default (otherwise the test proves
+    // nothing about which estimator actually ran).
+    let optimistic =
+        r.run_parallel(s.records_per_core, s.warmup_per_core, &EngineConfig::default());
+    assert_ne!(optimistic, reference, "estimators must be distinguishable at smoke scale");
+    // `GARIBALDI_ENGINE=serial` still wins over the estimator
+    // (precedence step 1).
+    let serial_forced =
+        with_env(&[("GARIBALDI_ENGINE", "serial"), ("GARIBALDI_ESTIMATOR", "ewma")], || {
+            smoke_run(&r)
+        });
+    assert_eq!(serial_forced, r.run_serial(s.records_per_core, s.warmup_per_core));
 }
 
 /// Bare `GARIBALDI_WORKERS` still flips to the parallel engine (the PR-2
@@ -92,12 +124,13 @@ fn bare_workers_still_selects_parallel() {
 /// unintended engine or geometry.
 #[test]
 fn malformed_values_panic_with_the_variable_name() {
-    let cases: [(&str, &str); 5] = [
+    let cases: [(&str, &str); 6] = [
         ("GARIBALDI_ENGINE", "turbo"),
         ("GARIBALDI_WORKERS", "0"),
         ("GARIBALDI_WORKERS", "banana"),
         ("GARIBALDI_SHARDS", "-1"),
         ("GARIBALDI_EPOCH", "99999999999999999999999999"),
+        ("GARIBALDI_ESTIMATOR", "psychic"),
     ];
     for (var, val) in cases {
         let err = with_env(&[(var, val)], || {

@@ -48,7 +48,14 @@ fn main() {
             .take(n_workloads.min(registry::SERVER_NAMES.len()))
             .collect();
 
-    let suite = FidelitySuite::paper_figures(scale, n_mixes, &workloads, grid);
+    let mut suite = FidelitySuite::paper_figures(scale, n_mixes, &workloads, grid);
+    // Learned-sync cadence axis: GARIBALDI_SYNC_EVERY measures one
+    // off-default cadence per invocation (ewma engine tags embed it, so
+    // checkpoint rows from different cadences never mix; serial and
+    // optimistic rows are cadence-independent and stay shared).
+    if let Some(k) = garibaldi_sim::config::env_positive("GARIBALDI_SYNC_EVERY") {
+        suite.sync_every = k;
+    }
     let jobs = suite.jobs();
     println!(
         "fidelity sweep: {} points × (serial + {} epoch values) = {} runs \

@@ -1,0 +1,281 @@
+//! Machine-readable performance snapshot: the PR 2 40-core reference
+//! point's engine phase breakdown plus the hot-structure micro-bench
+//! ns/iter numbers, as one JSON document.
+//!
+//! This is the perf trajectory's unit of record: each optimization PR
+//! regenerates it and commits the result as `BENCH_<n>.json` at the repo
+//! root, so regressions show up as reviewable diffs instead of buried
+//! bench logs. The CI perf-smoke leg runs this target and prints the same
+//! breakdown into the job log.
+//!
+//! ```console
+//! $ cargo bench -p garibaldi-bench --bench perf_snapshot
+//! $ cp target/garibaldi-results/perf_snapshot.json BENCH_<n>.json
+//! ```
+//!
+//! Knobs: `GARIBALDI_PERF_RECORDS` / `GARIBALDI_PERF_WARMUP` shrink the
+//! reference point (CI smoke); the committed snapshot uses the defaults
+//! (30 k + 7.5 k records/core × 40 cores = 1.5 M records, the PR 2
+//! reference). Wall-clock numbers are machine-dependent — compare
+//! snapshots from the same host class only.
+
+use garibaldi_bench::*;
+use garibaldi_sim::{EngineStats, EstimatorKind};
+use garibaldi_trace::WorkloadMix;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One engine leg of the snapshot.
+struct EngineLeg {
+    estimator: EstimatorKind,
+    sync_every: usize,
+    stats: EngineStats,
+    harmonic_mean_ipc: f64,
+}
+
+fn reference_runner(records: u64, warmup: u64) -> (SimRunner, u64, u64) {
+    let scale = ExperimentScale {
+        factor: 1.0,
+        cores: 40,
+        records_per_core: records,
+        warmup_per_core: warmup,
+        color_period: (records / 8).max(1_000),
+    };
+    let cfg = SystemConfig::scaled(&scale, LlcScheme::mockingjay_garibaldi());
+    let workloads = ["tpcc", "twitter", "kafka", "verilator"];
+    let slots: Vec<String> = (0..40).map(|i| workloads[i % 4].to_string()).collect();
+    (SimRunner::new(cfg, WorkloadMix { slots }, 42), records, warmup)
+}
+
+fn run_leg(runner: &SimRunner, records: u64, warmup: u64, estimator: EstimatorKind) -> EngineLeg {
+    let eng = EngineConfig { estimator, ..EngineConfig::default() };
+    let (result, stats) = runner.run_parallel_stats(records, warmup, &eng);
+    println!(
+        "[perf] {}{} wall={:.3}s step={:.3}s drain={:.3}s apply={:.3}s serial={:.3}s \
+         epochs={} syncs={} hmean-ipc={:.4}",
+        estimator.label(),
+        if estimator == EstimatorKind::Ewma {
+            format!(" k={}", eng.sync_every)
+        } else {
+            String::new()
+        },
+        stats.wall_s,
+        stats.step_s,
+        stats.drain_s,
+        stats.apply_s,
+        stats.serial_s,
+        stats.epochs,
+        stats.learned_syncs,
+        result.harmonic_mean_ipc(),
+    );
+    EngineLeg {
+        estimator,
+        sync_every: eng.sync_every,
+        stats,
+        harmonic_mean_ipc: result.harmonic_mean_ipc(),
+    }
+}
+
+/// Times `f` (ns/iter): short warmup, then a fixed-iteration measured loop
+/// sized from the warmup estimate. Coarse by design — the snapshot tracks
+/// order-of-magnitude regressions, not single-digit percents.
+fn ns_per_iter<R>(mut f: impl FnMut() -> R) -> f64 {
+    let t0 = Instant::now();
+    let mut warm = 0u64;
+    while t0.elapsed().as_millis() < 30 {
+        black_box(f());
+        warm += 1;
+    }
+    let per = (t0.elapsed().as_nanos() as f64 / warm as f64).max(0.5);
+    let iters = ((150e6 / per) as u64).clamp(1_000, 50_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t1.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn micro_benches() -> Vec<(&'static str, f64)> {
+    use garibaldi::{DppnTable, GaribaldiConfig, PairTable};
+    use garibaldi_sim::ReuseProfiler;
+    use garibaldi_types::{AccessKind, LineAddr, U64Table};
+
+    let mut out = Vec::new();
+
+    // Pair table: allocate/update and protection queries (the shared
+    // fast-hash index mixer's consumers).
+    let cfg = GaribaldiConfig::default();
+    let mut t = PairTable::new(&cfg);
+    let mut i = 0u64;
+    out.push((
+        "pair_table_update",
+        ns_per_iter(|| {
+            i = i.wrapping_add(1);
+            t.update_on_data(
+                LineAddr::new(i % 100_000),
+                i % 3 == 0,
+                (i % 8_192) as u16,
+                (i % 64) as u8,
+                (i % 8) as u8,
+                32,
+            );
+        }),
+    ));
+    let mut q = 0u64;
+    out.push((
+        "pair_table_query",
+        ns_per_iter(|| {
+            q = q.wrapping_add(17);
+            t.query_protect(LineAddr::new(q % 100_000), 0, 32)
+        }),
+    ));
+    let dppn = DppnTable::new(64);
+    let mut pf_buf = Vec::new();
+    let mut p = 0u64;
+    out.push((
+        "pair_table_prefetch_candidates_into",
+        ns_per_iter(|| {
+            p = p.wrapping_add(31);
+            t.prefetch_candidates_into(LineAddr::new(p % 100_000), &dppn, &mut pf_buf);
+        }),
+    ));
+
+    // Reuse profiler (the micro_reuse guard, snapshot form).
+    let mut prof = ReuseProfiler::new(1);
+    let mut r = 0u64;
+    out.push((
+        "reuse_access_shallow",
+        ns_per_iter(|| {
+            r = r.wrapping_add(1);
+            prof.on_access(LineAddr::new((r % 16) * 8), AccessKind::Data, r % 7);
+        }),
+    ));
+    let mut prof_deep = ReuseProfiler::new(1);
+    let mut d = 0u64;
+    out.push((
+        "reuse_access_deep",
+        ns_per_iter(|| {
+            d = d.wrapping_add(1);
+            prof_deep.on_access(LineAddr::new((d % 400) * 8), AccessKind::Data, d % 7);
+        }),
+    ));
+
+    // The open-addressed table against std's SipHash HashMap on the same
+    // churn pattern (the tentpole's constant factor, isolated).
+    let mut fast: U64Table<u64> = U64Table::new();
+    let mut k = 0u64;
+    out.push((
+        "u64table_insert_get_remove",
+        ns_per_iter(|| {
+            k = k.wrapping_add(1);
+            fast.insert(k % 4096, k);
+            black_box(fast.get((k * 7) % 4096));
+            fast.remove((k * 13) % 4096);
+        }),
+    ));
+    let mut slow: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut k2 = 0u64;
+    out.push((
+        "std_hashmap_insert_get_remove",
+        ns_per_iter(|| {
+            k2 = k2.wrapping_add(1);
+            slow.insert(k2 % 4096, k2);
+            black_box(slow.get(&((k2 * 7) % 4096)));
+            slow.remove(&((k2 * 13) % 4096));
+        }),
+    ));
+
+    // Temporal prefetcher miss path (U64Table-backed successor table).
+    let mut tp = garibaldi_cache::TemporalPrefetcher::new();
+    let mut cand = Vec::new();
+    let mut m = 0u64;
+    out.push((
+        "temporal_prefetcher_miss",
+        ns_per_iter(|| {
+            use garibaldi_cache::Prefetcher;
+            m = m.wrapping_add(1);
+            cand.clear();
+            tp.on_access(LineAddr::new(m % 10_000), 0, false, &mut cand);
+        }),
+    ));
+
+    for (name, ns) in &out {
+        println!("[perf] {name:<36} {ns:>10.1} ns/iter");
+    }
+    out
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let records: u64 =
+        std::env::var("GARIBALDI_PERF_RECORDS").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000);
+    let warmup: u64 =
+        std::env::var("GARIBALDI_PERF_WARMUP").ok().and_then(|v| v.parse().ok()).unwrap_or(7_500);
+    println!(
+        "perf snapshot: 40-core reference point (tpcc/twitter/kafka/verilator, factor 1.0, \
+         {records}+{warmup} records/core), workers=1"
+    );
+
+    let (runner, records, warmup) = reference_runner(records, warmup);
+    let legs: Vec<EngineLeg> = [EstimatorKind::Optimistic, EstimatorKind::Ewma]
+        .into_iter()
+        .map(|e| run_leg(&runner, records, warmup, e))
+        .collect();
+    let micro = micro_benches();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"garibaldi-perf-snapshot-v1\",");
+    let _ = writeln!(
+        json,
+        "  \"reference_point\": {{\"cores\": 40, \"factor\": 1.0, \
+         \"workloads\": \"tpcc,twitter,kafka,verilator\", \"scheme\": \"Mockingjay+Garibaldi\", \
+         \"records_per_core\": {records}, \"warmup_per_core\": {warmup}, \"workers\": 1, \
+         \"seed\": 42}},"
+    );
+    let _ = writeln!(json, "  \"engine\": [");
+    for (i, leg) in legs.iter().enumerate() {
+        let s = &leg.stats;
+        let _ = writeln!(
+            json,
+            "    {{\"estimator\": \"{}\", \"sync_every\": {}, \"wall_s\": {}, \
+             \"step_s\": {}, \"drain_s\": {}, \"apply_s\": {}, \"serial_s\": {}, \
+             \"epochs\": {}, \"learned_syncs\": {}, \"harmonic_mean_ipc\": {}}}{}",
+            leg.estimator.label(),
+            leg.sync_every,
+            json_num(s.wall_s),
+            json_num(s.step_s),
+            json_num(s.drain_s),
+            json_num(s.apply_s),
+            json_num(s.serial_s),
+            s.epochs,
+            s.learned_syncs,
+            json_num(leg.harmonic_mean_ipc),
+            if i + 1 < legs.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"micro_ns_per_iter\": {{");
+    for (i, (name, ns)) in micro.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {}{}",
+            json_num(*ns),
+            if i + 1 < micro.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let path = out_dir().join("perf_snapshot.json");
+    std::fs::write(&path, &json).expect("write perf snapshot");
+    println!("[json] {}", path.display());
+}

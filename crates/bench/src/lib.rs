@@ -61,12 +61,7 @@ pub fn bench_engine() -> EngineChoice {
 /// Panics on an invalid value (0, garbage, overflow) — a typo must not
 /// silently serialize the sweep.
 pub fn inner_workers() -> usize {
-    garibaldi_sim::config::parse_positive(
-        "GARIBALDI_INNER_WORKERS",
-        std::env::var("GARIBALDI_INNER_WORKERS").ok().as_deref(),
-    )
-    .unwrap_or_else(|e| panic!("{e}"))
-    .unwrap_or(1)
+    garibaldi_sim::config::env_positive("GARIBALDI_INNER_WORKERS").unwrap_or(1)
 }
 
 /// Threads each bench run will actually use under the resolved engine

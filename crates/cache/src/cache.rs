@@ -119,10 +119,46 @@ pub struct InsertOutcome {
     pub protected: u32,
 }
 
+/// Precomputed set-index arithmetic: `line % sets` costs a hardware
+/// divide per access, which the hot path pays three-plus times per
+/// record (L1, L2, LLC). Power-of-two set counts — every L1/L2 geometry
+/// `from_capacity` produces — reduce to a mask; the non-power-of-two LLC
+/// keeps the modulo. Bit-identical to the modulo in every case.
+#[derive(Debug, Clone, Copy)]
+enum SetIndexFast {
+    /// `sets`/`modulus` is a power of two: index = `line & mask`.
+    Mask { mask: u64, base: u64 },
+    /// General case: index = `line % modulus - base`.
+    Mod { modulus: u64, base: u64 },
+}
+
+impl SetIndexFast {
+    fn new(cfg: &CacheConfig) -> Self {
+        let (modulus, base) = match cfg.indexing {
+            SetIndexing::Modulo => (cfg.sets as u64, 0),
+            SetIndexing::Shard { modulus, base } => (modulus, base),
+        };
+        if modulus.is_power_of_two() {
+            Self::Mask { mask: modulus - 1, base }
+        } else {
+            Self::Mod { modulus, base }
+        }
+    }
+
+    #[inline]
+    fn set_of(self, line: u64) -> usize {
+        match self {
+            Self::Mask { mask, base } => ((line & mask) - base) as usize,
+            Self::Mod { modulus, base } => ((line % modulus) - base) as usize,
+        }
+    }
+}
+
 /// A set-associative cache with pluggable replacement and an optional
 /// eviction guard (the Garibaldi QBS hook).
 pub struct SetAssocCache {
     config: CacheConfig,
+    set_index: SetIndexFast,
     lines: Vec<LineMeta>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
@@ -148,7 +184,8 @@ impl SetAssocCache {
     /// Creates a cache with a custom policy instance.
     pub fn with_policy(config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
         let lines = vec![LineMeta::empty(); config.sets * config.ways];
-        Self { config, lines, policy, stats: CacheStats::default() }
+        let set_index = SetIndexFast::new(&config);
+        Self { config, set_index, lines, policy, stats: CacheStats::default() }
     }
 
     /// Cache geometry.
@@ -176,8 +213,17 @@ impl SetAssocCache {
     /// learned tables.
     pub fn export_policy_learned(&self) -> Vec<u32> {
         let mut out = Vec::new();
-        self.policy.export_learned(&mut out);
+        self.export_policy_learned_into(&mut out);
         out
+    }
+
+    /// [`SetAssocCache::export_policy_learned`] into a caller-owned buffer
+    /// (cleared first) — the epoch barrier exports every shard's learned
+    /// state each sync, so the buffers are arena-reused across epochs
+    /// instead of reallocated.
+    pub fn export_policy_learned_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        self.policy.export_learned(out);
     }
 
     /// Installs the deterministic consensus of same-policy `peers` exports
@@ -192,18 +238,24 @@ impl SetAssocCache {
     /// falls in the owned range; this is debug-asserted.
     #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
-        match self.config.indexing {
-            SetIndexing::Modulo => (line.get() % self.config.sets as u64) as usize,
-            SetIndexing::Shard { modulus, base } => {
-                let global = line.get() % modulus;
-                debug_assert!(
-                    global >= base && global < base + self.config.sets as u64,
-                    "line {line:?} (global set {global}) outside shard [{base}, {})",
-                    base + self.config.sets as u64
-                );
-                (global - base) as usize
-            }
+        if let SetIndexing::Shard { modulus, base } = self.config.indexing {
+            let global = line.get() % modulus;
+            debug_assert!(
+                global >= base && global < base + self.config.sets as u64,
+                "line {line:?} (global set {global}) outside shard [{base}, {})",
+                base + self.config.sets as u64
+            );
         }
+        self.set_index.set_of(line.get())
+    }
+
+    /// Way of `line` within its (precomputed) set, scanning the set's
+    /// frames through one slice — one bounds check, and one definition of
+    /// the tag-match predicate for every lookup/access/insert/peek path.
+    #[inline]
+    fn way_in(&self, set: usize, line: LineAddr) -> Option<usize> {
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways].iter().position(|f| f.valid && f.line == line)
     }
 
     #[inline]
@@ -217,17 +269,15 @@ impl SetAssocCache {
     }
 
     /// Pure lookup: way holding `line`, if present. No policy update.
+    #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_of(line);
-        (0..self.config.ways).find(|&w| {
-            let f = self.frame(set, w);
-            f.valid && f.line == line
-        })
+        self.way_in(self.set_of(line), line)
     }
 
     /// Metadata of a resident line.
     pub fn peek(&self, line: LineAddr) -> Option<&LineMeta> {
-        self.lookup(line).map(|w| self.frame(self.set_of(line), w))
+        let set = self.set_of(line);
+        self.way_in(set, line).map(|w| &self.lines[set * self.config.ways + w])
     }
 
     /// Demand access: returns `true` on hit (recording stats and updating
@@ -238,9 +288,11 @@ impl SetAssocCache {
     /// prefetch) and `dirty` is set for writes.
     pub fn access(&mut self, ctx: &AccessCtx, is_write: bool) -> bool {
         let kind = if ctx.is_instr { AccessKind::Instr } else { AccessKind::Data };
-        match self.lookup(ctx.line) {
+        // Compute the set once; the tag scan reuses it (the index divide
+        // dominates small-cache access cost otherwise).
+        let set = self.set_of(ctx.line);
+        match self.way_in(set, ctx.line) {
             Some(way) => {
-                let set = self.set_of(ctx.line);
                 self.stats.record_access(kind, true);
                 let was_prefetched = {
                     let f = self.frame_mut(set, way);
@@ -307,7 +359,7 @@ impl SetAssocCache {
         let set = self.set_of(line);
 
         // Refresh if already resident (races between prefetch and demand).
-        if let Some(way) = self.lookup(line) {
+        if let Some(way) = self.way_in(set, line) {
             let f = self.frame_mut(set, way);
             f.dirty |= dirty;
             f.is_instr = ctx.is_instr;
@@ -453,9 +505,8 @@ impl SetAssocCache {
 
     /// Mutable metadata of a resident line (directory state updates).
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
-        let way = self.lookup(line)?;
         let set = self.set_of(line);
-        Some(self.frame_mut(set, way))
+        self.way_in(set, line).map(|w| &mut self.lines[set * self.config.ways + w])
     }
 
     /// Iterates over the valid lines of a set.

@@ -8,8 +8,7 @@
 //! (any legal policy's hit count is bounded by OPT's) and to quantify
 //! per-workload replacement headroom.
 
-use garibaldi_types::LineAddr;
-use std::collections::HashMap;
+use garibaldi_types::{LineAddr, U64Table};
 
 /// Outcome of an offline OPT replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,15 +39,16 @@ pub fn simulate_opt(accesses: &[LineAddr], sets: usize, ways: usize) -> OptResul
     assert!(sets > 0 && ways > 0, "degenerate cache geometry");
 
     // Partition the stream by set, preserving order (OPT is per-set
-    // independent for a set-indexed cache).
-    let mut per_set: HashMap<u64, Vec<u64>> = HashMap::new();
+    // independent for a set-indexed cache). Hit/miss totals are
+    // commutative sums, so the table's slot-order iteration is fine.
+    let mut per_set: U64Table<Vec<u64>> = U64Table::new();
     for a in accesses {
-        per_set.entry(a.get() % sets as u64).or_default().push(a.get());
+        per_set.get_or_insert_with(a.get() % sets as u64, Vec::new).push(a.get());
     }
 
     let mut result = OptResult::default();
-    for (_, stream) in per_set {
-        let r = simulate_opt_one_set(&stream, ways);
+    for stream in per_set.values() {
+        let r = simulate_opt_one_set(stream, ways);
         result.hits += r.hits;
         result.misses += r.misses;
     }
@@ -61,7 +61,7 @@ fn simulate_opt_one_set(stream: &[u64], ways: usize) -> OptResult {
 
     // next_use[i] = index of the next access to the same line after i.
     let mut next_use = vec![NEVER; stream.len()];
-    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    let mut last_pos: U64Table<usize> = U64Table::with_capacity(stream.len().min(1 << 16));
     for (i, &line) in stream.iter().enumerate().rev() {
         next_use[i] = last_pos.insert(line, i).unwrap_or(NEVER);
     }

@@ -9,7 +9,7 @@
 
 use super::{PolicyCtx, ReplacementPolicy};
 use crate::sat::SatCounter;
-use std::collections::HashMap;
+use garibaldi_types::U64Table;
 
 /// History window per sampled set, in set accesses, as a multiple of the
 /// associativity (the paper configures 8× associativity, §6).
@@ -24,7 +24,9 @@ const HK_RRPV_MAX: u8 = 7;
 #[derive(Debug, Default, Clone)]
 struct SampledSet {
     /// Per-line last access: line → (time, predictor index).
-    last: HashMap<u64, (u64, usize)>,
+    /// Open-addressed: probed on every access to a sampled set (see
+    /// `garibaldi_types::u64map`).
+    last: U64Table<(u64, u32)>,
     /// Occupancy vector ring, one slot per time quantum.
     occupancy: Vec<u16>,
     /// Set access counter (time).
@@ -47,7 +49,11 @@ pub struct Hawkeye {
     /// Predictor values as of the last learned-state sync (the shared
     /// baseline the delta-sum merge in `import_learned` works from).
     synced: Vec<u32>,
-    sampled: HashMap<usize, SampledSet>,
+    /// Sampler state, indexed by `set / SAMPLE_STRIDE` (only multiples of
+    /// the stride are sampled — a dense vector, not a map).
+    sampled: Vec<SampledSet>,
+    /// Scratch for stale sampler keys (reused across trims).
+    stale: Vec<u64>,
     rrpv: Vec<u8>,
     friendly: Vec<bool>,
     frame_pred_idx: Vec<usize>,
@@ -58,19 +64,16 @@ impl Hawkeye {
     /// Creates Hawkeye state for a `sets × ways` cache.
     pub fn new(sets: usize, ways: usize) -> Self {
         let window = WINDOW_ASSOC_MULT * ways;
-        let mut sampled = HashMap::new();
-        for s in (0..sets).step_by(SAMPLE_STRIDE) {
-            sampled.insert(
-                s,
-                SampledSet { last: HashMap::new(), occupancy: vec![0; window], time: 0 },
-            );
-        }
+        let sampled = (0..sets.div_ceil(SAMPLE_STRIDE))
+            .map(|_| SampledSet { last: U64Table::new(), occupancy: vec![0; window], time: 0 })
+            .collect();
         Self {
             ways,
             window,
             predictor: vec![SatCounter::new(3, 4); 1 << PRED_BITS],
             synced: vec![4; 1 << PRED_BITS],
             sampled,
+            stale: Vec::new(),
             rrpv: vec![HK_RRPV_MAX; sets * ways],
             friendly: vec![false; sets * ways],
             frame_pred_idx: vec![0; sets * ways],
@@ -93,15 +96,19 @@ impl Hawkeye {
     fn train(&mut self, set: usize, ctx: &PolicyCtx) {
         let ways = self.ways as u16;
         let window = self.window;
-        let Some(ss) = self.sampled.get_mut(&set) else { return };
+        if set % SAMPLE_STRIDE != 0 {
+            return;
+        }
+        let ss = &mut self.sampled[set / SAMPLE_STRIDE];
         let now = ss.time;
         ss.time += 1;
         // The slot entering the window is fresh.
         ss.occupancy[(now % window as u64) as usize] = 0;
 
         let line = ctx.line.get();
-        let decision = match ss.last.get(&line).copied() {
+        let decision = match ss.last.get(line).copied() {
             Some((t_prev, prev_idx)) => {
+                let prev_idx = prev_idx as usize;
                 let dist = now - t_prev;
                 let decision = if dist < window as u64 {
                     // Would OPT have kept the line across [t_prev, now)?
@@ -127,11 +134,16 @@ impl Hawkeye {
             None => OptDecision::Miss,
         };
         let _ = decision;
-        ss.last.insert(line, (now, Self::pred_idx(ctx)));
-        // Bound the per-set map: drop stale lines (outside the window).
+        ss.last.insert(line, (now, Self::pred_idx(ctx) as u32));
+        // Bound the per-set map: drop stale lines (outside the window) —
+        // collect keys then remove (removal order is immaterial).
         if ss.last.len() > 4 * window {
             let cutoff = now.saturating_sub(window as u64);
-            ss.last.retain(|_, (t, _)| *t >= cutoff);
+            self.stale.clear();
+            self.stale.extend(ss.last.iter().filter(|&(_, &(t, _))| t < cutoff).map(|(l, _)| l));
+            for &l in &self.stale {
+                ss.last.remove(l);
+            }
         }
     }
 
@@ -268,7 +280,11 @@ mod tests {
     fn sampled_sets_exist() {
         let h = Hawkeye::new(64, 4);
         assert_eq!(h.sampled.len(), 64 / SAMPLE_STRIDE);
-        assert!(h.sampled.contains_key(&0));
+        // Set 0 is sampled (stride multiples), set 1 is not.
+        let mut h2 = Hawkeye::new(64, 4);
+        h2.train(0, &ctx(0x40, 0x1));
+        h2.train(1, &ctx(0x40, 0x1));
+        assert_eq!(h2.sampled[0].time, 1, "sampled set trains");
     }
 
     #[test]

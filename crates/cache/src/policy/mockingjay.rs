@@ -10,7 +10,7 @@
 //! scans and bypass the (non-inclusive) cache.
 
 use super::{PolicyCtx, ReplacementPolicy};
-use std::collections::HashMap;
+use garibaldi_types::U64Table;
 
 /// History window per sampled set (× associativity), as configured in §6.
 const WINDOW_ASSOC_MULT: usize = 8;
@@ -28,8 +28,10 @@ const SCAN_DISTANCE: u32 = u32::MAX;
 
 #[derive(Debug, Default, Clone)]
 struct SampledSet {
-    /// line → (last access time, rdp index).
-    last: HashMap<u64, (u64, usize)>,
+    /// line → (last access time, rdp index). Open-addressed: this map is
+    /// probed on every access to a sampled set — the simulator's hottest
+    /// policy path (see `garibaldi_types::u64map`).
+    last: U64Table<(u64, u32)>,
     time: u64,
 }
 
@@ -43,7 +45,13 @@ pub struct Mockingjay {
     /// RDP: predicted reuse distance per signature (`u32::MAX` = scan,
     /// `0xFFFF_FFFE` = untrained).
     rdp: Vec<u32>,
-    sampled: HashMap<usize, SampledSet>,
+    /// Sampler state, indexed by `set / SAMPLE_STRIDE` (only multiples of
+    /// the stride are sampled — a dense vector, not a map).
+    sampled: Vec<SampledSet>,
+    /// Scratch for aged-out sampler entries: `(line, rdp index)` pairs
+    /// collected before removal (reused across calls, no per-access
+    /// allocation).
+    stale: Vec<(u64, u32)>,
     etr: Vec<i32>,
     /// Per-set access countdown for the aging clock.
     clock: Vec<u32>,
@@ -57,16 +65,13 @@ impl Mockingjay {
     pub fn new(sets: usize, ways: usize) -> Self {
         let window = (WINDOW_ASSOC_MULT * ways) as u32;
         let granularity = 1;
-        let mut sampled = HashMap::new();
-        for s in (0..sets).step_by(SAMPLE_STRIDE) {
-            sampled.insert(s, SampledSet::default());
-        }
         Self {
             ways,
             window,
             granularity,
             rdp: vec![RDP_UNTRAINED; 1 << RDP_BITS],
-            sampled,
+            sampled: vec![SampledSet::default(); sets.div_ceil(SAMPLE_STRIDE)],
+            stale: Vec::new(),
             etr: vec![0; sets * ways],
             clock: vec![0; sets],
         }
@@ -104,29 +109,30 @@ impl Mockingjay {
 
     fn train(&mut self, set: usize, ctx: &PolicyCtx) {
         let window = self.window;
-        let Some(ss) = self.sampled.get_mut(&set) else { return };
+        if set % SAMPLE_STRIDE != 0 {
+            return;
+        }
+        let ss = &mut self.sampled[set / SAMPLE_STRIDE];
         let now = ss.time;
         ss.time += 1;
         let line = ctx.line.get();
-        if let Some((t_prev, idx)) = ss.last.get(&line).copied() {
+        if let Some(&(t_prev, idx)) = ss.last.get(line) {
             let observed = ((now - t_prev) as u32).min(window * 2);
-            update_rdp(&mut self.rdp[idx], observed);
+            update_rdp(&mut self.rdp[idx as usize], observed);
         }
-        ss.last.insert(line, (now, Self::rdp_idx(ctx)));
-        // Lines that age out of the window were effectively scans.
+        ss.last.insert(line, (now, Self::rdp_idx(ctx) as u32));
+        // Lines that age out of the window were effectively scans. Collect
+        // then remove (every aged-out entry maps to the same SCAN write,
+        // so collection order is immaterial).
         if ss.last.len() > window as usize {
             let cutoff = now.saturating_sub(window as u64);
-            let mut stale = Vec::new();
-            ss.last.retain(|_, (t, idx)| {
-                if *t < cutoff {
-                    stale.push(*idx);
-                    false
-                } else {
-                    true
-                }
-            });
-            for idx in stale {
-                update_rdp(&mut self.rdp[idx], SCAN_DISTANCE);
+            self.stale.clear();
+            self.stale.extend(
+                ss.last.iter().filter(|&(_, &(t, _))| t < cutoff).map(|(l, &(_, idx))| (l, idx)),
+            );
+            for &(l, idx) in &self.stale {
+                ss.last.remove(l);
+                update_rdp(&mut self.rdp[idx as usize], SCAN_DISTANCE);
             }
         }
     }
@@ -136,9 +142,10 @@ impl Mockingjay {
         self.clock[set] += 1;
         if self.clock[set] >= self.granularity {
             self.clock[set] = 0;
-            for w in 0..self.ways {
-                let i = self.fidx(set, w);
-                self.etr[i] = (self.etr[i] - 1).max(-ETR_MAX);
+            // One slice → one bounds check; the decrement loop vectorizes.
+            let base = set * self.ways;
+            for e in &mut self.etr[base..base + self.ways] {
+                *e = (*e - 1).max(-ETR_MAX);
             }
         }
     }

@@ -62,18 +62,22 @@ impl GhbPrefetcher {
         (pc_sig.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % INDEX_SIZE
     }
 
-    /// Walks the PC chain, returning up to the last 3 miss lines
-    /// (most recent first).
-    fn chain(&self, head: u32, gen: u32) -> Vec<u64> {
-        let mut out = Vec::with_capacity(3);
+    /// Walks the PC chain, returning up to the last 3 miss lines (most
+    /// recent first) as `(lines, count)` — a fixed array, not a `Vec`:
+    /// this runs on every observed miss, and the hot path must not
+    /// allocate.
+    fn chain(&self, head: u32, gen: u32) -> ([u64; 3], usize) {
+        let mut out = [0u64; 3];
+        let mut n = 0usize;
         let mut cur = head;
         let mut cur_gen = gen;
-        while cur != NIL && out.len() < 3 {
+        while cur != NIL && n < 3 {
             let e = self.buffer[cur as usize];
             if e.gen != cur_gen {
                 break; // link overwritten by wrap-around
             }
-            out.push(e.line);
+            out[n] = e.line;
+            n += 1;
             cur = e.prev;
             // prev entries may be from the previous generation window.
             cur_gen =
@@ -87,7 +91,7 @@ impl GhbPrefetcher {
                 cur_gen = pe.gen;
             }
         }
-        out
+        (out, n)
     }
 }
 
@@ -111,8 +115,8 @@ impl Prefetcher for GhbPrefetcher {
         self.index[slot] = IndexEntry { pc_tag: pc_sig, head: pos, valid: true };
 
         // Delta correlation over the last three misses of this PC.
-        let chain = self.chain(pos, self.gen);
-        if chain.len() == 3 {
+        let (chain, n) = self.chain(pos, self.gen);
+        if n == 3 {
             let d1 = chain[0] as i64 - chain[1] as i64;
             let d2 = chain[1] as i64 - chain[2] as i64;
             if d1 == d2 && d1 != 0 {

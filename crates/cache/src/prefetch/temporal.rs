@@ -10,8 +10,7 @@
 //! instruction stream (§1).
 
 use super::Prefetcher;
-use garibaldi_types::LineAddr;
-use std::collections::HashMap;
+use garibaldi_types::{LineAddr, U64Table};
 
 /// Successors remembered per miss line.
 const SUCCESSORS: usize = 2;
@@ -19,16 +18,21 @@ const SUCCESSORS: usize = 2;
 const TABLE_CAP: usize = 64 * 1024;
 
 /// Temporal next-miss prefetcher.
+///
+/// The successor table is open-addressed ([`U64Table`]): it is probed on
+/// every L1I miss — one of the hottest lookups in the whole simulator —
+/// and, unlike a SipHash `HashMap`, its (deterministic) slot order makes
+/// the capacity-eviction pick below reproducible across runs.
 #[derive(Debug)]
 pub struct TemporalPrefetcher {
-    table: HashMap<u64, [u64; SUCCESSORS]>,
+    table: U64Table<[u64; SUCCESSORS]>,
     last_miss: Option<u64>,
 }
 
 impl TemporalPrefetcher {
     /// Creates an empty temporal prefetcher.
     pub fn new() -> Self {
-        Self { table: HashMap::new(), last_miss: None }
+        Self { table: U64Table::new(), last_miss: None }
     }
 
     /// Number of miss lines currently tracked.
@@ -53,14 +57,16 @@ impl Prefetcher for TemporalPrefetcher {
         // Record: the previous miss is followed by this one.
         if let Some(prev) = self.last_miss {
             if prev != cur {
-                if self.table.len() >= TABLE_CAP && !self.table.contains_key(&prev) {
+                if self.table.len() >= TABLE_CAP && !self.table.contains_key(prev) {
                     // Table full: drop an arbitrary cold entry (cheap
-                    // approximation of LRU replacement).
-                    if let Some(&k) = self.table.keys().next() {
-                        self.table.remove(&k);
+                    // approximation of LRU replacement; first slot in
+                    // probe order — deterministic).
+                    let victim = self.table.keys().next();
+                    if let Some(k) = victim {
+                        self.table.remove(k);
                     }
                 }
-                let succ = self.table.entry(prev).or_insert([u64::MAX; SUCCESSORS]);
+                let succ = self.table.get_or_insert_with(prev, || [u64::MAX; SUCCESSORS]);
                 if !succ.contains(&cur) {
                     succ.rotate_right(1);
                     succ[0] = cur;
@@ -70,7 +76,7 @@ impl Prefetcher for TemporalPrefetcher {
         self.last_miss = Some(cur);
 
         // Predict: prefetch this line's remembered successors.
-        if let Some(succ) = self.table.get(&cur) {
+        if let Some(succ) = self.table.get(cur) {
             for &s in succ.iter().filter(|&&s| s != u64::MAX) {
                 out.push(LineAddr::new(s));
             }
@@ -134,7 +140,7 @@ mod tests {
             miss(&mut p, 10);
             miss(&mut p, 20);
         }
-        let succ = p.table.get(&10).unwrap();
+        let succ = p.table.get(10).unwrap();
         assert_eq!(succ.iter().filter(|&&s| s == 20).count(), 1);
     }
 }

@@ -156,7 +156,10 @@ impl PairTable {
 
     #[inline]
     fn index_of(&self, il: LineAddr) -> usize {
-        (il.get().wrapping_mul(0x2127_599b_f432_5c37) >> 20) as usize % self.entries.len()
+        // The shared multiplicative mixer (`garibaldi_types::fasthash`),
+        // bit-identical to the ad-hoc expression this table used since
+        // PR 1 — the committed scheme-metric goldens pin the mapping.
+        garibaldi_types::fasthash::mul_index(il.get(), self.entries.len())
     }
 
     /// Color distance from `entry_color` to `current`, wrapping at 2^l
@@ -290,6 +293,21 @@ impl PairTable {
     /// as in hardware).
     pub fn prefetch_candidates(&self, il: LineAddr, dppn: &DppnTable) -> Vec<LineAddr> {
         let mut out = Vec::new();
+        self.prefetch_candidates_into(il, dppn, &mut out);
+        out
+    }
+
+    /// [`PairTable::prefetch_candidates`] into a caller-owned buffer
+    /// (cleared first) — the LLC drain path queries candidates on every
+    /// unprotected instruction miss, so callers reuse one buffer instead
+    /// of allocating a `Vec` per miss.
+    pub fn prefetch_candidates_into(
+        &self,
+        il: LineAddr,
+        dppn: &DppnTable,
+        out: &mut Vec<LineAddr>,
+    ) {
+        out.clear();
         if let Some(e) = self.lookup(il) {
             for f in e.dl.iter().take(self.k).filter(|f| f.valid) {
                 if let Some(ppn) = dppn.get(f.dppn_idx) {
@@ -297,7 +315,6 @@ impl PairTable {
                 }
             }
         }
-        out
     }
 
     /// Direct entry access for diagnostics/tests.
@@ -497,6 +514,35 @@ mod tests {
         t.update_on_data(IL, true, 1, 1, 0, 32);
         assert!(t.entry_for(IL).dl.iter().all(|f| !f.valid));
         assert!(t.prefetch_candidates(IL, &dppn).is_empty());
+    }
+
+    /// Golden check for the index mixing: the shared `fasthash::mul_index`
+    /// must keep producing the exact slots of the PR 1 expression
+    /// (`wrapping_mul(0x2127_599b_f432_5c37) >> 20 % len`) — scheme
+    /// metrics in `tests/golden/fidelity_baselines.jsonl` depend on it.
+    #[test]
+    fn index_mixing_matches_the_historical_golden_mapping() {
+        let t = table();
+        let small = small_table(1);
+        for il in [IL, LineAddr::new(0), LineAddr::new(0x40), LineAddr::new(u64::MAX / 3)] {
+            let legacy =
+                |len: usize| (il.get().wrapping_mul(0x2127_599b_f432_5c37) >> 20) as usize % len;
+            assert_eq!(t.index_of(il), legacy(t.len()));
+            assert_eq!(small.index_of(il), legacy(small.len()));
+        }
+    }
+
+    #[test]
+    fn prefetch_candidates_into_reuses_the_buffer() {
+        let mut t = small_table(1);
+        let mut dppn = DppnTable::new(16);
+        let idx = dppn.insert(garibaldi_types::PageNum::new(0x77));
+        t.update_on_data(IL, false, idx, 3, 0, 32);
+        let mut buf = vec![LineAddr::new(999); 4];
+        t.prefetch_candidates_into(IL, &dppn, &mut buf);
+        assert_eq!(buf, t.prefetch_candidates(IL, &dppn), "cleared, then refilled");
+        t.prefetch_candidates_into(LineAddr::new(0x1), &dppn, &mut buf);
+        assert!(buf.is_empty(), "unknown line clears the buffer");
     }
 
     #[test]

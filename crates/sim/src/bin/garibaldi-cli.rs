@@ -26,6 +26,12 @@
 //!                            exists there — like GARIBALDI_ESTIMATOR.
 //!                            GARIBALDI_ENGINE_STATS=1 prints its bias/RMS
 //!                            error against drained outcomes
+//!   --sync-every K           run the ewma learned-state sync every K
+//!                            epoch barriers (default 8, the validated
+//!                            cadence — use 1 for PR 4's every-barrier
+//!                            sync; like GARIBALDI_SYNC_EVERY; no effect
+//!                            under the optimistic estimator, where no
+//!                            sync runs)
 //!   --dump-trace PATH        write the per-core record streams to PATH and
 //!                            exit (replayable across schemes and engines)
 //!   --replay PATH            replay streams dumped with --dump-trace
@@ -74,6 +80,7 @@ struct Args {
     /// Set by `--estimator`; selecting one selects the parallel engine
     /// (mirrors the `GARIBALDI_ESTIMATOR` precedence rule).
     estimator: Option<EstimatorKind>,
+    sync_every: usize,
     dump_trace: Option<String>,
     replay: Option<String>,
 }
@@ -95,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         shards: defaults.llc_shards,
         epoch: defaults.epoch_cycles,
         estimator: None,
+        sync_every: defaults.sync_every,
         dump_trace: None,
         replay: None,
     };
@@ -121,6 +129,13 @@ fn parse_args() -> Result<Args, String> {
             "--epoch" => a.epoch = val("--epoch")?.parse().map_err(|e| format!("{e}"))?,
             "--estimator" => {
                 a.estimator = EstimatorKind::parse("--estimator", Some(&val("--estimator")?))?;
+            }
+            "--sync-every" => {
+                a.sync_every = garibaldi_sim::config::parse_positive(
+                    "--sync-every",
+                    Some(&val("--sync-every")?),
+                )?
+                .expect("value present");
             }
             "--dump-trace" => a.dump_trace = Some(val("--dump-trace")?),
             "--replay" => a.replay = Some(val("--replay")?),
@@ -208,6 +223,7 @@ fn main() {
         epoch_cycles: args.epoch,
         llc_shards: args.shards,
         estimator: args.estimator.unwrap_or_default(),
+        sync_every: args.sync_every,
     };
     let replay_streams = args.replay.as_ref().map(|path| {
         let bytes = std::fs::read(path).unwrap_or_else(|e| {

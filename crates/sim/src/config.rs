@@ -238,10 +238,33 @@ pub struct EngineConfig {
     /// simulated results (toward the serial engine, per the fidelity
     /// study), never determinism.
     pub estimator: EstimatorKind,
+    /// Run the ewma learned-state sync every `sync_every` barriers
+    /// (`--sync-every` / `GARIBALDI_SYNC_EVERY`; ≥ 1). The sync is the
+    /// dominant single-CPU cost of the ewma profile — predictor-table
+    /// export + consensus merge per shard per barrier — while its fidelity
+    /// value decays slowly with staleness (measured in `docs/fidelity/`),
+    /// so syncing every k-th barrier trades a bounded fidelity delta for
+    /// most of that overhead. Under [`EstimatorKind::Optimistic`] no sync
+    /// ever runs, so this knob provably cannot change results there
+    /// (regression-tested); under ewma it is a *model* parameter like
+    /// `epoch_cycles` — the barrier count is a pure function of the
+    /// simulated schedule, so every value stays worker-count invariant.
+    pub sync_every: usize,
 }
 
 impl Default for EngineConfig {
-    /// The fidelity-validated default geometry. `epoch_cycles = 20_000`
+    /// The fidelity-validated default geometry.
+    ///
+    /// `sync_every = 8` is the measured sweet spot of the learned-sync
+    /// cadence (PR 5, `docs/fidelity/README.md` §"The `sync_every` axis"):
+    /// at the default window the ewma figure-geomean error moves only
+    /// fig11 0.10 % → 0.21 % / fig12 0.78 % → 0.80 % (bound: ≤ 1 %) while
+    /// the sync's wall-clock cost — the dominant single-CPU ewma overhead
+    /// — drops to an eighth (40-core reference point 1.74 s → 1.34 s).
+    /// Under the default `Optimistic` estimator the knob is inert
+    /// (regression-tested byte-identical).
+    ///
+    /// `epoch_cycles = 20_000`
     /// was selected by the epoch sweep in `docs/fidelity/`: figure-level
     /// geomean error vs the serial engine is nearly flat in the window
     /// size (the residual is intra-epoch issue optimism, not staleness),
@@ -255,6 +278,7 @@ impl Default for EngineConfig {
             epoch_cycles: 20_000,
             llc_shards: 8,
             estimator: EstimatorKind::Optimistic,
+            sync_every: 8,
         }
     }
 }
@@ -302,11 +326,13 @@ impl EngineConfig {
         shards: Option<&str>,
         epoch: Option<&str>,
         estimator: Option<&str>,
+        sync_every: Option<&str>,
     ) -> Result<Option<Self>, String> {
         let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
         let shards = parse_positive("GARIBALDI_SHARDS", shards)?;
         let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
         let estimator = EstimatorKind::parse("GARIBALDI_ESTIMATOR", estimator)?;
+        let sync_every = parse_positive("GARIBALDI_SYNC_EVERY", sync_every)?;
         if workers.is_none() && estimator.is_none() {
             return Ok(None);
         }
@@ -322,6 +348,9 @@ impl EngineConfig {
         }
         if let Some(k) = estimator {
             cfg.estimator = k;
+        }
+        if let Some(k) = sync_every {
+            cfg.sync_every = k;
         }
         Ok(Some(cfg))
     }
@@ -340,6 +369,9 @@ impl EngineConfig {
         }
         if self.llc_shards == 0 {
             return Err("zero LLC shards".into());
+        }
+        if self.sync_every == 0 {
+            return Err("zero sync_every (use 1 to sync at every barrier)".into());
         }
         Ok(())
     }
@@ -382,11 +414,11 @@ impl EngineChoice {
     /// Whenever the outcome is parallel, its geometry starts from the
     /// caller's `default` when that is parallel (else
     /// [`EngineConfig::default`]) and each of `GARIBALDI_WORKERS` /
-    /// `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH` / `GARIBALDI_ESTIMATOR`
-    /// that is set overrides its field — so e.g. `GARIBALDI_EPOCH=5000`
-    /// alone re-windows a bench run (the benches default to parallel).
-    /// When the outcome is serial, the geometry variables have nothing to
-    /// configure and are only validated.
+    /// `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH` / `GARIBALDI_ESTIMATOR` /
+    /// `GARIBALDI_SYNC_EVERY` that is set overrides its field — so e.g.
+    /// `GARIBALDI_EPOCH=5000` alone re-windows a bench run (the benches
+    /// default to parallel). When the outcome is serial, the geometry
+    /// variables have nothing to configure and are only validated.
     ///
     /// # Panics
     ///
@@ -402,6 +434,7 @@ impl EngineChoice {
             env_raw("GARIBALDI_SHARDS").as_deref(),
             env_raw("GARIBALDI_EPOCH").as_deref(),
             env_raw("GARIBALDI_ESTIMATOR").as_deref(),
+            env_raw("GARIBALDI_SYNC_EVERY").as_deref(),
             default,
         )
         .unwrap_or_else(|e| panic!("{e}"))
@@ -419,12 +452,14 @@ impl EngineChoice {
         shards: Option<&str>,
         epoch: Option<&str>,
         estimator: Option<&str>,
+        sync_every: Option<&str>,
         default: Self,
     ) -> Result<Self, String> {
         let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
         let shards = parse_positive("GARIBALDI_SHARDS", shards)?;
         let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
         let estimator = EstimatorKind::parse("GARIBALDI_ESTIMATOR", estimator)?;
+        let sync_every = parse_positive("GARIBALDI_SYNC_EVERY", sync_every)?;
         // Which engine, and from which base geometry?
         let base = match engine.map(str::trim) {
             Some("serial") => return Ok(Self::Serial),
@@ -461,16 +496,22 @@ impl EngineChoice {
         if let Some(k) = estimator {
             cfg.estimator = k;
         }
+        if let Some(k) = sync_every {
+            cfg.sync_every = k;
+        }
         Ok(Self::Parallel(cfg))
     }
 
     /// Stable identity string for checkpoint keys and reports: `"serial"`
-    /// or `"sharded-s<shards>-e<epoch>[-<estimator>]"` (the estimator
-    /// suffix appears only for non-default estimators, so keys minted
-    /// before the estimator axis existed still name the same model).
+    /// or `"sharded-s<shards>-e<epoch>[-<estimator>[-k<sync_every>]]"`
+    /// (the estimator suffix appears only for non-default estimators, and
+    /// the sync suffix only under ewma with `sync_every != 1`, so keys
+    /// minted before either axis existed still name the same model).
     /// Worker count is deliberately excluded — it never changes simulated
     /// results (the determinism contract), so runs under different worker
-    /// counts may share rows.
+    /// counts may share rows. `sync_every` is likewise excluded under the
+    /// optimistic estimator, where no sync ever runs and the knob provably
+    /// cannot change the model.
     pub fn tag(&self) -> String {
         match self {
             Self::Serial => "serial".to_string(),
@@ -479,6 +520,9 @@ impl EngineChoice {
                 if e.estimator != EstimatorKind::default() {
                     t.push('-');
                     t.push_str(e.estimator.label());
+                    if e.sync_every != 1 {
+                        t.push_str(&format!("-k{}", e.sync_every));
+                    }
                 }
                 t
             }
@@ -503,6 +547,19 @@ pub fn parse_positive(var: &str, raw: Option<&str>) -> Result<Option<usize>, Str
         return Err(format!("{var} must be at least 1, got 0 (unset it to use the default)"));
     }
     Ok(Some(v))
+}
+
+/// Reads and validates a positive-count environment variable
+/// ([`parse_positive`] over the live environment); `None` when unset.
+/// The one definition of the read-validate-panic idiom the bench
+/// harness and test gates share.
+///
+/// # Panics
+///
+/// Panics on an invalid value (zero, garbage, overflow), naming the
+/// variable — misconfiguration must fail loudly.
+pub fn env_positive(var: &str) -> Option<usize> {
+    parse_positive(var, env_raw(var).as_deref()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn env_raw(var: &str) -> Option<String> {
@@ -580,28 +637,45 @@ mod tests {
     #[test]
     fn engine_config_parse_env_cases() {
         // Neither workers nor estimator → None regardless of other knobs.
-        assert_eq!(EngineConfig::parse_env(None, Some("4"), Some("1000"), None).unwrap(), None);
+        assert_eq!(
+            EngineConfig::parse_env(None, Some("4"), Some("1000"), None, None).unwrap(),
+            None
+        );
         // Workers alone → defaults for the rest.
-        let c = EngineConfig::parse_env(Some("2"), None, None, None).unwrap().unwrap();
+        let c = EngineConfig::parse_env(Some("2"), None, None, None, None).unwrap().unwrap();
         assert_eq!(c.workers, 2);
         assert_eq!(c, EngineConfig { workers: 2, ..EngineConfig::default() });
         // Estimator alone also selects the engine (it only exists there).
-        let c = EngineConfig::parse_env(None, None, None, Some("ewma")).unwrap().unwrap();
+        let c = EngineConfig::parse_env(None, None, None, Some("ewma"), None).unwrap().unwrap();
         assert_eq!(c, EngineConfig { estimator: EstimatorKind::Ewma, ..EngineConfig::default() });
-        // Full quad.
-        let c = EngineConfig::parse_env(Some("4"), Some("2"), Some("5000"), Some("optimistic"))
-            .unwrap()
-            .unwrap();
+        // Full set.
+        let c = EngineConfig::parse_env(
+            Some("4"),
+            Some("2"),
+            Some("5000"),
+            Some("optimistic"),
+            Some("8"),
+        )
+        .unwrap()
+        .unwrap();
         assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (4, 2, 5000));
         assert_eq!(c.estimator, EstimatorKind::Optimistic);
+        assert_eq!(c.sync_every, 8);
         // Invalid values err rather than falling back.
-        assert!(EngineConfig::parse_env(Some("0"), None, None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("two"), None, None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("2"), Some("0"), None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("2"), None, Some("0"), None).is_err());
-        assert!(EngineConfig::parse_env(Some("18446744073709551616"), None, None, None).is_err());
-        let err = EngineConfig::parse_env(Some("2"), None, None, Some("magic")).unwrap_err();
+        assert!(EngineConfig::parse_env(Some("0"), None, None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("two"), None, None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), Some("0"), None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), None, Some("0"), None, None).is_err());
+        assert!(
+            EngineConfig::parse_env(Some("18446744073709551616"), None, None, None, None).is_err()
+        );
+        let err = EngineConfig::parse_env(Some("2"), None, None, Some("magic"), None).unwrap_err();
         assert!(err.contains("GARIBALDI_ESTIMATOR") && err.contains("magic"), "{err}");
+        // sync_every is hardened like every other count — even when it
+        // selects nothing (serial outcome), a bad value must fail loudly.
+        let err = EngineConfig::parse_env(Some("2"), None, None, None, Some("0")).unwrap_err();
+        assert!(err.contains("GARIBALDI_SYNC_EVERY"), "{err}");
+        assert!(EngineConfig::parse_env(None, None, None, None, Some("nope")).is_err());
     }
 
     #[test]
@@ -609,34 +683,51 @@ mod tests {
         let default_par = EngineChoice::Parallel(EngineConfig::default());
         // Nothing set → the caller's default.
         assert_eq!(
-            EngineChoice::resolve(None, None, None, None, None, EngineChoice::Serial).unwrap(),
+            EngineChoice::resolve(None, None, None, None, None, None, EngineChoice::Serial)
+                .unwrap(),
             EngineChoice::Serial
         );
         assert_eq!(
-            EngineChoice::resolve(None, None, None, None, None, default_par).unwrap(),
+            EngineChoice::resolve(None, None, None, None, None, None, default_par).unwrap(),
             default_par
         );
         // serial wins even over GARIBALDI_WORKERS and GARIBALDI_ESTIMATOR.
         assert_eq!(
-            EngineChoice::resolve(Some("serial"), Some("4"), None, None, None, default_par)
+            EngineChoice::resolve(Some("serial"), Some("4"), None, None, None, None, default_par)
                 .unwrap(),
             EngineChoice::Serial
         );
         assert_eq!(
-            EngineChoice::resolve(Some("serial"), None, None, None, Some("ewma"), default_par)
-                .unwrap(),
+            EngineChoice::resolve(
+                Some("serial"),
+                None,
+                None,
+                None,
+                Some("ewma"),
+                None,
+                default_par
+            )
+            .unwrap(),
             EngineChoice::Serial
         );
         // Back-compat: workers alone flips to parallel.
-        match EngineChoice::resolve(None, Some("3"), None, None, None, EngineChoice::Serial)
+        match EngineChoice::resolve(None, Some("3"), None, None, None, None, EngineChoice::Serial)
             .unwrap()
         {
             EngineChoice::Parallel(c) => assert_eq!(c.workers, 3),
             other => panic!("expected parallel, got {other:?}"),
         }
         // An estimator alone flips to parallel too (precedence step 2).
-        match EngineChoice::resolve(None, None, None, None, Some("ewma"), EngineChoice::Serial)
-            .unwrap()
+        match EngineChoice::resolve(
+            None,
+            None,
+            None,
+            None,
+            Some("ewma"),
+            None,
+            EngineChoice::Serial,
+        )
+        .unwrap()
         {
             EngineChoice::Parallel(c) => {
                 assert_eq!(c.estimator, EstimatorKind::Ewma);
@@ -651,7 +742,8 @@ mod tests {
             llc_shards: 4,
             ..EngineConfig::default()
         });
-        match EngineChoice::resolve(Some("parallel"), None, None, Some("123"), None, tuned).unwrap()
+        match EngineChoice::resolve(Some("parallel"), None, None, Some("123"), None, None, tuned)
+            .unwrap()
         {
             EngineChoice::Parallel(c) => {
                 assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (2, 4, 123));
@@ -661,7 +753,7 @@ mod tests {
         // Geometry overrides also apply when the *default* supplies the
         // parallel engine (the benches' contract): GARIBALDI_EPOCH alone
         // re-windows a bench run instead of being silently ignored.
-        match EngineChoice::resolve(None, None, Some("16"), Some("123"), Some("ewma"), tuned)
+        match EngineChoice::resolve(None, None, Some("16"), Some("123"), Some("ewma"), None, tuned)
             .unwrap()
         {
             EngineChoice::Parallel(c) => {
@@ -673,23 +765,38 @@ mod tests {
         // With a serial default, geometry variables alone do not flip the
         // engine — but they are still validated.
         assert_eq!(
-            EngineChoice::resolve(None, None, None, Some("123"), None, EngineChoice::Serial)
+            EngineChoice::resolve(None, None, None, Some("123"), None, None, EngineChoice::Serial)
                 .unwrap(),
             EngineChoice::Serial
         );
-        assert!(
-            EngineChoice::resolve(None, None, None, Some("0"), None, EngineChoice::Serial).is_err()
-        );
+        assert!(EngineChoice::resolve(
+            None,
+            None,
+            None,
+            Some("0"),
+            None,
+            None,
+            EngineChoice::Serial
+        )
+        .is_err());
         // Unknown engine name is a hard error naming the value.
-        let err =
-            EngineChoice::resolve(Some("turbo"), None, None, None, None, EngineChoice::Serial)
-                .unwrap_err();
+        let err = EngineChoice::resolve(
+            Some("turbo"),
+            None,
+            None,
+            None,
+            None,
+            None,
+            EngineChoice::Serial,
+        )
+        .unwrap_err();
         assert!(err.contains("GARIBALDI_ENGINE") && err.contains("turbo"), "{err}");
         // Invalid counts and estimator names propagate even under an
         // explicit engine name — including serial (validated, unused).
         assert!(EngineChoice::resolve(
             Some("parallel"),
             Some("0"),
+            None,
             None,
             None,
             None,
@@ -702,6 +809,7 @@ mod tests {
             None,
             None,
             Some("magic"),
+            None,
             EngineChoice::Serial,
         )
         .unwrap_err();
@@ -718,10 +826,16 @@ mod tests {
             ..EngineConfig::default()
         };
         assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000", "workers excluded");
-        // Non-default estimators are part of the model identity; the
-        // default keeps the pre-estimator tag so old checkpoint rows
-        // still name the same model.
-        let e = EngineConfig { estimator: EstimatorKind::Ewma, ..e };
+        // sync_every is invisible under optimistic (no sync ever runs, so
+        // the model is unchanged — pre-knob rows stay valid)…
+        let e = EngineConfig { sync_every: 4, ..e };
+        assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000");
+        // …and part of the identity under ewma: non-default estimators
+        // carry their label, and a non-every-barrier cadence its k (an
+        // `-ewma` row without `-k` means the pre-knob every-barrier sync).
+        let e = EngineConfig { estimator: EstimatorKind::Ewma, sync_every: 1, ..e };
         assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000-ewma");
+        let e = EngineConfig { sync_every: 8, ..e };
+        assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000-ewma-k8");
     }
 }

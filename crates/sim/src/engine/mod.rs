@@ -60,9 +60,11 @@ use shard::{shard_of_set, DrainOut, LlcShard, ThresholdSnapshot};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Reusable per-shard request staging: per-core key-sorted runs scattered
-/// during bucketing, k-way merged into drain order at the barrier (the
-/// runs are sorted by construction, so no comparison sort is needed).
+/// Reusable per-shard epoch arena: per-core key-sorted request runs
+/// scattered during bucketing, the k-way-merged drain order, and the
+/// shard's drain output. Everything here is cleared and refilled at each
+/// barrier — never reallocated — so the steady-state engine issues no
+/// per-epoch allocations on the barrier path.
 #[derive(Default, Clone)]
 struct ShardBuf {
     /// Concatenated per-core runs, each ascending in [`ReqKey`].
@@ -71,6 +73,46 @@ struct ShardBuf {
     run_ends: Vec<u32>,
     /// Merged drain order (scratch, reused across barriers).
     merged: Vec<LlcRequest>,
+    /// The shard's phase-A output (outcomes, cross-shard commands,
+    /// invalidations), reused across barriers.
+    out: DrainOut,
+}
+
+/// Wall-clock phase breakdown of an engine run, accumulated across every
+/// epoch (warmup + measured). The phase boundaries match the historical
+/// `GARIBALDI_ENGINE_STATS=1` lines: `step` is the parallel cluster
+/// stepping, `drain` the parallel per-shard phase A, `apply` the
+/// invalidation/learned-sync/correction tail, and `serial` the barrier
+/// remainder (outcome scatter, threshold replay, command routing).
+/// Collection is always on — a handful of `Instant` reads per barrier —
+/// so callers ([`crate::SimRunner::run_parallel_stats`], the perf
+/// snapshot bench) can read it without a profiling env var.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Epochs executed (one barrier each).
+    pub epochs: u64,
+    /// Barriers executed (== epochs; kept separate for the sync account).
+    pub barriers: u64,
+    /// Barriers that ran the ewma learned-state sync (every
+    /// [`EngineConfig::sync_every`]-th barrier under the ewma profile).
+    pub learned_syncs: u64,
+    /// Parallel cluster-step seconds.
+    pub step_s: f64,
+    /// Parallel shard-drain seconds (phase A).
+    pub drain_s: f64,
+    /// Invalidation + learned-sync + correction seconds (barrier tail).
+    pub apply_s: f64,
+    /// Serial barrier remainder seconds.
+    pub serial_s: f64,
+    /// End-to-end engine wall seconds (set by the run entry points).
+    pub wall_s: f64,
+}
+
+impl EngineStats {
+    /// Total barrier seconds (everything except the cluster stepping).
+    pub fn barrier_s(&self) -> f64 {
+        self.drain_s + self.apply_s + self.serial_s
+    }
 }
 
 /// The assembled parallel engine for one run.
@@ -84,8 +126,21 @@ pub struct ParallelEngine<'p> {
     cond: ConditionalMatrix,
     invalidations: u64,
     llc_sets: usize,
-    /// Per-shard request buffers, reused across barriers.
+    /// Per-shard request buffers + drain outputs, reused across barriers.
     shard_bufs: Vec<ShardBuf>,
+    /// Cross-shard command merge scratch, reused across barriers.
+    cmd_merged: Vec<(ReqKey, ShardCmd)>,
+    /// Per-target-shard command routing buffers, reused across barriers.
+    cmd_routed: Vec<Vec<(ReqKey, ShardCmd)>>,
+    /// Invalidation merge scratch, reused across barriers.
+    inval_merged: Vec<(ReqKey, InvalCmd)>,
+    /// Per-shard learned-state export buffers, reused across syncs (each
+    /// holds a predictor-table-sized snapshot — the largest per-barrier
+    /// allocation before these arenas existed).
+    learned_exports: Vec<Vec<u32>>,
+    /// Wall-clock phase account (always collected; printed under
+    /// `GARIBALDI_ENGINE_STATS=1`, returned by `run_with_stats`).
+    stats: EngineStats,
 }
 
 impl<'p> ParallelEngine<'p> {
@@ -132,12 +187,24 @@ impl<'p> ParallelEngine<'p> {
             invalidations: 0,
             llc_sets,
             shard_bufs: vec![ShardBuf::default(); n_shards],
+            cmd_merged: Vec::new(),
+            cmd_routed: vec![Vec::new(); n_shards],
+            inval_merged: Vec::new(),
+            learned_exports: vec![Vec::new(); n_shards],
+            stats: EngineStats::default(),
         }
     }
 
     /// Runs `warmup` + `records` records per core; returns the
     /// measured-region result.
-    pub fn run(mut self, records: u64, warmup: u64) -> RunResult {
+    pub fn run(self, records: u64, warmup: u64) -> RunResult {
+        self.run_with_stats(records, warmup).0
+    }
+
+    /// [`ParallelEngine::run`] plus the wall-clock [`EngineStats`] phase
+    /// breakdown of the whole run (warmup + measured region).
+    pub fn run_with_stats(mut self, records: u64, warmup: u64) -> (RunResult, EngineStats) {
+        let t0 = std::time::Instant::now();
         self.advance_to(warmup);
         self.reset_stats();
         for cl in &mut self.clusters {
@@ -146,7 +213,9 @@ impl<'p> ParallelEngine<'p> {
             }
         }
         self.advance_to(warmup + records);
-        self.collect()
+        let mut stats = self.stats;
+        stats.wall_s = t0.elapsed().as_secs_f64();
+        (self.collect(), stats)
     }
 
     #[inline]
@@ -157,9 +226,7 @@ impl<'p> ParallelEngine<'p> {
     fn advance_to(&mut self, target: u64) {
         let w = self.eng.epoch_cycles as f64;
         let profile = std::env::var_os("GARIBALDI_ENGINE_STATS").is_some();
-        let mut step_time = std::time::Duration::ZERO;
-        let mut barrier_time = std::time::Duration::ZERO;
-        let mut epochs = 0u64;
+        let before = self.stats;
         loop {
             let min_clock = self
                 .clusters
@@ -168,7 +235,7 @@ impl<'p> ParallelEngine<'p> {
                 .min_by(|a, b| a.partial_cmp(b).expect("no NaN clocks"));
             let Some(mc) = min_clock else { break };
             let epoch_end = ((mc / w).floor() + 1.0) * w;
-            epochs += 1;
+            self.stats.epochs += 1;
 
             let t0 = std::time::Instant::now();
             let workers = self.eng.workers.min(self.clusters.len()).max(1);
@@ -189,28 +256,36 @@ impl<'p> ParallelEngine<'p> {
                 });
             }
             let t1 = std::time::Instant::now();
+            self.stats.step_s += (t1 - t0).as_secs_f64();
             self.barrier();
-            if profile {
-                step_time += t1 - t0;
-                barrier_time += t1.elapsed();
-            }
         }
         if profile {
             // The cluster-step phase and the two shard passes inside the
             // barrier run on `workers` threads; only the threshold replay,
             // routing and scatters are serial. This breakdown estimates the
             // parallel fraction on hosts with more cores than this one.
+            let d = &self.stats;
             eprintln!(
-                "[engine] target={target} epochs={epochs} step={:.3}s barrier={:.3}s",
-                step_time.as_secs_f64(),
-                barrier_time.as_secs_f64(),
+                "[engine] target={target} epochs={} step={:.3}s barrier={:.3}s \
+                 (drain={:.3}s apply={:.3}s serial={:.3}s syncs={})",
+                d.epochs - before.epochs,
+                d.step_s - before.step_s,
+                d.barrier_s() - before.barrier_s(),
+                d.drain_s - before.drain_s,
+                d.apply_s - before.apply_s,
+                d.serial_s - before.serial_s,
+                d.learned_syncs - before.learned_syncs,
             );
         }
     }
 
-    /// Resolves every buffered request: the epoch barrier.
+    /// Resolves every buffered request: the epoch barrier. Every
+    /// request-sized buffer used here is an engine-owned arena reused
+    /// across barriers; the only remaining per-barrier allocations are a
+    /// few shard-count-sized pointer vectors (the borrowed `runs` /
+    /// `cmd_runs` / `inval_runs` slice lists, which cannot outlive their
+    /// borrow and cost tens of words each).
     fn barrier(&mut self) {
-        let profile = std::env::var_os("GARIBALDI_ENGINE_STATS").is_some();
         let t0 = std::time::Instant::now();
         let snap = ThresholdSnapshot {
             color: self.threshold.as_ref().map(|t| t.color()).unwrap_or(0),
@@ -218,6 +293,7 @@ impl<'p> ParallelEngine<'p> {
         };
         let n_shards = self.shards.len();
         let workers = self.eng.workers.max(1);
+        self.stats.barriers += 1;
 
         // Bucket requests by shard. Each core's buffer is key-sorted by
         // construction, so the scatter produces per-(shard, core) sorted
@@ -242,11 +318,12 @@ impl<'p> ParallelEngine<'p> {
             }
         }
 
-        // Phase A: parallel per-shard drain in key order.
+        // Phase A: parallel per-shard drain in key order, into each
+        // shard's arena-owned `DrainOut`.
         let td = std::time::Instant::now();
-        let outs: Vec<DrainOut> =
+        let _: Vec<()> =
             run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, buf| {
-                let ShardBuf { reqs, run_ends, merged } = buf;
+                let ShardBuf { reqs, run_ends, merged, out } = buf;
                 let mut runs: Vec<&[LlcRequest]> = Vec::with_capacity(run_ends.len());
                 let mut start = 0usize;
                 for &end in run_ends.iter() {
@@ -254,7 +331,7 @@ impl<'p> ParallelEngine<'p> {
                     start = end as usize;
                 }
                 kway_merge_into(&runs, |r| r.key, merged);
-                sh.drain(merged, snap)
+                sh.drain(merged, snap, out);
             });
         let t_drain = td.elapsed();
 
@@ -265,8 +342,8 @@ impl<'p> ParallelEngine<'p> {
                 c.prepare_outcomes();
             }
         }
-        for o in &outs {
-            for &(core, seq, out) in &o.outcomes {
+        for b in &self.shard_bufs {
+            for &(core, seq, out) in &b.out.outcomes {
                 let cl = core as usize / csize;
                 let cc = core as usize % csize;
                 self.clusters[cl].cores[cc].outcomes[seq as usize] = out;
@@ -281,32 +358,35 @@ impl<'p> ParallelEngine<'p> {
         // global order is a k-way merge of the per-shard runs (same-key
         // batches — several pairwise-prefetch candidates of one request —
         // stay in their shard's emission order).
-        let cmd_runs: Vec<&[(ReqKey, ShardCmd)]> = outs.iter().map(|o| o.cmds.as_slice()).collect();
-        let mut cmds: Vec<(ReqKey, ShardCmd)> = Vec::new();
-        kway_merge_into(&cmd_runs, |&(k, _)| k, &mut cmds);
-        let mut cmd_bufs: Vec<Vec<_>> = vec![Vec::new(); n_shards];
-        for (k, cmd) in cmds {
+        let cmd_runs: Vec<&[(ReqKey, ShardCmd)]> =
+            self.shard_bufs.iter().map(|b| b.out.cmds.as_slice()).collect();
+        kway_merge_into(&cmd_runs, |&(k, _)| k, &mut self.cmd_merged);
+        for v in self.cmd_routed.iter_mut() {
+            v.clear();
+        }
+        for &(k, cmd) in &self.cmd_merged {
             let target = match cmd {
-                ShardCmd::PairUpdate { il, .. } => Self::shard_of_line(self.llc_sets, n_shards, il),
+                ShardCmd::PairUpdate { il, .. } => Self::shard_of_line(llc_sets, n_shards, il),
                 ShardCmd::PairwisePrefetch { dl, .. } => {
-                    Self::shard_of_line(self.llc_sets, n_shards, dl)
+                    Self::shard_of_line(llc_sets, n_shards, dl)
                 }
             };
-            cmd_bufs[target].push((k, cmd));
+            self.cmd_routed[target].push((k, cmd));
         }
-        let _: Vec<()> = run_per_shard(&mut self.shards, &mut cmd_bufs, workers, |sh, buf| {
-            sh.apply_cmds(buf, snap);
-        });
+        let _: Vec<()> =
+            run_per_shard(&mut self.shards, &mut self.cmd_routed, workers, |sh, buf| {
+                sh.apply_cmds(buf, snap);
+            });
 
         // Coherence invalidations flow back to the private tiers (also
         // per-shard sorted runs; at most one invalidation per request, so
         // keys are unique and the merge is exactly the old sorted order).
         let ta = std::time::Instant::now();
         let inval_runs: Vec<&[(ReqKey, InvalCmd)]> =
-            outs.iter().map(|o| o.invals.as_slice()).collect();
-        let mut invals: Vec<(ReqKey, InvalCmd)> = Vec::new();
-        kway_merge_into(&inval_runs, |&(k, _)| k, &mut invals);
-        let dropped = run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_invals(&invals));
+            self.shard_bufs.iter().map(|b| b.out.invals.as_slice()).collect();
+        kway_merge_into(&inval_runs, |&(k, _)| k, &mut self.inval_merged);
+        let invals = &self.inval_merged;
+        let dropped = run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_invals(invals));
         self.invalidations += dropped.iter().sum::<u64>();
 
         // Learned-state sync (the ewma fidelity profile only — the
@@ -317,29 +397,34 @@ impl<'p> ParallelEngine<'p> {
         // consensus, so the sharded policy tracks the serial engine's one
         // globally-trained instance. Exports are indexed by shard and the
         // merge is a pure function of them — worker-count invariant.
-        if self.eng.estimator == estimate::EstimatorKind::Ewma {
-            let exports: Vec<Vec<u32>> =
-                self.shards.iter().map(|sh| sh.export_policy_learned()).collect();
-            if exports.iter().any(|e| !e.is_empty()) {
-                run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, _| {
-                    sh.import_policy_learned(&exports)
-                });
+        //
+        // The sync runs every `sync_every`-th barrier (`--sync-every` /
+        // `GARIBALDI_SYNC_EVERY`): the barrier count is a pure function of
+        // the simulated schedule, so the sync schedule — and therefore the
+        // results — stay worker-count invariant for every `sync_every`.
+        if self.eng.estimator == estimate::EstimatorKind::Ewma
+            && self.stats.barriers % self.eng.sync_every.max(1) as u64 == 0
+        {
+            for (sh, buf) in self.shards.iter().zip(self.learned_exports.iter_mut()) {
+                sh.export_policy_learned_into(buf);
+            }
+            if self.learned_exports.iter().any(|e| !e.is_empty()) {
+                let exports = &self.learned_exports;
+                let _: Vec<()> =
+                    run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, _| {
+                        sh.import_policy_learned(exports)
+                    });
+                self.stats.learned_syncs += 1;
             }
         }
 
         // Latency corrections + epoch reset.
         run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_corrections());
         let t_apply = ta.elapsed();
-        if profile {
-            let total = t0.elapsed();
-            eprintln!(
-                "[engine] barrier total={:.1}ms drain={:.1}ms apply={:.1}ms serial={:.1}ms",
-                total.as_secs_f64() * 1e3,
-                t_drain.as_secs_f64() * 1e3,
-                t_apply.as_secs_f64() * 1e3,
-                (total - t_drain - t_apply).as_secs_f64() * 1e3,
-            );
-        }
+        let total = t0.elapsed();
+        self.stats.drain_s += t_drain.as_secs_f64();
+        self.stats.apply_s += t_apply.as_secs_f64();
+        self.stats.serial_s += (total - t_drain - t_apply).as_secs_f64();
     }
 
     /// Replays every demand access outcome into the threshold unit and the

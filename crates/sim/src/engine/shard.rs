@@ -17,8 +17,7 @@ use crate::reuse::ReuseProfiler;
 use garibaldi::{instruction_way_mask, DppnTable, GaribaldiConfig, GaribaldiStats, PairTable};
 use garibaldi_cache::{AccessCtx, CacheConfig, LineMeta, MesiState, SetAssocCache};
 use garibaldi_mem::{DramConfig, DramModel};
-use garibaldi_types::{AccessKind, LineAddr};
-use std::collections::HashSet;
+use garibaldi_types::{AccessKind, LineAddr, U64Set};
 
 /// The Garibaldi state sliced per shard: pair/D_PPN entries for lines whose
 /// LLC set falls in the shard's range, plus this slice's event counters.
@@ -50,8 +49,10 @@ pub struct ThresholdSnapshot {
     pub threshold: u32,
 }
 
-/// Everything a shard produced during a phase-A drain.
-#[derive(Default)]
+/// Everything a shard produced during a phase-A drain. Owned by the
+/// engine and reused across barriers (an epoch arena): [`LlcShard::drain`]
+/// clears and refills it instead of allocating fresh buffers per epoch.
+#[derive(Default, Clone)]
 pub struct DrainOut {
     /// `(core, seq)`-addressed outcomes to scatter back to the cores.
     pub outcomes: Vec<(u16, u32, ReqOutcome)>,
@@ -61,14 +62,25 @@ pub struct DrainOut {
     pub invals: Vec<(ReqKey, InvalCmd)>,
 }
 
+impl DrainOut {
+    /// Empties the buffers, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.outcomes.clear();
+        self.cmds.clear();
+        self.invals.clear();
+    }
+}
+
 /// One LLC shard.
 pub struct LlcShard {
     cache: SetAssocCache,
     dram: DramModel,
     gar: Option<GarShard>,
-    oracle_seen: HashSet<u64>,
+    oracle_seen: U64Set,
     profiler: Option<ReuseProfiler>,
     qbs_cycles: u64,
+    /// Scratch for pairwise-prefetch candidates (reused across requests).
+    pf_cands: Vec<LineAddr>,
     cfg: SystemConfig,
 }
 
@@ -95,9 +107,10 @@ impl LlcShard {
             cache,
             dram: DramModel::new(dcfg),
             gar: cfg.scheme.garibaldi.as_ref().map(|g| GarShard::new(g, shards)),
-            oracle_seen: HashSet::new(),
+            oracle_seen: U64Set::new(),
             profiler: cfg.profile_reuse.then(|| ReuseProfiler::new(total_sets)),
             qbs_cycles: 0,
+            pf_cands: Vec::new(),
             cfg: cfg.clone(),
         }
     }
@@ -111,6 +124,13 @@ impl LlcShard {
     /// the policy has none) for the barrier's learned-state sync.
     pub fn export_policy_learned(&self) -> Vec<u32> {
         self.cache.export_policy_learned()
+    }
+
+    /// [`LlcShard::export_policy_learned`] into an engine-owned buffer
+    /// (cleared first) — the sync exports per shard per synced barrier,
+    /// so the buffers are arena-reused across epochs.
+    pub fn export_policy_learned_into(&self, out: &mut Vec<u32>) {
+        self.cache.export_policy_learned_into(out);
     }
 
     /// Installs the consensus of all shards' policy exports (the
@@ -165,14 +185,15 @@ impl LlcShard {
     }
 
     /// Phase A: drains `reqs` (already sorted by key, all targeting this
-    /// shard) against the shard state.
-    pub fn drain(&mut self, reqs: &[LlcRequest], snap: ThresholdSnapshot) -> DrainOut {
-        let mut out = DrainOut::default();
+    /// shard) against the shard state, into the engine-owned `out` arena
+    /// (cleared first).
+    pub fn drain(&mut self, reqs: &[LlcRequest], snap: ThresholdSnapshot, out: &mut DrainOut) {
+        out.clear();
         for r in reqs {
             match r.kind {
-                ReqKind::Instr { demand } => self.drain_instr(r, demand, snap, &mut out),
+                ReqKind::Instr { demand } => self.drain_instr(r, demand, snap, out),
                 ReqKind::Data { is_write, il_hint, .. } => {
-                    self.drain_data(r, is_write, il_hint, snap, &mut out);
+                    self.drain_data(r, is_write, il_hint, snap, out);
                 }
                 ReqKind::Writeback { is_instr } => {
                     if let Some(m) = self.cache.peek_mut(r.line) {
@@ -193,12 +214,11 @@ impl LlcShard {
                         self.record_sharer(r.line, r.cluster as usize);
                     }
                     if write {
-                        self.write_upgrade(r, &mut out);
+                        self.write_upgrade(r, out);
                     }
                 }
             }
         }
-        out
     }
 
     fn hit_latency(&self) -> u64 {
@@ -251,9 +271,9 @@ impl LlcShard {
                     if protected {
                         g.stats.protected_entry_misses += 1;
                     } else if g.cfg.enable_prefetch {
-                        let cands = g.pair.prefetch_candidates(r.line, &g.dppn);
-                        g.stats.prefetches_issued += cands.len() as u64;
-                        for dl in cands {
+                        g.pair.prefetch_candidates_into(r.line, &g.dppn, &mut self.pf_cands);
+                        g.stats.prefetches_issued += self.pf_cands.len() as u64;
+                        for &dl in &self.pf_cands {
                             out.cmds.push((
                                 r.key,
                                 ShardCmd::PairwisePrefetch { dl, sig: r.sig, now: r.key.now },

@@ -92,6 +92,12 @@ pub struct FidelitySuite {
     pub estimators: Vec<EstimatorKind>,
     /// LLC shard count for the parallel runs.
     pub llc_shards: usize,
+    /// Learned-state sync cadence for the parallel runs
+    /// ([`EngineConfig::sync_every`]): the ewma sync runs every this many
+    /// barriers. Only the ewma estimator is sensitive to it; its engine
+    /// tags embed non-default values, so suite keys never collide across
+    /// cadences.
+    pub sync_every: usize,
     /// Per-figure speedup aggregates: `(figure, metric)`.
     pub figure_metrics: Vec<(String, SpeedupMetric)>,
     /// Comparison points. Within each figure, every case must include an
@@ -150,6 +156,7 @@ impl FidelitySuite {
             epoch_grid,
             estimators: EstimatorKind::ALL.to_vec(),
             llc_shards: EngineConfig::default().llc_shards,
+            sync_every: EngineConfig::default().sync_every,
             figure_metrics: vec![
                 ("fig11".into(), SpeedupMetric::IpcSum),
                 ("fig12".into(), SpeedupMetric::HarmonicMeanIpc),
@@ -160,7 +167,13 @@ impl FidelitySuite {
 
     /// The parallel-engine config for one (grid value, estimator) cell.
     pub fn engine_at(&self, epoch_cycles: u64, estimator: EstimatorKind) -> EngineConfig {
-        EngineConfig { workers: 1, epoch_cycles, llc_shards: self.llc_shards, estimator }
+        EngineConfig {
+            workers: 1,
+            epoch_cycles,
+            llc_shards: self.llc_shards,
+            estimator,
+            sync_every: self.sync_every,
+        }
     }
 
     /// Enumerates every simulation of the sweep in a fixed order: the
@@ -240,6 +253,7 @@ impl FidelitySuite {
             epoch_grid: self.epoch_grid.clone(),
             estimators: self.estimators.iter().map(|k| k.label()).collect(),
             llc_shards: self.llc_shards,
+            sync_every: self.sync_every,
             cells,
             figures,
         }
@@ -359,6 +373,9 @@ pub struct FidelityReport {
     pub estimators: Vec<&'static str>,
     /// LLC shard count of the parallel runs.
     pub llc_shards: usize,
+    /// Learned-state sync cadence of the parallel runs (ewma only; 1 =
+    /// every barrier, the pre-knob behavior).
+    pub sync_every: usize,
     /// Per-(point, epoch, estimator) metric diffs.
     pub cells: Vec<FidelityCell>,
     /// Per-(figure, scheme, epoch, estimator) geomean comparisons.
@@ -451,8 +468,8 @@ impl FidelityReport {
         let _ = writeln!(
             out,
             "{{\"type\":\"meta\",\"epoch_grid\":[{grid}],\"estimators\":[{ests}],\
-             \"llc_shards\":{}}}",
-            self.llc_shards
+             \"llc_shards\":{},\"sync_every\":{}}}",
+            self.llc_shards, self.sync_every
         );
         for c in &self.cells {
             let metrics = c
@@ -523,6 +540,7 @@ impl FidelityReport {
         let mut epoch_grid = Vec::new();
         let mut estimators: Vec<&'static str> = Vec::new();
         let mut llc_shards = 0usize;
+        let mut sync_every = 1usize;
         let mut cells = Vec::new();
         let mut figures = Vec::new();
         let mut saw_meta = false;
@@ -532,6 +550,13 @@ impl FidelityReport {
                 "meta" => {
                     saw_meta = true;
                     llc_shards = j.u64_field("llc_shards") as usize;
+                    // Reports written before the sync axis carry no field:
+                    // they were measured at the then-only every-barrier
+                    // cadence.
+                    sync_every = match j.u64_field("sync_every") as usize {
+                        0 => 1,
+                        k => k,
+                    };
                     if let Some(Json::Arr(v)) = j.get("epoch_grid") {
                         epoch_grid = v
                             .iter()
@@ -592,7 +617,14 @@ impl FidelityReport {
             // the then-only optimistic estimator.
             estimators = vec![EstimatorKind::Optimistic.label()];
         }
-        saw_meta.then_some(FidelityReport { epoch_grid, estimators, llc_shards, cells, figures })
+        saw_meta.then_some(FidelityReport {
+            epoch_grid,
+            estimators,
+            llc_shards,
+            sync_every,
+            cells,
+            figures,
+        })
     }
 
     /// Renders the human-readable summary: one row per (epoch, estimator)
@@ -727,6 +759,7 @@ mod tests {
             epoch_grid: vec![100, 200],
             estimators: vec![EstimatorKind::Optimistic],
             llc_shards: 2,
+            sync_every: 1,
             figure_metrics: vec![("fig12".into(), SpeedupMetric::HarmonicMeanIpc)],
             points: vec![
                 mk("a", LlcScheme::plain(PolicyKind::Lru)),

@@ -18,8 +18,9 @@ use garibaldi_cache::{
     SetAssocCache,
 };
 use garibaldi_mem::DramModel;
-use garibaldi_types::{AccessKind, AccessOutcome, CoreId, HitLevel, LineAddr, RwKind, VirtAddr};
-use std::collections::HashSet;
+use garibaldi_types::{
+    AccessKind, AccessOutcome, CoreId, HitLevel, LineAddr, RwKind, U64Set, VirtAddr,
+};
 
 /// The full cache/memory hierarchy of the socket.
 pub struct MemoryHierarchy {
@@ -33,7 +34,7 @@ pub struct MemoryHierarchy {
     l1d_pf: Vec<NextLinePrefetcher>,
     l2_pf: Vec<GhbPrefetcher>,
     /// I-oracle: instruction lines seen at the LLC at least once.
-    oracle_seen: HashSet<u64>,
+    oracle_seen: U64Set,
     /// Optional reuse/per-line profiler (Fig 3/4 analyses).
     profiler: Option<ReuseProfiler>,
     /// Fig 4(c) conditional instruction/data outcome matrix.
@@ -94,7 +95,7 @@ impl MemoryHierarchy {
             garibaldi,
             l1d_pf: (0..cfg.cores).map(|_| NextLinePrefetcher::new(2).trigger_on_hits()).collect(),
             l2_pf: (0..cfg.clusters()).map(|_| GhbPrefetcher::new(2)).collect(),
-            oracle_seen: HashSet::new(),
+            oracle_seen: U64Set::new(),
             profiler,
             cond: ConditionalMatrix::default(),
             qbs_cycles: 0,

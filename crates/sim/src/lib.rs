@@ -40,7 +40,7 @@ pub use config::{EngineChoice, EngineConfig, LlcScheme, SystemConfig};
 pub use core_model::CpiStack;
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::estimate::{EstimatorKind, LatencyEstimator};
-pub use engine::ParallelEngine;
+pub use engine::{EngineStats, ParallelEngine};
 pub use experiment::{geomean, ExperimentScale, WeightedSpeedup};
 pub use fidelity::{FidelityReport, FidelitySuite};
 pub use hierarchy::MemoryHierarchy;

@@ -16,8 +16,8 @@
 //! original recency stack paid on every sampled access (the structure the
 //! `micro_reuse` bench guards).
 
-use garibaldi_types::{AccessKind, LineAddr};
-use std::collections::{HashMap, HashSet, VecDeque};
+use garibaldi_types::{AccessKind, FastHashSet, LineAddr, U64Table};
+use std::collections::VecDeque;
 
 /// Sample one of this many sets.
 const SAMPLE_STRIDE: u64 = 8;
@@ -109,7 +109,9 @@ struct RecencyTracker {
     /// Fenwick tree over positions `[0, WINDOW)` (rebased when full).
     fenwick: Vec<u32>,
     /// line → position of its last access (every entry is marked).
-    last: HashMap<u64, u64>,
+    /// Open-addressed: probed on every sampled access (see
+    /// `garibaldi_types::u64map`).
+    last: U64Table<u64>,
     /// Mark positions in insertion order; stale entries (the line was
     /// re-marked later) are skipped lazily.
     order: VecDeque<(u64, u64)>,
@@ -117,7 +119,7 @@ struct RecencyTracker {
 
 impl RecencyTracker {
     fn new() -> Self {
-        Self { seq: 0, fenwick: vec![0; WINDOW + 1], last: HashMap::new(), order: VecDeque::new() }
+        Self { seq: 0, fenwick: vec![0; WINDOW + 1], last: U64Table::new(), order: VecDeque::new() }
     }
 
     fn fenwick_add(&mut self, pos: u64, delta: i64) {
@@ -142,13 +144,13 @@ impl RecencyTracker {
     /// Records an access; returns the unique-line distance of the reuse,
     /// or `None` for a cold (untracked) line.
     fn access(&mut self, line: u64) -> Option<usize> {
-        let d = self.last.get(&line).copied().map(|prev| {
+        let d = self.last.get(line).copied().map(|prev| {
             let after = self.last.len() as u64 - self.fenwick_prefix(prev);
             self.fenwick_add(prev, -1);
             after as usize
         });
         if d.is_some() {
-            self.last.remove(&line);
+            self.last.remove(line);
         }
 
         if self.seq as usize >= WINDOW {
@@ -163,8 +165,8 @@ impl RecencyTracker {
         // Forget the least recent line beyond the tracked capacity.
         while self.last.len() > TRACKED_LINES {
             let Some((pos, line)) = self.order.pop_front() else { break };
-            if self.last.get(&line) == Some(&pos) {
-                self.last.remove(&line);
+            if self.last.get(line) == Some(&pos) {
+                self.last.remove(line);
                 self.fenwick_add(pos, -1);
             }
         }
@@ -179,7 +181,7 @@ impl RecencyTracker {
         self.fenwick.iter_mut().for_each(|c| *c = 0);
         self.seq = 0;
         for (pos, line) in old_order {
-            if self.last.get(&line) == Some(&pos) {
+            if self.last.get(line) == Some(&pos) {
                 let new_pos = self.seq;
                 self.seq += 1;
                 self.fenwick_add(new_pos, 1);
@@ -194,13 +196,13 @@ impl RecencyTracker {
 #[derive(Debug)]
 pub struct ReuseProfiler {
     sets: u64,
-    set_state: HashMap<u64, RecencyTracker>,
+    set_state: U64Table<RecencyTracker>,
     instr: DistanceHistogram,
     data: DistanceHistogram,
     /// Per-line demand access counts (i_count, d_count), sampled sets only.
-    line_counts: HashMap<u64, (u64, u64)>,
+    line_counts: U64Table<(u64, u64)>,
     /// PCs that touched each resident data line since its fill.
-    lifecycle_pcs: HashMap<u64, HashSet<u64>>,
+    lifecycle_pcs: U64Table<FastHashSet<u64>>,
     /// Evicted data lines that had been touched by >1 distinct PC.
     shared_lifecycles: u64,
     /// Evicted data lines total (with lifecycle tracking).
@@ -212,11 +214,11 @@ impl ReuseProfiler {
     pub fn new(sets: usize) -> Self {
         Self {
             sets: sets as u64,
-            set_state: HashMap::new(),
+            set_state: U64Table::new(),
             instr: DistanceHistogram::default(),
             data: DistanceHistogram::default(),
-            line_counts: HashMap::new(),
-            lifecycle_pcs: HashMap::new(),
+            line_counts: U64Table::new(),
+            lifecycle_pcs: U64Table::new(),
             shared_lifecycles: 0,
             total_lifecycles: 0,
         }
@@ -233,7 +235,7 @@ impl ReuseProfiler {
             return;
         }
         let set = line.get() % self.sets;
-        let state = self.set_state.entry(set).or_insert_with(RecencyTracker::new);
+        let state = self.set_state.get_or_insert_with(set, RecencyTracker::new);
         let key = line.get();
 
         match state.access(key) {
@@ -250,12 +252,12 @@ impl ReuseProfiler {
             },
         }
 
-        let counts = self.line_counts.entry(key).or_insert((0, 0));
+        let counts = self.line_counts.get_or_insert_with(key, || (0, 0));
         match kind {
             AccessKind::Instr => counts.0 += 1,
             AccessKind::Data => {
                 counts.1 += 1;
-                self.lifecycle_pcs.entry(key).or_default().insert(pc_sig);
+                self.lifecycle_pcs.get_or_insert_with(key, FastHashSet::default).insert(pc_sig);
             }
         }
     }
@@ -265,7 +267,7 @@ impl ReuseProfiler {
         if is_instr || !self.sampled(line) {
             return;
         }
-        if let Some(pcs) = self.lifecycle_pcs.remove(&line.get()) {
+        if let Some(pcs) = self.lifecycle_pcs.remove(line.get()) {
             self.total_lifecycles += 1;
             if pcs.len() > 1 {
                 self.shared_lifecycles += 1;
@@ -317,16 +319,18 @@ impl ReuseProfiler {
     /// Absorbs another profiler covering *disjoint* sets (the LLC shards of
     /// the parallel engine each profile their own set range).
     pub fn merge(&mut self, other: ReuseProfiler) {
-        self.set_state.extend(other.set_state);
+        for (set, tracker) in other.set_state {
+            self.set_state.insert(set, tracker);
+        }
         self.instr.merge(&other.instr);
         self.data.merge(&other.data);
         for (line, (i, d)) in other.line_counts {
-            let e = self.line_counts.entry(line).or_insert((0, 0));
+            let e = self.line_counts.get_or_insert_with(line, || (0, 0));
             e.0 += i;
             e.1 += d;
         }
         for (line, pcs) in other.lifecycle_pcs {
-            self.lifecycle_pcs.entry(line).or_default().extend(pcs);
+            self.lifecycle_pcs.get_or_insert_with(line, FastHashSet::default).extend(pcs);
         }
         self.shared_lifecycles += other.shared_lifecycles;
         self.total_lifecycles += other.total_lifecycles;

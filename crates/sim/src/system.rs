@@ -230,9 +230,22 @@ impl SimRunner {
     /// §"Parallel sharded engine"). The result depends on `eng.epoch_cycles`
     /// and `eng.llc_shards` but never on `eng.workers`.
     pub fn run_parallel(&self, records: u64, warmup: u64, eng: &EngineConfig) -> RunResult {
+        self.run_parallel_stats(records, warmup, eng).0
+    }
+
+    /// [`SimRunner::run_parallel`] plus the engine's wall-clock phase
+    /// breakdown ([`crate::engine::EngineStats`]) — the machine-readable
+    /// form of the `GARIBALDI_ENGINE_STATS=1` lines, consumed by the
+    /// `perf_snapshot` bench (`BENCH_5.json`).
+    pub fn run_parallel_stats(
+        &self,
+        records: u64,
+        warmup: u64,
+        eng: &EngineConfig,
+    ) -> (RunResult, crate::engine::EngineStats) {
         let programs = self.build_programs();
         let cores = self.build_parallel_cores(&programs, None);
-        ParallelEngine::new(&self.cfg, eng, self.mix.clone(), cores).run(records, warmup)
+        ParallelEngine::new(&self.cfg, eng, self.mix.clone(), cores).run_with_stats(records, warmup)
     }
 
     /// Replays pre-recorded per-core streams (from

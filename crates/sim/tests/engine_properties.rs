@@ -61,19 +61,24 @@ fn runner(scheme: LlcScheme) -> SimRunner {
 
 proptest! {
     /// Determinism contract on arbitrary inputs: for any trace set, any
-    /// fixed `epoch_cycles` and either issue-latency estimator, the worker
-    /// count never changes one byte of the result. The `Ewma` leg is the
-    /// sharp edge: its learned state must evolve identically no matter
-    /// how clusters are scheduled onto workers (it merges from drained
-    /// outcomes at barriers, in per-core sequence order).
+    /// fixed `epoch_cycles`, either issue-latency estimator and any
+    /// learned-sync cadence, the worker count never changes one byte of
+    /// the result. The `Ewma` leg is the sharp edge: its learned state
+    /// must evolve identically no matter how clusters are scheduled onto
+    /// workers (it merges from drained outcomes at barriers, in per-core
+    /// sequence order), and the sync schedule itself — every
+    /// `sync_every`-th barrier — is a pure function of the simulated
+    /// schedule, never of worker scheduling.
     #[test]
     fn worker_count_never_changes_results(
         streams in arb_streams(),
         gi in 0usize..3,
         ei in 0usize..2,
+        ki in 0usize..3,
     ) {
         let epoch = EPOCH_GRID[gi];
         let estimator = EstimatorKind::ALL[ei];
+        let sync_every = [1usize, 3, 16][ki];
         let r = runner(LlcScheme::mockingjay_garibaldi());
         let records = streams[0].len() as u64;
         let warmup = records / 4;
@@ -82,14 +87,27 @@ proptest! {
             epoch_cycles: epoch,
             llc_shards: 8,
             estimator,
+            sync_every,
         };
         let base = r.run_parallel_replay(&streams, records, warmup, &eng(1));
         for workers in [2usize, 4] {
             let other = r.run_parallel_replay(&streams, records, warmup, &eng(workers));
             prop_assert_eq!(
                 &base, &other,
-                "workers={} epoch={} estimator={:?}", workers, epoch, estimator
+                "workers={} epoch={} estimator={:?} sync_every={}",
+                workers, epoch, estimator, sync_every
             );
+        }
+        // Under Optimistic no sync ever runs, so the cadence must be
+        // invisible: byte-identical to the same engine at sync_every=1.
+        if estimator == EstimatorKind::Optimistic && sync_every != 1 {
+            let k1 = r.run_parallel_replay(
+                &streams,
+                records,
+                warmup,
+                &EngineConfig { sync_every: 1, ..eng(1) },
+            );
+            prop_assert_eq!(&base, &k1, "optimistic results moved with sync_every");
         }
     }
 

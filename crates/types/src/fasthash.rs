@@ -1,0 +1,194 @@
+//! Deterministic fast hashing for simulator hot paths.
+//!
+//! Every per-access hot structure in the workspace keys on small integers
+//! (line addresses, PC signatures, set indices). `std`'s default hasher is
+//! SipHash-1-3 with per-process random keys — DoS resistance the simulator
+//! does not need, at a constant-factor cost it very much pays, and with
+//! run-to-run iteration orders that are *not* deterministic. This module
+//! provides the shared replacements:
+//!
+//! * [`mix64`] — a full-avalanche 64-bit finalizer (SplitMix64's), the hash
+//!   behind [`crate::U64Table`]'s open addressing;
+//! * [`FxHasher`] / [`FxBuildHasher`] — an FxHash-style multiply-fold
+//!   [`Hasher`] for the places that genuinely need a `HashMap`/`HashSet`
+//!   with non-`u64` keys ([`FastHashMap`], [`FastHashSet`]);
+//! * [`mul_index`] — the multiplicative table-index mixer the Garibaldi
+//!   pair table has used since PR 1, centralised here so its exact bit
+//!   pattern (which the committed golden baselines depend on) has one
+//!   definition.
+//!
+//! Everything here is seed-free and deterministic: two runs of the same
+//! simulation hash — and therefore iterate — identically, which the
+//! engine's worker-count byte-invariance contract relies on.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiply constant shared by [`FxHasher`] and [`mul_index`]
+/// (rustc-hash's 64-bit seed: the golden ratio's fractional bits, odd).
+pub const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The pair table's historical index-mix multiplier (PR 1). Kept verbatim:
+/// [`mul_index`] must keep producing bit-identical slots or the committed
+/// scheme-metric goldens move.
+pub const PAIR_MIX: u64 = 0x2127_599b_f432_5c37;
+
+/// SplitMix64's full-avalanche finalizer: every input bit flips each
+/// output bit with probability ~1/2. Two multiplies and three shifts —
+/// cheap enough for one call per table probe, strong enough that the
+/// low bits of the result index a power-of-two table without clustering
+/// (line addresses have near-constant low bits).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Multiplicative table-index mixing: maps `key` to a slot in `[0, len)`
+/// by multiplying with [`PAIR_MIX`] and reducing bits `[20, 64)` modulo
+/// `len` — exactly the function the pair table has computed since PR 1,
+/// so tables indexed through it keep their committed golden metrics
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics (by the modulo) if `len` is zero.
+#[inline]
+pub fn mul_index(key: u64, len: usize) -> usize {
+    (key.wrapping_mul(PAIR_MIX) >> 20) as usize % len
+}
+
+/// FxHash-style hasher: fold each word into the state with a rotate, a
+/// xor and a [`FX_SEED`] multiply. Not DoS-resistant and not portable
+/// across word sizes — it is a *simulation* hasher: deterministic,
+/// seed-free and a fraction of SipHash's latency on the integer keys the
+/// hot paths use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" and "ab\0" hash differently.
+            self.fold(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.fold(i as u64);
+        self.fold((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+}
+
+/// Deterministic builder for [`FxHasher`] (no per-process random keys).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` on [`FxHasher`]: drop-in for `std::collections::HashMap`
+/// where keys are not plain `u64` (use [`crate::U64Table`] when they are).
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` on [`FxHasher`].
+pub type FastHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn mix64_avalanches_and_is_deterministic() {
+        assert_eq!(mix64(0x1234), mix64(0x1234));
+        // Sequential keys (the common line-address pattern) spread out: an
+        // ideal random map of 4096 balls into 4096 bins hits ~(1 − 1/e) of
+        // them (~2589 distinct); catastrophic clustering would be far less.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            seen.insert(mix64(i * 64) & 0xfff);
+        }
+        assert!((2300..=2900).contains(&seen.len()), "non-random spread: {}", seen.len());
+        // mix64 is a bijection with 0 as its (harmless) fixed point; the
+        // table layer treats 0 as an ordinary key, no sentinel.
+        assert_eq!(mix64(mix64(1)), mix64(mix64(1)));
+    }
+
+    #[test]
+    fn mul_index_matches_the_pair_tables_historical_mix() {
+        // The exact PR 1 expression — golden baselines depend on it.
+        for (key, len) in [(0x0d1a_b916u64 << 6, 1 << 14), (0x40u64, 64), (u64::MAX, 333)] {
+            assert_eq!(mul_index(key, len), (key.wrapping_mul(PAIR_MIX) >> 20) as usize % len);
+            assert!(mul_index(key, len) < len);
+        }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_word_sensitive() {
+        let b = FxBuildHasher::default();
+        let h = |x: u64| b.hash_one(x);
+        assert_eq!(h(7), h(7));
+        assert_ne!(h(7), h(8));
+        let hs = |s: &str| b.hash_one(s);
+        assert_ne!(hs("ab"), hs("ab\0"), "tail length is tagged");
+        assert_ne!(hs("abcdefgh"), hs("abcdefgi"));
+    }
+
+    #[test]
+    fn fast_hash_map_round_trips() {
+        let mut m: FastHashMap<&str, u32> = FastHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FastHashSet<u64> = FastHashSet::default();
+        assert!(s.insert(9) && !s.insert(9));
+    }
+}

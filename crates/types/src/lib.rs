@@ -1,10 +1,11 @@
 //! Shared primitive types for the Garibaldi cache-simulation workspace.
 //!
 //! This crate defines the address arithmetic (virtual/physical addresses,
-//! cacheline and page numbers), memory-access descriptors, and identifier
-//! newtypes used by every other crate in the workspace. It deliberately has
-//! no simulator logic so that substrate crates can depend on it without
-//! pulling in each other.
+//! cacheline and page numbers), memory-access descriptors, identifier
+//! newtypes, and the deterministic hot-path hashing substrate
+//! ([`fasthash`], [`u64map`]) used by every other crate in the workspace.
+//! It deliberately has no simulator logic so that substrate crates can
+//! depend on it without pulling in each other.
 //!
 //! # Examples
 //!
@@ -20,11 +21,15 @@
 
 pub mod access;
 pub mod addr;
+pub mod fasthash;
 pub mod ids;
+pub mod u64map;
 
 pub use access::{AccessKind, AccessOutcome, HitLevel, MemAccess, RwKind};
 pub use addr::{
     LineAddr, PageNum, PhysAddr, VirtAddr, LINE_BYTES, LINE_OFFSET_BITS, PAGE_BYTES,
     PAGE_OFFSET_BITS, PHYS_ADDR_BITS,
 };
+pub use fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
 pub use ids::{CoreId, ThreadId};
+pub use u64map::{U64Set, U64Table};

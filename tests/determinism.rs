@@ -44,6 +44,54 @@ fn parallel_engine_worker_count_invariance() {
     }
 }
 
+/// `sync_every` (the ewma learned-state sync cadence) is inert under the
+/// `Optimistic` estimator — no sync ever runs there, so results must be
+/// byte-identical for any cadence — and under `Ewma` every cadence keeps
+/// the worker-count byte-invariance contract.
+#[test]
+fn sync_every_is_inert_under_optimistic_and_deterministic_under_ewma() {
+    use garibaldi_sim::EstimatorKind;
+    let s = ExperimentScale::smoke();
+    let scheme = LlcScheme::mockingjay_garibaldi();
+    let at = |estimator, sync_every, workers| {
+        runner(42, scheme.clone(), s.cores).run_parallel(
+            s.records_per_core,
+            s.warmup_per_core,
+            &EngineConfig { estimator, sync_every, workers, ..EngineConfig::default() },
+        )
+    };
+    let opt_base = at(EstimatorKind::Optimistic, 1, 1);
+    for k in [2usize, 7, 1000] {
+        assert_eq!(opt_base, at(EstimatorKind::Optimistic, k, 1), "optimistic moved at k={k}");
+    }
+    for k in [1usize, 4, 16] {
+        let base = at(EstimatorKind::Ewma, k, 1);
+        for workers in [2, 4] {
+            assert_eq!(base, at(EstimatorKind::Ewma, k, workers), "ewma k={k} workers={workers}");
+        }
+    }
+    // The knob is actually wired: under ewma the engine reports one sync
+    // per barrier at k=1 and none at a cadence longer than the run, while
+    // under optimistic it never syncs at any cadence. (Smoke-scale runs
+    // are too short for the cadence to move figure metrics — the fidelity
+    // suite measures that at scale — so the wiring check reads the
+    // engine's own account instead of asserting metric movement.)
+    let syncs = |estimator, sync_every| {
+        let (_, stats) = runner(42, scheme.clone(), s.cores).run_parallel_stats(
+            s.records_per_core,
+            s.warmup_per_core,
+            &EngineConfig { estimator, sync_every, ..EngineConfig::default() },
+        );
+        (stats.learned_syncs, stats.barriers)
+    };
+    let (s1, barriers) = syncs(EstimatorKind::Ewma, 1);
+    assert_eq!(s1, barriers, "ewma k=1 syncs at every barrier");
+    assert_eq!(syncs(EstimatorKind::Ewma, 1_000_000).0, 0, "cadence beyond run ⇒ no sync");
+    let (s3, barriers3) = syncs(EstimatorKind::Ewma, 3);
+    assert_eq!(s3, barriers3 / 3, "every third barrier syncs");
+    assert_eq!(syncs(EstimatorKind::Optimistic, 1).0, 0, "optimistic never syncs");
+}
+
 /// Dumped record streams replay bit-identically on the sharded backend.
 #[test]
 fn parallel_engine_replay_matches_live_generation() {

@@ -13,12 +13,13 @@ use std::sync::Mutex;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-const VARS: [&str; 5] = [
+const VARS: [&str; 6] = [
     "GARIBALDI_ENGINE",
     "GARIBALDI_WORKERS",
     "GARIBALDI_SHARDS",
     "GARIBALDI_EPOCH",
     "GARIBALDI_ESTIMATOR",
+    "GARIBALDI_SYNC_EVERY",
 ];
 
 /// Runs `f` with exactly `vars` set, restoring a clean slate after.
@@ -108,6 +109,27 @@ fn estimator_alone_selects_parallel_with_that_estimator() {
     assert_eq!(serial_forced, r.run_serial(s.records_per_core, s.warmup_per_core));
 }
 
+/// `GARIBALDI_SYNC_EVERY` overrides the learned-sync cadence of an
+/// env-selected parallel engine and reproduces the explicitly configured
+/// run exactly; under the ewma profile the cadence is a real model knob.
+#[test]
+fn sync_every_env_overrides_the_cadence() {
+    let r = runner();
+    let s = ExperimentScale::smoke();
+    let eng =
+        EngineConfig { estimator: EstimatorKind::Ewma, sync_every: 3, ..EngineConfig::default() };
+    let reference = r.run_parallel(s.records_per_core, s.warmup_per_core, &eng);
+    let forced =
+        with_env(&[("GARIBALDI_ESTIMATOR", "ewma"), ("GARIBALDI_SYNC_EVERY", "3")], || {
+            smoke_run(&r)
+        });
+    assert_eq!(reference, forced);
+    // Alone (serial default, nothing selecting the parallel engine) the
+    // variable configures nothing — but it is still validated.
+    let serial = with_env(&[("GARIBALDI_SYNC_EVERY", "3")], || smoke_run(&r));
+    assert_eq!(serial, r.run_serial(s.records_per_core, s.warmup_per_core));
+}
+
 /// Bare `GARIBALDI_WORKERS` still flips to the parallel engine (the PR-2
 /// forcing mechanism CI's parallel-engine leg uses).
 #[test]
@@ -124,13 +146,15 @@ fn bare_workers_still_selects_parallel() {
 /// unintended engine or geometry.
 #[test]
 fn malformed_values_panic_with_the_variable_name() {
-    let cases: [(&str, &str); 6] = [
+    let cases: [(&str, &str); 8] = [
         ("GARIBALDI_ENGINE", "turbo"),
         ("GARIBALDI_WORKERS", "0"),
         ("GARIBALDI_WORKERS", "banana"),
         ("GARIBALDI_SHARDS", "-1"),
         ("GARIBALDI_EPOCH", "99999999999999999999999999"),
         ("GARIBALDI_ESTIMATOR", "psychic"),
+        ("GARIBALDI_SYNC_EVERY", "0"),
+        ("GARIBALDI_SYNC_EVERY", "sometimes"),
     ];
     for (var, val) in cases {
         let err = with_env(&[(var, val)], || {

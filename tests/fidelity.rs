@@ -47,18 +47,19 @@ fn gate_suite_with(estimators: Vec<EstimatorKind>) -> FidelitySuite {
     };
     let default_epoch = EngineConfig::default().epoch_cycles;
     let mut grid = vec![default_epoch];
-    let off = garibaldi_sim::config::parse_positive(
-        "GARIBALDI_FIDELITY_EPOCH",
-        std::env::var("GARIBALDI_FIDELITY_EPOCH").ok().as_deref(),
-    )
-    .unwrap_or_else(|e| panic!("{e}"));
-    if let Some(e) = off {
+    if let Some(e) = garibaldi_sim::config::env_positive("GARIBALDI_FIDELITY_EPOCH") {
         if e as u64 != default_epoch {
             grid.push(e as u64);
         }
     }
     let mut suite = FidelitySuite::paper_figures(scale, 1, &["tpcc", "twitter"], grid);
     suite.estimators = estimators;
+    // The sync_every axis (ewma learned-state sync cadence): default from
+    // the engine config; `GARIBALDI_SYNC_EVERY` overrides so manual
+    // sweeps can gate an off-default cadence too.
+    if let Some(k) = garibaldi_sim::config::env_positive("GARIBALDI_SYNC_EVERY") {
+        suite.sync_every = k;
+    }
     suite
 }
 

@@ -186,6 +186,58 @@ fn micro_benches() -> Vec<(&'static str, f64)> {
         }),
     ));
 
+    // SoA tag-array hot paths: single-pass way scan on hit and miss, and
+    // the full evict+fill pipeline (scan → victim → evict → fill) under
+    // LRU on an LLC-like non-pow2 geometry (modulo set indexing, the
+    // worst case for the index arithmetic).
+    use garibaldi_cache::{AccessCtx, CacheConfig, PolicyKind, SetAssocCache};
+    let mk_llc = || SetAssocCache::new(CacheConfig::new("bench-llc", 1_920, 12), PolicyKind::Lru);
+    let resident = 1_920u64 * 12;
+
+    let mut hit_c = mk_llc();
+    for l in 0..resident {
+        hit_c.insert(LineAddr::new(l), &AccessCtx::data(LineAddr::new(l), l), false);
+    }
+    let mut h = 0u64;
+    out.push((
+        "setassoc_access_hit",
+        ns_per_iter(|| {
+            h = h.wrapping_add(7);
+            let la = LineAddr::new(h % resident);
+            hit_c.access(&AccessCtx::data(la, h), false)
+        }),
+    ));
+
+    let mut miss_c = mk_llc();
+    for l in 0..resident {
+        miss_c.insert(LineAddr::new(l), &AccessCtx::data(LineAddr::new(l), l), false);
+    }
+    let mut ms = 0u64;
+    out.push((
+        "setassoc_access_miss",
+        ns_per_iter(|| {
+            ms = ms.wrapping_add(7);
+            // Lines beyond the resident range: same sets, no tag match.
+            let la = LineAddr::new(resident + ms % resident);
+            miss_c.access(&AccessCtx::data(la, ms), false)
+        }),
+    ));
+
+    let mut ev_c = mk_llc();
+    for l in 0..resident {
+        ev_c.insert(LineAddr::new(l), &AccessCtx::data(LineAddr::new(l), l), false);
+    }
+    let mut e = 0u64;
+    out.push((
+        "setassoc_insert_evict",
+        ns_per_iter(|| {
+            e = e.wrapping_add(1);
+            // Strictly increasing lines: every insert misses a full set and
+            // evicts (13 distinct lines rotate per set under 12 ways).
+            ev_c.insert(LineAddr::new(resident + e), &AccessCtx::data(LineAddr::new(e), e), false)
+        }),
+    ));
+
     // Temporal prefetcher miss path (U64Table-backed successor table).
     let mut tp = garibaldi_cache::TemporalPrefetcher::new();
     let mut cand = Vec::new();

@@ -3,9 +3,11 @@
 //! This crate is the cache substrate of the Garibaldi reproduction. It
 //! provides:
 //!
-//! * [`SetAssocCache`] — a set-associative cache with per-line metadata
-//!   (dirty/prefetched/instruction bits, MESI state and sharer mask for the
-//!   LLC directory) driven by a boxed [`ReplacementPolicy`].
+//! * [`SetAssocCache`] — a set-associative cache in structure-of-arrays
+//!   form: packed tag words scanned in a single pass, with per-line
+//!   metadata (dirty/prefetched/instruction bits, MESI state and sharer
+//!   mask for the LLC directory) in parallel arrays, driven by a boxed
+//!   [`ReplacementPolicy`].
 //! * The replacement policies the paper evaluates — LRU, DRRIP, Hawkeye and
 //!   Mockingjay — plus Random, SRRIP, BRRIP and SHiP as additional baselines.
 //! * Victim selection with an external *protection guard*
@@ -39,8 +41,11 @@ pub mod prefetch;
 pub mod sat;
 pub mod stats;
 
-pub use cache::{AccessCtx, CacheConfig, EvictedLine, InsertOutcome, SetAssocCache, SetIndexing};
-pub use line::{LineMeta, MesiState};
+pub use cache::{
+    AccessCtx, AccessOutcome, CacheConfig, EvictedLine, FillProbe, InsertOutcome, LineMut,
+    SetAssocCache, SetIndexing,
+};
+pub use line::{LineFlags, LineMeta, MesiState, PackedTag};
 pub use mshr::MshrQueue;
 pub use opt::{simulate_opt, OptResult};
 pub use policy::{build_policy, PolicyKind, ReplacementPolicy};

@@ -1,4 +1,11 @@
 //! Per-line cache metadata.
+//!
+//! The cache stores line state in structure-of-arrays form (see
+//! `SetAssocCache`): a packed tag word per frame ([`PackedTag`]), a packed
+//! flag byte ([`LineFlags`]) and a sharer mask. [`LineMeta`] is the
+//! materialized view of one frame — the type evictions, guards and peeks
+//! trade in — and [`LineMeta::unpack`]/[`LineMeta::pack`] convert between
+//! the two representations losslessly.
 
 use garibaldi_types::LineAddr;
 use serde::{Deserialize, Serialize};
@@ -16,7 +23,173 @@ pub enum MesiState {
     Invalid,
 }
 
-/// Metadata of one cache line frame.
+impl MesiState {
+    /// 2-bit encoding used inside [`LineFlags`]. `Invalid` is 0 so an
+    /// all-zero flag byte decodes to an empty frame's state.
+    #[inline]
+    pub const fn to_bits(self) -> u8 {
+        match self {
+            MesiState::Invalid => 0,
+            MesiState::Modified => 1,
+            MesiState::Exclusive => 2,
+            MesiState::Shared => 3,
+        }
+    }
+
+    /// Inverse of [`MesiState::to_bits`] (only the low 2 bits are read).
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            1 => MesiState::Modified,
+            2 => MesiState::Exclusive,
+            3 => MesiState::Shared,
+            _ => MesiState::Invalid,
+        }
+    }
+}
+
+/// One frame's tag word: the line address and the valid bit folded into a
+/// single `u64` (`(line << 1) | 1`; `0` = empty), so a way scan is one
+/// equality compare per frame over a contiguous array — no struct walk,
+/// no separate valid check.
+///
+/// Folding costs the top address bit: line addresses must stay below
+/// 2^63, which every byte address shifted by the 6 line-offset bits does
+/// (a 64-bit physical address yields line numbers < 2^58). Debug builds
+/// assert the invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackedTag(u64);
+
+impl PackedTag {
+    /// The empty (invalid) frame. Matches no probe: every valid tag word
+    /// has its low bit set.
+    pub const EMPTY: PackedTag = PackedTag(0);
+
+    /// Packs a valid line into a tag word.
+    #[inline]
+    pub const fn new(line: LineAddr) -> Self {
+        debug_assert!(line.get() < (1 << 63), "line address overflows the packed tag");
+        Self((line.get() << 1) | 1)
+    }
+
+    /// Raw tag word (the scan's compare operand).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a tag from its raw word.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Frame holds a valid line.
+    #[inline]
+    pub const fn valid(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The packed line address (meaningful only when valid).
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr::new(self.0 >> 1)
+    }
+}
+
+/// One frame's boolean metadata and MESI state packed into a byte:
+/// bit 0 dirty, bit 1 prefetched, bit 2 is-instr, bits 3–4 the
+/// [`MesiState`] encoding. An empty frame is all zeroes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineFlags(u8);
+
+impl LineFlags {
+    /// Dirty bit: the line must be written back on eviction.
+    pub const DIRTY: u8 = 1 << 0;
+    /// Prefetched bit: brought in by a prefetch, not yet demanded.
+    pub const PREFETCHED: u8 = 1 << 1;
+    /// Instruction bit: the request originated at an L1I.
+    pub const IS_INSTR: u8 = 1 << 2;
+    const STATE_SHIFT: u8 = 3;
+
+    /// All-clear flags (the empty frame).
+    pub const EMPTY: LineFlags = LineFlags(0);
+
+    /// Packs the metadata booleans and coherence state.
+    #[inline]
+    pub const fn new(dirty: bool, prefetched: bool, is_instr: bool, state: MesiState) -> Self {
+        Self(
+            ((dirty as u8) * Self::DIRTY)
+                | ((prefetched as u8) * Self::PREFETCHED)
+                | ((is_instr as u8) * Self::IS_INSTR)
+                | (state.to_bits() << Self::STATE_SHIFT),
+        )
+    }
+
+    /// Raw byte.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds flags from their raw byte.
+    #[inline]
+    pub const fn from_raw(raw: u8) -> Self {
+        Self(raw)
+    }
+
+    /// Dirty bit.
+    #[inline]
+    pub const fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    /// Prefetched bit.
+    #[inline]
+    pub const fn prefetched(self) -> bool {
+        self.0 & Self::PREFETCHED != 0
+    }
+
+    /// Instruction bit.
+    #[inline]
+    pub const fn is_instr(self) -> bool {
+        self.0 & Self::IS_INSTR != 0
+    }
+
+    /// Coherence state.
+    #[inline]
+    pub const fn state(self) -> MesiState {
+        MesiState::from_bits(self.0 >> Self::STATE_SHIFT)
+    }
+
+    /// Sets or clears the dirty bit.
+    #[inline]
+    pub fn set_dirty(&mut self, v: bool) {
+        self.0 = (self.0 & !Self::DIRTY) | ((v as u8) * Self::DIRTY);
+    }
+
+    /// Sets or clears the prefetched bit.
+    #[inline]
+    pub fn set_prefetched(&mut self, v: bool) {
+        self.0 = (self.0 & !Self::PREFETCHED) | ((v as u8) * Self::PREFETCHED);
+    }
+
+    /// Sets or clears the instruction bit.
+    #[inline]
+    pub fn set_is_instr(&mut self, v: bool) {
+        self.0 = (self.0 & !Self::IS_INSTR) | ((v as u8) * Self::IS_INSTR);
+    }
+
+    /// Replaces the coherence state.
+    #[inline]
+    pub fn set_state(&mut self, s: MesiState) {
+        self.0 = (self.0 & !(0b11 << Self::STATE_SHIFT)) | (s.to_bits() << Self::STATE_SHIFT);
+    }
+}
+
+/// Metadata of one cache line frame (the materialized, caller-facing view;
+/// the cache itself stores frames as [`PackedTag`] + [`LineFlags`] +
+/// sharer-mask parallel arrays).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LineMeta {
     /// The cached physical line address (full address kept; real hardware
@@ -61,6 +234,38 @@ impl LineMeta {
     pub fn sharer_count(&self) -> u32 {
         self.sharers.count_ones()
     }
+
+    /// Materializes a frame from its structure-of-arrays columns. An empty
+    /// tag yields [`LineMeta::empty`] regardless of the other columns.
+    #[inline]
+    pub fn unpack(tag: PackedTag, flags: LineFlags, sharers: u64) -> Self {
+        if !tag.valid() {
+            return Self::empty();
+        }
+        Self {
+            line: tag.line(),
+            valid: true,
+            dirty: flags.dirty(),
+            prefetched: flags.prefetched(),
+            is_instr: flags.is_instr(),
+            state: flags.state(),
+            sharers,
+        }
+    }
+
+    /// Splits the frame into its structure-of-arrays columns
+    /// (inverse of [`LineMeta::unpack`] for in-range line addresses).
+    #[inline]
+    pub fn pack(&self) -> (PackedTag, LineFlags, u64) {
+        if !self.valid {
+            return (PackedTag::EMPTY, LineFlags::EMPTY, 0);
+        }
+        (
+            PackedTag::new(self.line),
+            LineFlags::new(self.dirty, self.prefetched, self.is_instr, self.state),
+            self.sharers,
+        )
+    }
 }
 
 impl Default for LineMeta {
@@ -90,5 +295,75 @@ mod tests {
         assert_eq!(m.sharer_count(), 2);
         m.clear();
         assert_eq!(m, LineMeta::empty());
+    }
+
+    #[test]
+    fn packed_tag_roundtrip_and_empty() {
+        assert!(!PackedTag::EMPTY.valid());
+        for l in [0u64, 1, 0xdead_beef, (1 << 58) - 1, (1 << 62) | 12345] {
+            let t = PackedTag::new(LineAddr::new(l));
+            assert!(t.valid());
+            assert_eq!(t.line(), LineAddr::new(l));
+            assert_ne!(t.raw(), 0, "valid tags never collide with EMPTY");
+            assert_eq!(PackedTag::from_raw(t.raw()), t);
+        }
+    }
+
+    #[test]
+    fn mesi_bits_roundtrip() {
+        for s in [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid]
+        {
+            assert_eq!(MesiState::from_bits(s.to_bits()), s);
+        }
+    }
+
+    #[test]
+    fn line_flags_roundtrip_all_combinations() {
+        for bits in 0u8..8 {
+            for s in
+                [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid]
+            {
+                let (d, p, i) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+                let f = LineFlags::new(d, p, i, s);
+                assert_eq!(f.dirty(), d);
+                assert_eq!(f.prefetched(), p);
+                assert_eq!(f.is_instr(), i);
+                assert_eq!(f.state(), s);
+                assert_eq!(LineFlags::from_raw(f.raw()), f);
+            }
+        }
+    }
+
+    #[test]
+    fn line_flags_setters() {
+        let mut f = LineFlags::EMPTY;
+        f.set_dirty(true);
+        f.set_prefetched(true);
+        f.set_state(MesiState::Shared);
+        assert!(f.dirty() && f.prefetched() && !f.is_instr());
+        assert_eq!(f.state(), MesiState::Shared);
+        f.set_dirty(false);
+        f.set_is_instr(true);
+        f.set_state(MesiState::Modified);
+        assert!(!f.dirty() && f.prefetched() && f.is_instr());
+        assert_eq!(f.state(), MesiState::Modified);
+    }
+
+    #[test]
+    fn meta_pack_unpack_roundtrip() {
+        let m = LineMeta {
+            line: LineAddr::new(0xabc_def0),
+            valid: true,
+            dirty: true,
+            prefetched: false,
+            is_instr: true,
+            state: MesiState::Shared,
+            sharers: 0b1011,
+        };
+        let (t, f, s) = m.pack();
+        assert_eq!(LineMeta::unpack(t, f, s), m);
+        // Empty roundtrips to empty whatever the stale columns say.
+        assert_eq!(LineMeta::unpack(PackedTag::EMPTY, f, s), LineMeta::empty());
+        assert_eq!(LineMeta::empty().pack(), (PackedTag::EMPTY, LineFlags::EMPTY, 0));
     }
 }

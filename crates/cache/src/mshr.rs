@@ -37,12 +37,9 @@ impl MshrQueue {
         self.capacity
     }
 
-    /// Admits an operation arriving at `now` that takes `service` cycles
-    /// once issued. Returns `(start_delay, completion_time)`: the request
-    /// issues at `now + start_delay` and completes at
-    /// `now + start_delay + service`.
-    pub fn admit(&mut self, now: u64, service: u64) -> (u64, u64) {
-        // Retire everything that finished by `now`.
+    /// Retires every operation that finished by `now`.
+    #[inline]
+    fn retire_until(&mut self, now: u64) {
         while let Some(&Reverse(t)) = self.completions.peek() {
             if t <= now {
                 self.completions.pop();
@@ -50,6 +47,14 @@ impl MshrQueue {
                 break;
             }
         }
+    }
+
+    /// Admits an operation arriving at `now` that takes `service` cycles
+    /// once issued. Returns `(start_delay, completion_time)`: the request
+    /// issues at `now + start_delay` and completes at
+    /// `now + start_delay + service`.
+    pub fn admit(&mut self, now: u64, service: u64) -> (u64, u64) {
+        self.retire_until(now);
         let start_delay = if self.completions.len() >= self.capacity {
             let Reverse(earliest) = self.completions.pop().expect("non-empty at capacity");
             self.stalled_requests += 1;
@@ -65,13 +70,7 @@ impl MshrQueue {
 
     /// Number of operations currently in flight at `now`.
     pub fn in_flight(&mut self, now: u64) -> usize {
-        while let Some(&Reverse(t)) = self.completions.peek() {
-            if t <= now {
-                self.completions.pop();
-            } else {
-                break;
-            }
-        }
+        self.retire_until(now);
         self.completions.len()
     }
 }

@@ -66,30 +66,41 @@ fn simulate_opt_one_set(stream: &[u64], ways: usize) -> OptResult {
         next_use[i] = last_pos.insert(line, i).unwrap_or(NEVER);
     }
 
-    // Resident frames: (line, next use index).
-    let mut resident: Vec<(u64, usize)> = Vec::with_capacity(ways);
+    // Resident frames in structure-of-arrays form (mirrors the online
+    // cache): the hit scan walks only the line column, the victim scan
+    // only the next-use column.
+    let mut res_lines: Vec<u64> = Vec::with_capacity(ways);
+    let mut res_next: Vec<usize> = Vec::with_capacity(ways);
     let mut result = OptResult::default();
 
     for (i, &line) in stream.iter().enumerate() {
-        if let Some(slot) = resident.iter_mut().find(|(l, _)| *l == line) {
+        if let Some(slot) = res_lines.iter().position(|&l| l == line) {
             result.hits += 1;
-            slot.1 = next_use[i];
+            res_next[slot] = next_use[i];
             continue;
         }
         result.misses += 1;
-        let entry = (line, next_use[i]);
-        if resident.len() < ways {
-            resident.push(entry);
+        if res_lines.len() < ways {
+            res_lines.push(line);
+            res_next.push(next_use[i]);
             continue;
         }
         // Belady: evict the line with the farthest (or no) next use. If the
         // incoming line itself is never reused, bypassing it is optimal.
-        let (victim_idx, &(_, victim_next)) =
-            resident.iter().enumerate().max_by_key(|(_, &(_, next))| next).expect("ways > 0");
-        if entry.1 >= victim_next {
+        // Ties keep the highest frame index (as `max_by_key` did).
+        let mut victim_idx = 0usize;
+        let mut victim_next = res_next[0];
+        for (j, &n) in res_next.iter().enumerate().skip(1) {
+            if n >= victim_next {
+                victim_idx = j;
+                victim_next = n;
+            }
+        }
+        if next_use[i] >= victim_next {
             continue; // incoming line is the worst candidate: bypass
         }
-        resident[victim_idx] = entry;
+        res_lines[victim_idx] = line;
+        res_next[victim_idx] = next_use[i];
     }
     result
 }

@@ -187,13 +187,16 @@ impl ReplacementPolicy for Hawkeye {
 
     fn choose_victim(&mut self, set: usize, _ctx: &PolicyCtx, excluded: u64) -> usize {
         // Prefer cache-averse lines (RRPV max), else the oldest friendly.
+        // One pass over the set's contiguous RRPV row; ties keep the lowest
+        // way index.
+        let base = set * self.ways;
+        let row = &self.rrpv[base..base + self.ways];
         let mut best = usize::MAX;
         let mut best_rrpv = 0u8;
-        for w in 0..self.ways {
+        for (w, &r) in row.iter().enumerate() {
             if excluded & (1 << w) != 0 {
                 continue;
             }
-            let r = self.rrpv[self.fidx(set, w)];
             if best == usize::MAX || r > best_rrpv {
                 best = w;
                 best_rrpv = r;

@@ -21,6 +21,24 @@ impl Lru {
         set * self.ways + way
     }
 
+    /// Hints the host CPU to pull this set's stamp row into its cache
+    /// (perf-only; no effect on replacement decisions).
+    #[inline]
+    pub(crate) fn prefetch_row(&self, set: usize) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let row = self.last_use.as_ptr().add(set * self.ways);
+            _mm_prefetch(row.cast(), _MM_HINT_T0);
+            if self.ways > 8 {
+                _mm_prefetch(row.add(8).cast(), _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = set;
+    }
+
+    #[inline]
     fn touch(&mut self, set: usize, way: usize) {
         self.stamp += 1;
         let i = self.idx(set, way);
@@ -29,21 +47,46 @@ impl Lru {
 }
 
 impl ReplacementPolicy for Lru {
+    #[inline]
     fn on_insert(&mut self, set: usize, way: usize, _ctx: &PolicyCtx) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &PolicyCtx) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn choose_victim(&mut self, set: usize, _ctx: &PolicyCtx, excluded: u64) -> usize {
-        (0..self.ways)
-            .filter(|w| excluded & (1 << w) == 0)
-            .min_by_key(|&w| self.last_use[self.idx(set, w)])
-            .expect("exclusion mask never covers all ways")
+        // Single pass over the set's contiguous stamp row; ties keep the
+        // lowest way index (same as `min_by_key` over ascending ways).
+        let base = set * self.ways;
+        let row = &self.last_use[base..base + self.ways];
+        if excluded == 0 {
+            // Common case (no QBS exclusions): mask-free first-minimum scan.
+            let (mut best_w, mut best_s) = (0, row[0]);
+            for (w, &stamp) in row.iter().enumerate().skip(1) {
+                if stamp < best_s {
+                    best_w = w;
+                    best_s = stamp;
+                }
+            }
+            return best_w;
+        }
+        let mut best: Option<(usize, u64)> = None;
+        for (w, &stamp) in row.iter().enumerate() {
+            if excluded & (1 << w) != 0 {
+                continue;
+            }
+            if best.is_none_or(|(_, s)| stamp < s) {
+                best = Some((w, stamp));
+            }
+        }
+        best.expect("exclusion mask never covers all ways").0
     }
 
+    #[inline]
     fn reset_priority(&mut self, set: usize, way: usize) {
         self.touch(set, way); // move to MRU
     }

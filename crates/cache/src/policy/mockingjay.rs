@@ -183,22 +183,23 @@ impl ReplacementPolicy for Mockingjay {
     }
 
     fn choose_victim(&mut self, set: usize, _ctx: &PolicyCtx, excluded: u64) -> usize {
+        // One pass over the set's contiguous ETR row.
+        let base = set * self.ways;
+        let row = &self.etr[base..base + self.ways];
         let mut best = usize::MAX;
         let mut best_mag = -1i32;
-        for w in 0..self.ways {
+        let mut best_etr = 0i32;
+        for (w, &e) in row.iter().enumerate() {
             if excluded & (1 << w) != 0 {
                 continue;
             }
-            let e = self.etr[self.fidx(set, w)];
             let mag = e.abs();
             // Ties prefer overdue (negative) lines: their predicted reuse
             // already passed, so the prediction was wrong.
-            if best == usize::MAX
-                || mag > best_mag
-                || (mag == best_mag && e < self.etr[self.fidx(set, best)])
-            {
+            if best == usize::MAX || mag > best_mag || (mag == best_mag && e < best_etr) {
                 best = w;
                 best_mag = mag;
+                best_etr = e;
             }
         }
         debug_assert!(best != usize::MAX);

@@ -6,6 +6,12 @@
 //! priority of the instruction cacheline is reset to the lowest level",
 //! §4.2). Victim selection receives an exclusion mask so a protected way is
 //! not immediately re-chosen within the same eviction.
+//!
+//! Policies keep their per-frame state (stamps, RRPVs, ETRs) in flat
+//! `sets × ways` arrays mirroring the cache's structure-of-arrays tag
+//! store; victim scans walk one contiguous per-set row, and tie-breaking
+//! order (first minimum / first maximum by way index) is part of each
+//! policy's deterministic contract — the golden fixtures depend on it.
 
 mod drrip;
 mod hawkeye;

@@ -27,7 +27,8 @@ impl RrpvTable {
         Self { ways, rrpv: vec![RRPV_MAX; sets * ways] }
     }
 
-    #[inline]
+    /// Test-only probe: hot paths read the contiguous row directly.
+    #[cfg(test)]
     pub(crate) fn get(&self, set: usize, way: usize) -> u8 {
         self.rrpv[set * self.ways + way]
     }
@@ -39,16 +40,19 @@ impl RrpvTable {
 
     /// Standard RRIP victim search: find a way at `RRPV_MAX`; if none,
     /// increment every way's RRPV and retry. `excluded` ways are skipped.
+    ///
+    /// Each probe/aging round walks the set's contiguous RRPV row once.
     pub(crate) fn find_victim(&mut self, set: usize, excluded: u64) -> usize {
+        let base = set * self.ways;
         loop {
-            for w in 0..self.ways {
-                if excluded & (1 << w) == 0 && self.get(set, w) >= RRPV_MAX {
+            let row = &self.rrpv[base..base + self.ways];
+            for (w, &v) in row.iter().enumerate() {
+                if excluded & (1 << w) == 0 && v >= RRPV_MAX {
                     return w;
                 }
             }
-            for w in 0..self.ways {
-                let v = self.get(set, w);
-                self.set(set, w, v.saturating_add(1));
+            for v in &mut self.rrpv[base..base + self.ways] {
+                *v = v.saturating_add(1).min(RRPV_MAX);
             }
         }
     }

@@ -34,19 +34,18 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Records a demand access outcome.
+    #[inline]
     pub fn record_access(&mut self, kind: AccessKind, hit: bool) {
+        // Branchless counter bump: `hit as u64` avoids a second branch on
+        // the per-access path (this runs once per demand access per level).
         match kind {
             AccessKind::Instr => {
                 self.i_accesses += 1;
-                if hit {
-                    self.i_hits += 1;
-                }
+                self.i_hits += hit as u64;
             }
             AccessKind::Data => {
                 self.d_accesses += 1;
-                if hit {
-                    self.d_hits += 1;
-                }
+                self.d_hits += hit as u64;
             }
         }
     }

@@ -1,0 +1,321 @@
+//! MESI invalidation, peek neutrality and the guarded-insert paths.
+//!
+//! Three contracts the SoA rewrite must uphold:
+//!
+//! * `peek`/`peek_mut` never perturb replacement state — for *every*
+//!   policy, observing a line (or editing its directory state) must not
+//!   change which victim is chosen later.
+//! * Coherence invalidation returns the line's full metadata and leaves
+//!   the frame empty; directory edits round-trip through invalidation.
+//! * `insert_with_guard_opts` consults the guard only for valid
+//!   instruction-line victims, bounds protections by `max_protects` and
+//!   the associativity, and `allow_bypass = false` overrides a bypassing
+//!   policy (Garibaldi-protected lines must be resident to be defended).
+
+use garibaldi_cache::policy::PolicyCtx;
+use garibaldi_cache::{
+    AccessCtx, CacheConfig, LineMeta, MesiState, PolicyKind, ReplacementPolicy, SetAssocCache,
+};
+use garibaldi_types::LineAddr;
+
+fn dctx(line: u64) -> AccessCtx {
+    AccessCtx::data(LineAddr::new(line), line ^ 0x55)
+}
+
+fn ictx(line: u64) -> AccessCtx {
+    AccessCtx::instr(LineAddr::new(line), line ^ 0x55)
+}
+
+// ---------------------------------------------------------------------------
+// peek / peek_mut neutrality
+// ---------------------------------------------------------------------------
+
+/// Drives two identically-seeded caches through the same warmup, peeks one
+/// of them heavily, then checks both make identical eviction decisions on
+/// the same fill tail. Holds for every policy (Random included — the
+/// xorshift stream must not be advanced by peeks).
+#[test]
+fn peek_is_replacement_neutral_for_every_policy() {
+    for kind in PolicyKind::ALL {
+        let mk = || SetAssocCache::new(CacheConfig::new("n", 4, 4), kind);
+        let (mut peeked, mut control) = (mk(), mk());
+        for l in 0..48u64 {
+            let ctx = dctx(l);
+            for c in [&mut peeked, &mut control] {
+                if !c.access(&ctx, false) {
+                    c.insert(LineAddr::new(l), &ctx, false);
+                }
+            }
+            // Peek every line of the touched set on one cache only.
+            let set = peeked.set_of(LineAddr::new(l));
+            let lines: Vec<LineMeta> = peeked.set_lines(set).collect();
+            for m in &lines {
+                assert!(peeked.peek(m.line).is_some());
+                assert!(peeked.peek_mut(m.line).is_some());
+                assert_eq!(peeked.lookup(m.line), control.lookup(m.line));
+            }
+        }
+        // Tail fills: victim choices must agree line-for-line.
+        for l in 100..140u64 {
+            let ctx = dctx(l);
+            let a = peeked.insert(LineAddr::new(l), &ctx, false);
+            let b = control.insert(LineAddr::new(l), &ctx, false);
+            assert_eq!(a, b, "{kind:?}: peeking changed replacement behavior");
+        }
+        assert_eq!(peeked.stats(), control.stats(), "{kind:?}: peeking changed stats");
+    }
+}
+
+/// The classic LRU-stack statement of the same contract: peeking the LRU
+/// line many times must not promote it.
+#[test]
+fn peek_does_not_promote_lru_line() {
+    let mut c = SetAssocCache::new(CacheConfig::new("lru", 1, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(1), &dctx(1), false);
+    c.insert(LineAddr::new(2), &dctx(2), false);
+    // Line 1 is LRU. Peek it every way we can.
+    for _ in 0..10 {
+        assert!(c.peek(LineAddr::new(1)).is_some());
+        let m = c.peek_mut(LineAddr::new(1)).unwrap();
+        assert!(!m.dirty());
+    }
+    let out = c.insert(LineAddr::new(3), &dctx(3), false);
+    assert_eq!(out.evicted.unwrap().meta.line, LineAddr::new(1), "peeked LRU line was promoted");
+}
+
+/// `peek_mut` directory edits must not affect the demand-access counters
+/// either (a pure coherence-plumbing operation).
+#[test]
+fn peek_mut_directory_edits_leave_stats_alone() {
+    let mut c = SetAssocCache::new(CacheConfig::new("s", 2, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(4), &dctx(4), false);
+    let before = *c.stats();
+    {
+        let mut m = c.peek_mut(LineAddr::new(4)).unwrap();
+        m.set_dirty();
+        m.add_sharer(1);
+        m.add_sharer(2);
+        m.set_state(MesiState::Shared);
+    }
+    assert_eq!(*c.stats(), before);
+    assert!(c.peek_mut(LineAddr::new(5)).is_none(), "non-resident peek_mut");
+}
+
+// ---------------------------------------------------------------------------
+// MESI invalidation
+// ---------------------------------------------------------------------------
+
+/// Fill states: clean fills enter Exclusive, dirty fills Modified, with an
+/// empty sharer mask either way.
+#[test]
+fn fill_states_follow_dirtiness() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 4, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(1), &dctx(1), false);
+    c.insert(LineAddr::new(2), &dctx(2), true);
+    let clean = c.peek(LineAddr::new(1)).unwrap();
+    let dirty = c.peek(LineAddr::new(2)).unwrap();
+    assert_eq!(clean.state, MesiState::Exclusive);
+    assert!(!clean.dirty && clean.sharers == 0);
+    assert_eq!(dirty.state, MesiState::Modified);
+    assert!(dirty.dirty && dirty.sharers == 0);
+}
+
+/// Invalidation returns the frame's complete metadata — including
+/// directory state written through `peek_mut` — and empties the frame.
+#[test]
+fn invalidate_returns_directory_state_and_clears() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 4, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(9), &ictx(9), false);
+    {
+        let mut m = c.peek_mut(LineAddr::new(9)).unwrap();
+        m.set_dirty();
+        m.add_sharer(0);
+        m.add_sharer(3);
+        m.set_state(MesiState::Shared);
+    }
+    let meta = c.invalidate(LineAddr::new(9)).unwrap();
+    assert_eq!(meta.line, LineAddr::new(9));
+    assert!(meta.valid && meta.dirty && meta.is_instr);
+    assert_eq!(meta.state, MesiState::Shared);
+    assert_eq!(meta.sharers, 0b1001);
+    assert_eq!(c.stats().invalidations, 1);
+
+    // Frame is empty: peek misses, occupancy drops, re-probing the same
+    // line misses, and double invalidation is a no-op.
+    assert!(c.peek(LineAddr::new(9)).is_none());
+    assert_eq!(c.occupancy(), 0);
+    assert!(!c.access(&dctx(9), false));
+    assert!(c.invalidate(LineAddr::new(9)).is_none());
+    assert_eq!(c.stats().invalidations, 1, "failed invalidation must not count");
+}
+
+/// A frame reused after invalidation starts from fresh metadata — no
+/// stale dirty/sharer/state bits may leak from the previous occupant
+/// (the SoA columns are only reset lazily, so this is load-bearing).
+#[test]
+fn refill_after_invalidate_starts_clean() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 1, 1), PolicyKind::Lru);
+    c.insert(LineAddr::new(5), &ictx(5), true);
+    {
+        let mut m = c.peek_mut(LineAddr::new(5)).unwrap();
+        m.add_sharer(7);
+        m.set_state(MesiState::Shared);
+    }
+    c.invalidate(LineAddr::new(5));
+    c.insert(LineAddr::new(6), &dctx(6), false);
+    let m = c.peek(LineAddr::new(6)).unwrap();
+    assert!(!m.dirty && !m.is_instr && !m.prefetched);
+    assert_eq!(m.state, MesiState::Exclusive);
+    assert_eq!(m.sharers, 0, "sharer mask leaked across invalidation");
+}
+
+/// Write hits set the dirty bit but do not change the MESI state — the
+/// upgrade to Modified is the coherence layer's move (via `peek_mut`),
+/// not the cache's.
+#[test]
+fn write_hit_sets_dirty_without_state_change() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 2, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(3), &dctx(3), false);
+    {
+        let mut m = c.peek_mut(LineAddr::new(3)).unwrap();
+        m.set_sharers(0b11);
+        m.set_state(MesiState::Shared);
+    }
+    assert!(c.access(&dctx(3), true));
+    let m = c.peek(LineAddr::new(3)).unwrap();
+    assert!(m.dirty);
+    assert_eq!(m.state, MesiState::Shared, "access must not touch MESI state");
+    assert_eq!(m.sharers, 0b11, "access must not touch the sharer mask");
+}
+
+// ---------------------------------------------------------------------------
+// insert_with_guard_opts: guard, victim and bypass paths
+// ---------------------------------------------------------------------------
+
+/// The guard is consulted only for valid *instruction* victims; data
+/// victims are evicted without a question.
+#[test]
+fn guard_never_consulted_for_data_victims() {
+    let mut c = SetAssocCache::new(CacheConfig::new("g", 1, 4), PolicyKind::Lru);
+    for l in 0..4u64 {
+        c.insert(LineAddr::new(l), &dctx(l), false);
+    }
+    let mut asked = 0;
+    let out = c.insert_with_guard(LineAddr::new(10), &dctx(10), false, 4, |_| {
+        asked += 1;
+        true
+    });
+    assert_eq!(asked, 0, "guard ran on a data victim");
+    assert_eq!(out.protected, 0);
+    assert!(out.evicted.is_some());
+}
+
+/// Protection can never exclude every way: even with unlimited
+/// `max_protects` and an always-protect guard, at most `ways - 1`
+/// protections happen, and the fill still lands.
+#[test]
+fn protection_leaves_at_least_one_victim() {
+    let mut c = SetAssocCache::new(CacheConfig::new("g", 1, 4), PolicyKind::Lru);
+    for l in 0..4u64 {
+        c.insert(LineAddr::new(l), &ictx(l), false);
+    }
+    let out = c.insert_with_guard(LineAddr::new(10), &dctx(10), false, u32::MAX, |_| true);
+    assert_eq!(out.protected, 3, "ways - 1 protections at most");
+    assert!(out.evicted.is_some());
+    assert!(c.lookup(LineAddr::new(10)).is_some());
+    assert_eq!(c.stats().guarded_protections, 3);
+}
+
+/// A protected victim survives and the final victim matches what the
+/// guard allowed through.
+#[test]
+fn guard_decision_selects_the_victim() {
+    let mut c = SetAssocCache::new(CacheConfig::new("g", 1, 3), PolicyKind::Lru);
+    for l in [2u64, 4, 6] {
+        c.insert(LineAddr::new(l), &ictx(l), false);
+    }
+    // LRU order: 2, 4, 6. Guard defends line 2 only.
+    let out =
+        c.insert_with_guard(LineAddr::new(8), &dctx(8), false, 2, |m| m.line == LineAddr::new(2));
+    assert_eq!(out.protected, 1);
+    assert_eq!(
+        out.evicted.unwrap().meta.line,
+        LineAddr::new(4),
+        "next-LRU after the protected way"
+    );
+    assert!(c.lookup(LineAddr::new(2)).is_some(), "protected line evicted");
+}
+
+/// Test-only policy that always asks to bypass: exercises the
+/// `allow_bypass` override without depending on Mockingjay training.
+struct AlwaysBypass {
+    next_victim: usize,
+    ways: usize,
+}
+
+impl ReplacementPolicy for AlwaysBypass {
+    fn on_insert(&mut self, _set: usize, _way: usize, _ctx: &PolicyCtx) {}
+    fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &PolicyCtx) {}
+    fn choose_victim(&mut self, _set: usize, _ctx: &PolicyCtx, excluded: u64) -> usize {
+        (0..self.ways).cycle().skip(self.next_victim).find(|w| excluded & (1 << w) == 0).unwrap()
+    }
+    fn reset_priority(&mut self, _set: usize, way: usize) {
+        self.next_victim = (way + 1) % self.ways;
+    }
+    fn should_bypass(&mut self, _set: usize, _ctx: &PolicyCtx) -> bool {
+        true
+    }
+    fn name(&self) -> &'static str {
+        "AlwaysBypass"
+    }
+}
+
+/// `allow_bypass = false` forces residency even when the policy bypasses
+/// every fill; `allow_bypass = true` honors the policy and counts the
+/// bypass. Bypass is only consulted for full sets — fills into free
+/// frames always land.
+#[test]
+fn allow_bypass_override_forces_insertion() {
+    let cfg = CacheConfig::new("b", 1, 2);
+    let mut c = SetAssocCache::with_policy(cfg, Box::new(AlwaysBypass { next_victim: 0, ways: 2 }));
+
+    // Free frames: bypass not consulted.
+    let out = c.insert(LineAddr::new(1), &dctx(1), false);
+    assert!(out.way.is_some());
+    let out = c.insert(LineAddr::new(2), &dctx(2), false);
+    assert!(out.way.is_some());
+    assert_eq!(c.stats().bypasses, 0);
+
+    // Full set, bypass honored.
+    let out = c.insert(LineAddr::new(3), &dctx(3), false);
+    assert_eq!(out.way, None);
+    assert!(out.evicted.is_none());
+    assert_eq!(c.stats().bypasses, 1);
+    assert!(c.lookup(LineAddr::new(3)).is_none());
+
+    // Full set, bypass overridden (the Garibaldi protected-fill path).
+    let out = c.insert_with_guard_opts(LineAddr::new(3), &dctx(3), false, 0, false, |_| false);
+    assert!(out.way.is_some(), "allow_bypass=false must force the fill");
+    assert!(out.evicted.is_some());
+    assert_eq!(c.stats().bypasses, 1, "no second bypass counted");
+    assert!(c.lookup(LineAddr::new(3)).is_some());
+}
+
+/// Guarded refresh of a resident line is a no-op on the victim machinery:
+/// no guard call, no eviction, dirty accumulates.
+#[test]
+fn guarded_insert_of_resident_line_refreshes() {
+    let mut c = SetAssocCache::new(CacheConfig::new("g", 1, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(1), &ictx(1), false);
+    c.insert(LineAddr::new(3), &ictx(3), false);
+    let mut asked = 0;
+    let out = c.insert_with_guard(LineAddr::new(1), &ictx(1), true, 4, |_| {
+        asked += 1;
+        true
+    });
+    assert_eq!(asked, 0);
+    assert_eq!(out.protected, 0);
+    assert!(out.evicted.is_none());
+    assert!(c.peek(LineAddr::new(1)).unwrap().dirty, "refresh accumulates dirtiness");
+    assert_eq!(c.occupancy(), 2);
+}

@@ -1,0 +1,457 @@
+//! Differential battery: the structure-of-arrays `SetAssocCache` against a
+//! reference array-of-lines model.
+//!
+//! `RefCache` reimplements the cache's externally visible semantics in the
+//! most naive representation possible — one `LineMeta` per frame — using
+//! only the crate's public policy API. Both caches build the same
+//! deterministic policy instance and are driven with byte-identical event
+//! sequences, so any divergence in hit/miss outcomes, victim choice, frame
+//! metadata or stats pinpoints a bug in the SoA tag/flag/sharer columns.
+//!
+//! Run with `PROPTEST_CASES=512` (the CI differential leg) for an elevated
+//! case count.
+
+use garibaldi_cache::{
+    build_policy, AccessCtx, AccessOutcome, CacheConfig, CacheStats, EvictedLine, InsertOutcome,
+    LineMeta, MesiState, PolicyKind, ReplacementPolicy, SetAssocCache, SetIndexing,
+};
+use garibaldi_types::{AccessKind, LineAddr};
+use proptest::prelude::*;
+
+/// Pre-SoA reference model: array of materialized frames.
+struct RefCache {
+    config: CacheConfig,
+    frames: Vec<LineMeta>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig, kind: PolicyKind) -> Self {
+        let policy = build_policy(kind, config.sets, config.ways);
+        let frames = vec![LineMeta::empty(); config.sets * config.ways];
+        Self { config, frames, policy, stats: CacheStats::default() }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        match self.config.indexing {
+            SetIndexing::Modulo => (line.get() % self.config.sets as u64) as usize,
+            SetIndexing::Shard { modulus, base } => ((line.get() % modulus) - base) as usize,
+        }
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways + way
+    }
+
+    fn way_in(&self, set: usize, line: LineAddr) -> Option<usize> {
+        (0..self.config.ways).find(|&w| {
+            let m = &self.frames[self.idx(set, w)];
+            m.valid && m.line == line
+        })
+    }
+
+    fn peek(&self, line: LineAddr) -> Option<LineMeta> {
+        let set = self.set_of(line);
+        self.way_in(set, line).map(|w| self.frames[self.idx(set, w)])
+    }
+
+    fn access(&mut self, ctx: &AccessCtx, is_write: bool) -> bool {
+        let kind = if ctx.is_instr { AccessKind::Instr } else { AccessKind::Data };
+        let set = self.set_of(ctx.line);
+        match self.way_in(set, ctx.line) {
+            Some(way) => {
+                self.stats.record_access(kind, true);
+                let i = self.idx(set, way);
+                if self.frames[i].prefetched {
+                    self.stats.prefetch_useful += 1;
+                    self.frames[i].prefetched = false;
+                }
+                if is_write {
+                    self.frames[i].dirty = true;
+                }
+                self.policy.on_hit(set, way, ctx);
+                true
+            }
+            None => {
+                self.stats.record_access(kind, false);
+                false
+            }
+        }
+    }
+
+    fn insert(&mut self, line: LineAddr, ctx: &AccessCtx, dirty: bool) -> InsertOutcome {
+        self.insert_with_guard_opts(line, ctx, dirty, 0, true, |_| false)
+    }
+
+    fn insert_with_guard_opts(
+        &mut self,
+        line: LineAddr,
+        ctx: &AccessCtx,
+        dirty: bool,
+        max_protects: u32,
+        allow_bypass: bool,
+        mut guard: impl FnMut(&LineMeta) -> bool,
+    ) -> InsertOutcome {
+        let set = self.set_of(line);
+        let ways = self.config.ways;
+
+        if let Some(way) = self.way_in(set, line) {
+            let i = self.idx(set, way);
+            self.frames[i].dirty |= dirty;
+            self.frames[i].is_instr = ctx.is_instr;
+            return InsertOutcome { way: Some(way), evicted: None, protected: 0 };
+        }
+        if let Some(way) = (0..ways).find(|&w| !self.frames[self.idx(set, w)].valid) {
+            self.fill(set, way, line, ctx, dirty);
+            return InsertOutcome { way: Some(way), evicted: None, protected: 0 };
+        }
+        if allow_bypass && self.policy.should_bypass(set, ctx) {
+            self.stats.bypasses += 1;
+            return InsertOutcome { way: None, evicted: None, protected: 0 };
+        }
+
+        let mut excluded = 0u64;
+        let mut protected = 0u32;
+        let victim = loop {
+            let way = self.policy.choose_victim(set, ctx, excluded);
+            let meta = self.frames[self.idx(set, way)];
+            let may_protect = protected < max_protects && excluded.count_ones() + 1 < ways as u32;
+            if may_protect && meta.valid && meta.is_instr && guard(&meta) {
+                self.policy.reset_priority(set, way);
+                excluded |= 1 << way;
+                protected += 1;
+                self.stats.guarded_protections += 1;
+                continue;
+            }
+            break way;
+        };
+        let evicted = self.evict(set, victim);
+        self.fill(set, victim, line, ctx, dirty);
+        InsertOutcome { way: Some(victim), evicted, protected }
+    }
+
+    fn insert_restricted(
+        &mut self,
+        line: LineAddr,
+        ctx: &AccessCtx,
+        dirty: bool,
+        allowed_mask: u64,
+    ) -> InsertOutcome {
+        let ways = self.config.ways;
+        let full = if ways >= 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        let allowed = allowed_mask & full;
+        assert!(allowed != 0, "partition mask selects no way");
+        let set = self.set_of(line);
+
+        if let Some(way) = self.way_in(set, line) {
+            let i = self.idx(set, way);
+            self.frames[i].dirty |= dirty;
+            self.frames[i].is_instr = ctx.is_instr;
+            return InsertOutcome { way: Some(way), evicted: None, protected: 0 };
+        }
+        if let Some(way) =
+            (0..ways).find(|&w| allowed & (1 << w) != 0 && !self.frames[self.idx(set, w)].valid)
+        {
+            self.fill(set, way, line, ctx, dirty);
+            return InsertOutcome { way: Some(way), evicted: None, protected: 0 };
+        }
+        let victim = self.policy.choose_victim(set, ctx, !allowed & full);
+        let evicted = self.evict(set, victim);
+        self.fill(set, victim, line, ctx, dirty);
+        InsertOutcome { way: Some(victim), evicted, protected: 0 }
+    }
+
+    fn evict(&mut self, set: usize, victim: usize) -> Option<EvictedLine> {
+        let old = self.frames[self.idx(set, victim)];
+        if !old.valid {
+            return None;
+        }
+        self.stats.evictions += 1;
+        if old.is_instr {
+            self.stats.i_evictions += 1;
+        }
+        if old.dirty {
+            self.stats.writebacks += 1;
+        }
+        self.policy.on_evict(set, victim);
+        Some(EvictedLine { meta: old })
+    }
+
+    fn fill(&mut self, set: usize, way: usize, line: LineAddr, ctx: &AccessCtx, dirty: bool) {
+        let state = if dirty { MesiState::Modified } else { MesiState::Exclusive };
+        let i = self.idx(set, way);
+        self.frames[i] = LineMeta {
+            line,
+            valid: true,
+            dirty,
+            prefetched: ctx.is_prefetch,
+            is_instr: ctx.is_instr,
+            state,
+            sharers: 0,
+        };
+        if ctx.is_prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        self.policy.on_insert(set, way, ctx);
+    }
+
+    fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let set = self.set_of(line);
+        let way = self.way_in(set, line)?;
+        let i = self.idx(set, way);
+        let meta = self.frames[i];
+        self.frames[i] = LineMeta::empty();
+        self.stats.invalidations += 1;
+        Some(meta)
+    }
+
+    fn protect_line(&mut self, line: LineAddr) {
+        let set = self.set_of(line);
+        if let Some(way) = self.way_in(set, line) {
+            self.policy.reset_priority(set, way);
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.frames.iter().filter(|m| m.valid).count()
+    }
+}
+
+/// Deterministic QBS stand-in used identically on both sides.
+fn ref_guard(m: &LineMeta) -> bool {
+    m.line.get() % 3 == 0
+}
+
+/// One op of the differential script. `aux` packs the op's knobs:
+/// bit 0 instruction access, bit 1 write/dirty, bit 2 allow-bypass,
+/// remaining bits way-mask / sharer-cluster material.
+type Op = (u8, u64, u64);
+
+/// Drives the same op sequence through both caches, checking equivalence
+/// of outcome, touched-set metadata and peeks after every op, and stats,
+/// occupancy and the full frame array at the end.
+fn run_differential(
+    cfg: &CacheConfig,
+    kind: PolicyKind,
+    ops: &[Op],
+    map_line: impl Fn(u64) -> u64,
+) -> Result<(), TestCaseError> {
+    let mut soa = SetAssocCache::new(cfg.clone(), kind);
+    let mut rc = RefCache::new(cfg.clone(), kind);
+    let ways = cfg.ways;
+
+    for &(op, raw, aux) in ops {
+        let line = LineAddr::new(map_line(raw));
+        let sig = raw ^ 0x9e37_79b9;
+        let ctx =
+            if aux & 1 != 0 { AccessCtx::instr(line, sig) } else { AccessCtx::data(line, sig) };
+        let dirty = aux & 2 != 0;
+        match op % 10 {
+            0 => {
+                let a = soa.access(&ctx, dirty);
+                let b = rc.access(&ctx, dirty);
+                prop_assert_eq!(a, b, "{}: access outcome diverged on {:?}", kind, line);
+            }
+            1 => {
+                let a = soa.insert(line, &ctx, dirty);
+                let b = rc.insert(line, &ctx, dirty);
+                prop_assert_eq!(a, b, "{}: insert outcome diverged on {:?}", kind, line);
+            }
+            2 => {
+                let mut pctx = ctx;
+                pctx.is_prefetch = true;
+                let a = soa.insert(line, &pctx, false);
+                let b = rc.insert(line, &pctx, false);
+                prop_assert_eq!(a, b, "{}: prefetch fill diverged on {:?}", kind, line);
+            }
+            3 => {
+                let allow_bypass = aux & 4 != 0;
+                let a = soa.insert_with_guard_opts(line, &ctx, dirty, 2, allow_bypass, ref_guard);
+                let b = rc.insert_with_guard_opts(line, &ctx, dirty, 2, allow_bypass, ref_guard);
+                prop_assert_eq!(a, b, "{}: guarded insert diverged on {:?}", kind, line);
+            }
+            4 => {
+                let full = if ways >= 64 { u64::MAX } else { (1u64 << ways) - 1 };
+                let mask = match (aux >> 3) & full {
+                    0 => full,
+                    m => m,
+                };
+                let a = soa.insert_restricted(line, &ctx, dirty, mask);
+                let b = rc.insert_restricted(line, &ctx, dirty, mask);
+                prop_assert_eq!(a, b, "{}: restricted insert diverged on {:?}", kind, line);
+            }
+            5 => {
+                let a = soa.invalidate(line);
+                let b = rc.invalidate(line);
+                prop_assert_eq!(a, b, "{}: invalidate diverged on {:?}", kind, line);
+            }
+            6 => {
+                soa.protect_line(line);
+                rc.protect_line(line);
+            }
+            7 => {
+                // Fused probe/fill pair (the prefetch fill-if-absent path):
+                // probe residency once, redeem immediately on a miss. The
+                // reference model is the unfused lookup-early-out + insert.
+                let mut pctx = ctx;
+                pctx.is_prefetch = true;
+                let probe = soa.probe_fill(line);
+                let resident = rc.way_in(rc.set_of(line), line).is_some();
+                prop_assert_eq!(
+                    probe.resident(),
+                    resident,
+                    "{}: probe residency diverged on {:?}",
+                    kind,
+                    line
+                );
+                if !resident {
+                    let a = soa.fill_probed(probe, line, &pctx, dirty);
+                    let b = rc.insert(line, &pctx, dirty);
+                    prop_assert_eq!(a, b, "{}: probed fill diverged on {:?}", kind, line);
+                }
+            }
+            8 => {
+                // Fused demand access + probed fill (the L2 miss-and-fill
+                // path): a hit must match `access`, a miss must fill
+                // exactly as `insert` would.
+                match soa.access_or_probe(&ctx, dirty) {
+                    AccessOutcome::Hit => {
+                        prop_assert!(
+                            rc.access(&ctx, dirty),
+                            "{}: access_or_probe hit where reference missed on {:?}",
+                            kind,
+                            line
+                        );
+                    }
+                    AccessOutcome::Miss(probe) => {
+                        prop_assert!(
+                            !rc.access(&ctx, dirty),
+                            "{}: access_or_probe missed where reference hit on {:?}",
+                            kind,
+                            line
+                        );
+                        let a = soa.fill_probed(probe, line, &ctx, dirty);
+                        let b = rc.insert(line, &ctx, dirty);
+                        prop_assert_eq!(a, b, "{}: miss-path fill diverged on {:?}", kind, line);
+                    }
+                }
+            }
+            _ => {
+                // Directory edits through peek_mut, mirrored field-by-field.
+                let set = rc.set_of(line);
+                let rway = rc.way_in(set, line);
+                let cluster = (aux % 8) as usize;
+                if let Some(mut m) = soa.peek_mut(line) {
+                    m.set_dirty();
+                    m.add_sharer(cluster);
+                    let st =
+                        if m.sharer_count() > 1 { MesiState::Shared } else { MesiState::Exclusive };
+                    m.set_state(st);
+                }
+                if let Some(w) = rway {
+                    let i = set * ways + w;
+                    let f = &mut rc.frames[i];
+                    f.dirty = true;
+                    f.sharers |= 1 << cluster;
+                    f.state = if f.sharers.count_ones() > 1 {
+                        MesiState::Shared
+                    } else {
+                        MesiState::Exclusive
+                    };
+                }
+                prop_assert_eq!(soa.peek_mut(line).is_some(), rway.is_some());
+            }
+        }
+        // After every op: the touched set's frames and the line's peek must
+        // be byte-identical.
+        let set = rc.set_of(line);
+        for w in 0..ways {
+            prop_assert_eq!(
+                soa.frame_meta(set, w),
+                rc.frames[set * ways + w],
+                "{}: frame ({}, {}) diverged after op {} on {:?}",
+                kind,
+                set,
+                w,
+                op % 10,
+                line
+            );
+        }
+        prop_assert_eq!(soa.peek(line), rc.peek(line));
+    }
+
+    // Whole-cache sweep: every frame, the stats and occupancy agree.
+    for set in 0..cfg.sets {
+        for w in 0..ways {
+            prop_assert_eq!(soa.frame_meta(set, w), rc.frames[set * ways + w]);
+        }
+    }
+    prop_assert_eq!(soa.stats(), &rc.stats, "{}: stats diverged", kind);
+    prop_assert_eq!(soa.occupancy(), rc.occupancy());
+    Ok(())
+}
+
+/// Geometries covering power-of-two and non-power-of-two set counts
+/// (the LLC's `from_capacity` yields non-pow2 sets; L1/L2 are pow2).
+const GEOMETRIES: &[(usize, usize)] =
+    &[(1, 1), (1, 4), (8, 2), (16, 4), (5, 2), (7, 4), (12, 3), (40, 2)];
+
+proptest! {
+    /// Arbitrary op interleavings on whole-cache (Modulo) indexing, every
+    /// policy, pow2 and non-pow2 set counts.
+    #[test]
+    fn soa_matches_reference_modulo(
+        ops in prop::collection::vec((0u8..10, 0u64..512, 0u64..256), 1..300),
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        geom_idx in 0usize..GEOMETRIES.len(),
+    ) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let (sets, ways) = GEOMETRIES[geom_idx];
+        let cfg = CacheConfig::new("diff", sets, ways);
+        run_differential(&cfg, kind, &ops, |raw| raw)?;
+    }
+
+    /// Same battery on shard views: a cache owning global sets
+    /// `[base, base + sets)` of a `modulus`-set parent, with lines mapped
+    /// into the owned range (pow2 and non-pow2 moduli).
+    #[test]
+    fn soa_matches_reference_shard(
+        ops in prop::collection::vec((0u8..10, 0u64..512, 0u64..256), 1..300),
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        sets in 1usize..6,
+        base in 0usize..8,
+        extra in 0usize..9,
+    ) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let modulus = base + sets + extra;
+        let ways = 3usize;
+        let cfg = CacheConfig::shard("diff.shard", modulus, base, sets, ways);
+        let (m, b, s) = (modulus as u64, base as u64, sets as u64);
+        // Fold the raw value into the shard's owned global sets:
+        // global set = base + (raw % sets), tag material = raw / sets.
+        run_differential(&cfg, kind, &ops, move |raw| (raw / s % 16) * m + b + raw % s)?;
+    }
+}
+
+/// Deterministic smoke sequence so plain `cargo test` exercises every op
+/// and policy even at a proptest case count of 1.
+#[test]
+fn soa_matches_reference_fixed_sequence() {
+    let mut x = 0x243f_6a88_85a3_08d3u64; // deterministic xorshift64*
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let ops: Vec<Op> = (0..600).map(|_| (next() as u8, next() % 96, next() % 256)).collect();
+    for kind in PolicyKind::ALL {
+        for &(sets, ways) in &[(8usize, 4usize), (6, 3)] {
+            let cfg = CacheConfig::new("fixed", sets, ways);
+            run_differential(&cfg, kind, &ops, |raw| raw).unwrap();
+        }
+        let cfg = CacheConfig::shard("fixed.shard", 12, 4, 4, 4);
+        run_differential(&cfg, kind, &ops, |raw| (raw / 4 % 16) * 12 + 4 + raw % 4).unwrap();
+    }
+}

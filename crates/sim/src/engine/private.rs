@@ -25,8 +25,8 @@ use crate::hierarchy::MemoryHierarchy;
 use crate::metrics::CoreResult;
 use garibaldi::HelperTable;
 use garibaldi_cache::{
-    AccessCtx, CacheConfig, CacheStats, GhbPrefetcher, NextLinePrefetcher, PolicyKind, Prefetcher,
-    SetAssocCache,
+    AccessCtx, AccessOutcome, CacheConfig, CacheStats, FillProbe, GhbPrefetcher,
+    NextLinePrefetcher, PolicyKind, Prefetcher, SetAssocCache,
 };
 use garibaldi_trace::{SharedAddressSpace, TraceGenerator, TraceRecord, MAX_DATA_REFS};
 use garibaldi_types::{CoreId, LineAddr, VirtAddr, LINE_BYTES};
@@ -354,22 +354,42 @@ impl<'p> ClusterSim<'p> {
             TierRes::Done(_) => None,
         };
 
-        // Frontend prefetch engine reacts to L1I misses.
+        // Frontend prefetch engine reacts to L1I misses. Candidate lines are
+        // translated up front and their tag rows hinted to the host CPU so
+        // the row misses overlap instead of serializing per candidate.
         if cfg.l1i_prefetcher && est_lat > cfg.l1_latency {
             let mut out = std::mem::take(&mut c.ipf_out);
             c.ipf.on_miss(rec.pc, &mut out);
-            for &va in &out {
-                let pa = c.asp.translate_line(va);
+            let mut pas = [LineAddr::new(0); 8];
+            let npf = out.len().min(pas.len());
+            for (slot, &va) in pas.iter_mut().zip(out.iter()) {
+                *slot = c.asp.translate_line(va);
+            }
+            for pa in &pas[..npf] {
+                tier.l1i[i].prefetch_row(*pa);
+                tier.l2.prefetch_row(*pa);
+            }
+            for (k, &va) in out.iter().enumerate() {
+                let pa = if k < npf { pas[k] } else { c.asp.translate_line(va) };
                 prefetch_instr(tier, c, cfg, va, pa);
             }
             c.ipf_out = out;
         }
 
-        // Backend: data references.
+        // Backend: data references. Same trick: translate the record's refs
+        // together and hint their L1D/L2 rows before resolving the first.
+        let mut d_pas = [LineAddr::new(0); MAX_DATA_REFS];
+        let nrefs = rec.data_refs().len();
+        for (slot, d) in d_pas.iter_mut().zip(rec.data_refs()) {
+            *slot = c.asp.translate_line(d.va);
+        }
+        for pa in &d_pas[..nrefs] {
+            tier.l1d[i].prefetch_row(*pa);
+            tier.l2.prefetch_row(*pa);
+        }
         let mut refs = [PendingRef { lat: 0, seq: None }; MAX_DATA_REFS];
         let mut n = 0;
-        for d in rec.data_refs() {
-            let d_pa = c.asp.translate_line(d.va);
+        for (d, &d_pa) in rec.data_refs().iter().zip(d_pas.iter()) {
             let res = data_access(tier, c, cfg, sig, d_pa, rec.pc, d.rw.is_write(), ifetch_seq);
             refs[n] = match res {
                 TierRes::Done(lat) => PendingRef { lat, seq: None },
@@ -461,14 +481,22 @@ fn instr_access(
 ) -> TierRes {
     let ctx = AccessCtx::instr(line, sig);
     let li = c.id.index() - tier.core_base;
-    if tier.l1i[li].access(&ctx, false) {
-        return TierRes::Done(cfg.l1_latency);
-    }
-    if tier.l2.access(&ctx, false) {
-        let _ = tier.l1i[li].insert(line, &ctx, false);
-        c.emit(line, pc, sig, tier.cluster, ReqKind::DirUpdate { record: true, write: false });
-        return TierRes::Done(cfg.l1_latency + cfg.l2_latency);
-    }
+    // The L1I miss probe stays valid down both fill paths below: nothing
+    // in between fills this L1I (the frontend prefetch engine runs after
+    // this function returns).
+    let l1i_probe = match tier.l1i[li].access_or_probe(&ctx, false) {
+        AccessOutcome::Hit => return TierRes::Done(cfg.l1_latency),
+        AccessOutcome::Miss(p) => p,
+    };
+    let probe = match tier.l2.access_or_probe(&ctx, false) {
+        AccessOutcome::Hit => {
+            let _ = tier.l1i[li].fill_probed(l1i_probe, line, &ctx, false);
+            c.emit(line, pc, sig, tier.cluster, ReqKind::DirUpdate { record: true, write: false });
+            return TierRes::Done(cfg.l1_latency + cfg.l2_latency);
+        }
+        // Nothing below touches the L2 before the fill redeems the probe.
+        AccessOutcome::Miss(p) => p,
+    };
     // LLC-bound: teach the helper table, buffer the access, fill
     // optimistically (the line is resident after the miss resolves whether
     // it hit the LLC or DRAM).
@@ -478,8 +506,8 @@ fn instr_access(
         }
     }
     let seq = c.emit(line, pc, sig, tier.cluster, ReqKind::Instr { demand: true });
-    fill_l2(tier, c, line, &ctx);
-    let _ = tier.l1i[li].insert(line, &ctx, false);
+    fill_l2_probed(tier, c, probe, line, &ctx);
+    let _ = tier.l1i[li].fill_probed(l1i_probe, line, &ctx, false);
     TierRes::Pending { est: c.est.issue_estimate(StreamClass::Ifetch), seq }
 }
 
@@ -498,33 +526,59 @@ fn data_access(
 ) -> TierRes {
     let ctx = AccessCtx::data(line, sig);
     let li = c.id.index() - tier.core_base;
-    if tier.l1d[li].access(&ctx, is_write) {
-        if is_write {
-            // MESI upgrade: remote copies must go even on a private hit.
-            c.emit(line, pc, sig, tier.cluster, ReqKind::DirUpdate { record: false, write: true });
+    let mut l1d_probe = match tier.l1d[li].access_or_probe(&ctx, is_write) {
+        AccessOutcome::Hit => {
+            if is_write {
+                // MESI upgrade: remote copies must go even on a private hit.
+                c.emit(
+                    line,
+                    pc,
+                    sig,
+                    tier.cluster,
+                    ReqKind::DirUpdate { record: false, write: true },
+                );
+            }
+            return TierRes::Done(cfg.l1_latency);
         }
-        return TierRes::Done(cfg.l1_latency);
-    }
+        AccessOutcome::Miss(p) => Some(p),
+    };
     if cfg.l1d_prefetcher {
         let mut buf = std::mem::take(&mut tier.pf_buf);
         buf.clear();
         tier.l1d_pf[li].on_access(line, sig, false, &mut buf);
         for cand in buf.drain(..) {
-            prefetch_fill_l1d(tier, c, cand, pc);
+            // A prefetch fill landing in the demand line's L1D set
+            // invalidates the probe's free-way finding.
+            if prefetch_fill_l1d(tier, c, cand, pc) == l1d_probe.map(|p| p.set()) {
+                l1d_probe = None;
+            }
         }
         tier.pf_buf = buf;
     }
-    if tier.l2.access(&ctx, false) {
-        let _ = tier.l1d[li].insert(line, &ctx, is_write);
-        c.emit(line, pc, sig, tier.cluster, ReqKind::DirUpdate { record: true, write: is_write });
-        return TierRes::Done(cfg.l1_latency + cfg.l2_latency);
-    }
+    let mut probe = match tier.l2.access_or_probe(&ctx, false) {
+        AccessOutcome::Hit => {
+            fill_l1d(tier, li, l1d_probe, line, &ctx, is_write);
+            c.emit(
+                line,
+                pc,
+                sig,
+                tier.cluster,
+                ReqKind::DirUpdate { record: true, write: is_write },
+            );
+            return TierRes::Done(cfg.l1_latency + cfg.l2_latency);
+        }
+        AccessOutcome::Miss(p) => Some(p),
+    };
     if cfg.l2_prefetcher {
         let mut buf = std::mem::take(&mut tier.pf_buf);
         buf.clear();
         tier.l2_pf.on_access(line, sig, false, &mut buf);
         for cand in buf.drain(..) {
-            prefetch_fill_l2(tier, c, cand, pc);
+            // A prefetch fill landing in the demand line's set invalidates
+            // the probe's free-way finding; fall back to a fresh scan then.
+            if prefetch_fill_l2(tier, c, cand, pc) == probe.map(|p| p.set()) {
+                probe = None;
+            }
         }
         tier.pf_buf = buf;
     }
@@ -543,9 +597,30 @@ fn data_access(
         None => None,
     };
     let seq = c.emit(line, pc, sig, tier.cluster, ReqKind::Data { is_write, il_hint, ifetch_seq });
-    fill_l2(tier, c, line, &ctx);
-    let _ = tier.l1d[li].insert(line, &ctx, is_write);
+    match probe {
+        Some(p) => fill_l2_probed(tier, c, p, line, &ctx),
+        None => fill_l2(tier, c, line, &ctx),
+    }
+    fill_l1d(tier, li, l1d_probe, line, &ctx, is_write);
     TierRes::Pending { est: c.est.issue_estimate(StreamClass::Data), seq }
+}
+
+/// L1D demand fill after a miss: redeems the miss scan's probe when it is
+/// still fresh, falling back to a re-scanning insert when an intervening
+/// prefetch fill landed in the same set.
+#[inline]
+fn fill_l1d(
+    tier: &mut ClusterTier,
+    li: usize,
+    probe: Option<FillProbe>,
+    line: LineAddr,
+    ctx: &AccessCtx,
+    is_write: bool,
+) {
+    let _ = match probe {
+        Some(p) => tier.l1d[li].fill_probed(p, line, ctx, is_write),
+        None => tier.l1d[li].insert(line, ctx, is_write),
+    };
 }
 
 /// Frontend instruction prefetch (the I-SPY/FDIP stand-in).
@@ -557,13 +632,18 @@ fn prefetch_instr(
     line: LineAddr,
 ) {
     let li = c.id.index() - tier.core_base;
-    if tier.l1i[li].lookup(line).is_some() {
+    // One scan resolves both the residency early-out and (if absent) the
+    // L1I fill below; nothing in between fills this L1I, so the probe
+    // stays valid at redemption.
+    let l1i_probe = tier.l1i[li].probe_fill(line);
+    if l1i_probe.resident() {
         return;
     }
     let sig = MemoryHierarchy::sig(c.id, pc);
     let ctx = AccessCtx { line, pc_sig: sig, is_instr: true, is_prefetch: true };
-    if tier.l2.lookup(line).is_some() {
-        let _ = tier.l1i[li].insert(line, &ctx, false);
+    let l2_probe = tier.l2.probe_fill(line);
+    if l2_probe.resident() {
+        let _ = tier.l1i[li].fill_probed(l1i_probe, line, &ctx, false);
         return;
     }
     if !cfg.i_oracle {
@@ -572,38 +652,77 @@ fn prefetch_instr(
         }
     }
     c.emit(line, pc, sig, tier.cluster, ReqKind::Instr { demand: false });
-    fill_l2(tier, c, line, &ctx);
-    let _ = tier.l1i[li].insert(line, &ctx, false);
+    fill_l2_probed(tier, c, l2_probe, line, &ctx);
+    let _ = tier.l1i[li].fill_probed(l1i_probe, line, &ctx, false);
 }
 
 /// L1D next-line prefetch fill; bandwidth for LLC-missing lines is charged
-/// through a deferred probe.
-fn prefetch_fill_l1d(tier: &mut ClusterTier, c: &mut EpochCore<'_>, line: LineAddr, pc: VirtAddr) {
+/// through a deferred probe. Returns the L1D set a frame was actually
+/// filled into, for probe-staleness checks in the caller (`None` if the
+/// line was resident or bypassed).
+fn prefetch_fill_l1d(
+    tier: &mut ClusterTier,
+    c: &mut EpochCore<'_>,
+    line: LineAddr,
+    pc: VirtAddr,
+) -> Option<usize> {
     let li = c.id.index() - tier.core_base;
-    if tier.l1d[li].lookup(line).is_some() {
-        return;
+    let probe = tier.l1d[li].probe_fill(line);
+    if probe.resident() {
+        return None;
     }
     let ctx = AccessCtx { line, pc_sig: 0, is_instr: false, is_prefetch: true };
     if tier.l2.lookup(line).is_none() {
         c.emit(line, pc, 0, tier.cluster, ReqKind::PfProbe);
     }
-    let _ = tier.l1d[li].insert(line, &ctx, false);
+    tier.l1d[li].fill_probed(probe, line, &ctx, false).way.map(|_| probe.set())
 }
 
 /// L2 GHB prefetch fill (evictions are dropped, as in the serial tier).
-fn prefetch_fill_l2(tier: &mut ClusterTier, c: &mut EpochCore<'_>, line: LineAddr, pc: VirtAddr) {
-    if tier.l2.lookup(line).is_some() {
-        return;
+/// Returns the set a frame was actually filled into, for probe-staleness
+/// checks in the caller (`None` if the line was resident or bypassed).
+fn prefetch_fill_l2(
+    tier: &mut ClusterTier,
+    c: &mut EpochCore<'_>,
+    line: LineAddr,
+    pc: VirtAddr,
+) -> Option<usize> {
+    let probe = tier.l2.probe_fill(line);
+    if probe.resident() {
+        return None;
     }
     let ctx = AccessCtx { line, pc_sig: 0, is_instr: false, is_prefetch: true };
     c.emit(line, pc, 0, tier.cluster, ReqKind::PfProbe);
-    let _ = tier.l2.insert(line, &ctx, false);
+    tier.l2.fill_probed(probe, line, &ctx, false).way.map(|_| probe.set())
 }
 
 /// Demand fill into the cluster L2; displaced dirty lines become deferred
 /// non-inclusive writebacks to the LLC.
 fn fill_l2(tier: &mut ClusterTier, c: &mut EpochCore<'_>, line: LineAddr, ctx: &AccessCtx) {
     let out = tier.l2.insert(line, ctx, false);
+    emit_l2_writeback(tier, c, ctx, out);
+}
+
+/// [`fill_l2`] redeeming an earlier residency scan's [`FillProbe`] instead
+/// of re-walking the tag row (the caller guarantees probe freshness).
+fn fill_l2_probed(
+    tier: &mut ClusterTier,
+    c: &mut EpochCore<'_>,
+    probe: FillProbe,
+    line: LineAddr,
+    ctx: &AccessCtx,
+) {
+    let out = tier.l2.fill_probed(probe, line, ctx, false);
+    emit_l2_writeback(tier, c, ctx, out);
+}
+
+#[inline]
+fn emit_l2_writeback(
+    tier: &mut ClusterTier,
+    c: &mut EpochCore<'_>,
+    ctx: &AccessCtx,
+    out: garibaldi_cache::InsertOutcome,
+) {
     if let Some(ev) = out.evicted {
         if ev.meta.dirty {
             c.emit(

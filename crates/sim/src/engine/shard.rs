@@ -196,8 +196,8 @@ impl LlcShard {
                     self.drain_data(r, is_write, il_hint, snap, out);
                 }
                 ReqKind::Writeback { is_instr } => {
-                    if let Some(m) = self.cache.peek_mut(r.line) {
-                        m.dirty = true;
+                    if let Some(mut m) = self.cache.peek_mut(r.line) {
+                        m.set_dirty();
                     } else {
                         let ctx =
                             AccessCtx { line: r.line, pc_sig: r.sig, is_instr, is_prefetch: false };
@@ -333,27 +333,28 @@ impl LlcShard {
     }
 
     fn record_sharer(&mut self, line: LineAddr, cluster: usize) {
-        if let Some(m) = self.cache.peek_mut(line) {
-            m.sharers |= 1 << cluster;
-            m.state = if m.sharers.count_ones() > 1 {
+        if let Some(mut m) = self.cache.peek_mut(line) {
+            m.add_sharer(cluster);
+            let state = if m.sharer_count() > 1 {
                 MesiState::Shared
-            } else if m.dirty {
+            } else if m.dirty() {
                 MesiState::Modified
             } else {
                 MesiState::Exclusive
             };
+            m.set_state(state);
         }
     }
 
     fn write_upgrade(&mut self, r: &LlcRequest, out: &mut DrainOut) {
-        let Some(m) = self.cache.peek_mut(r.line) else { return };
-        let others = m.sharers & !(1 << r.cluster);
+        let Some(mut m) = self.cache.peek_mut(r.line) else { return };
+        let others = m.sharers() & !(1 << r.cluster);
         if others == 0 {
-            m.state = MesiState::Modified;
+            m.set_state(MesiState::Modified);
             return;
         }
-        m.sharers = 1 << r.cluster;
-        m.state = MesiState::Modified;
+        m.set_sharers(1 << r.cluster);
+        m.set_state(MesiState::Modified);
         out.invals.push((r.key, InvalCmd { line: r.line, others }));
     }
 

@@ -406,8 +406,8 @@ impl MemoryHierarchy {
                     is_instr: ev.meta.is_instr,
                     is_prefetch: false,
                 };
-                if let Some(m) = self.llc.peek_mut(ev.meta.line) {
-                    m.dirty = true;
+                if let Some(mut m) = self.llc.peek_mut(ev.meta.line) {
+                    m.set_dirty();
                 } else {
                     let _ = now;
                     let _qbs = self.insert_llc_guarded(ev.meta.line, &wb_ctx, true);
@@ -494,29 +494,30 @@ impl MemoryHierarchy {
     /// Directory upkeep: record that `cluster` now holds `line`.
     fn record_sharer(&mut self, line: LineAddr, cluster: usize) {
         use garibaldi_cache::MesiState;
-        if let Some(m) = self.llc.peek_mut(line) {
-            m.sharers |= 1 << cluster;
-            m.state = if m.sharers.count_ones() > 1 {
+        if let Some(mut m) = self.llc.peek_mut(line) {
+            m.add_sharer(cluster);
+            let state = if m.sharer_count() > 1 {
                 MesiState::Shared
-            } else if m.dirty {
+            } else if m.dirty() {
                 MesiState::Modified
             } else {
                 MesiState::Exclusive
             };
+            m.set_state(state);
         }
     }
 
     /// Write from `cluster`: invalidate every other cluster's copies.
     fn invalidate_remote(&mut self, line: LineAddr, cluster: usize) {
         use garibaldi_cache::MesiState;
-        let Some(m) = self.llc.peek_mut(line) else { return };
-        let others = m.sharers & !(1 << cluster);
+        let Some(mut m) = self.llc.peek_mut(line) else { return };
+        let others = m.sharers() & !(1 << cluster);
         if others == 0 {
-            m.state = MesiState::Modified;
+            m.set_state(MesiState::Modified);
             return;
         }
-        m.sharers = 1 << cluster;
-        m.state = MesiState::Modified;
+        m.set_sharers(1 << cluster);
+        m.set_state(MesiState::Modified);
         for k in 0..self.l2.len() {
             if others & (1 << k) != 0 {
                 if self.l2[k].invalidate(line).is_some() {

@@ -31,6 +31,14 @@ pub struct TraceGenerator<'p> {
     cold_cursor: u64,
     cold_salt: u64,
     emitted: u64,
+    /// Guaranteed data references per fetch (integer part of the profile's
+    /// `data_refs_per_line`; hoisted out of the per-record path).
+    refs_base: u32,
+    /// Probability of one extra data reference (its fractional part).
+    refs_extra_p: f64,
+    /// Per-record branch misprediction probability (from the profile's
+    /// MPKI; constant per program, hoisted out of the per-record path).
+    p_miss: f64,
 }
 
 impl<'p> TraceGenerator<'p> {
@@ -45,6 +53,7 @@ impl<'p> TraceGenerator<'p> {
         // Stagger the cold-stream start per walk so homogeneous cores do not
         // touch identical cold addresses in lock-step.
         let cold_cursor = rng.gen_range(0..program.profile().cold_data_lines);
+        let prof = program.profile();
         Self {
             program,
             rng,
@@ -54,6 +63,9 @@ impl<'p> TraceGenerator<'p> {
             cold_cursor,
             cold_salt: 0,
             emitted: 0,
+            refs_base: prof.data_refs_per_line as u32,
+            refs_extra_p: prof.data_refs_per_line.fract(),
+            p_miss: prof.branch_mpki * prof.instrs_per_line as f64 / 1000.0,
         }
     }
 
@@ -81,9 +93,8 @@ impl<'p> TraceGenerator<'p> {
 
         // Number of data references this fetch performs: integer part is
         // guaranteed, the fractional part is a Bernoulli draw.
-        let want = prof.data_refs_per_line;
-        let mut n = want as u32;
-        if self.rng.gen::<f64>() < want.fract() {
+        let mut n = self.refs_base;
+        if self.rng.gen::<f64>() < self.refs_extra_p {
             n += 1;
         }
         for _ in 0..n.min(crate::record::MAX_DATA_REFS as u32) {
@@ -92,8 +103,7 @@ impl<'p> TraceGenerator<'p> {
         }
 
         // Branch misprediction at record granularity.
-        let p_miss = prof.branch_mpki * prof.instrs_per_line as f64 / 1000.0;
-        rec.mispredict = self.rng.gen::<f64>() < p_miss;
+        rec.mispredict = self.rng.gen::<f64>() < self.p_miss;
 
         self.advance(f.n_lines);
         self.emitted += 1;

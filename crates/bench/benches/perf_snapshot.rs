@@ -252,6 +252,93 @@ fn micro_benches() -> Vec<(&'static str, f64)> {
         }),
     ));
 
+    // Batched shard drain (phase A) and command application (phase B′):
+    // one whole-LLC shard under the reference scheme resolving a
+    // pre-sorted 512-request run / 512-command soup per iteration — the
+    // two loops the software-pipelined lookahead window targets.
+    {
+        use garibaldi_sim::engine::request::{LlcRequest, ReqKey, ReqKind, ShardCmd};
+        use garibaldi_sim::engine::shard::{DrainOut, LlcShard, ThresholdSnapshot};
+        use garibaldi_types::VirtAddr;
+
+        let scale = ExperimentScale {
+            factor: 1.0,
+            cores: 40,
+            records_per_core: 30_000,
+            warmup_per_core: 7_500,
+            color_period: 3_750,
+        };
+        let cfg = SystemConfig::scaled(&scale, LlcScheme::mockingjay_garibaldi());
+        let llc_sets = CacheConfig::from_capacity("llc", cfg.llc_bytes, cfg.llc_ways).sets;
+        let mut shard = LlcShard::new(&cfg, 0, 1, llc_sets);
+        let snap = ThresholdSnapshot { color: 0, threshold: 4 };
+
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+        let mut step = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+
+        const RUN: u32 = 512;
+        let mut reqs = Vec::with_capacity(RUN as usize);
+        let mut now = 0u64;
+        for s in 0..RUN {
+            let a = step();
+            now += 1 + a % 3;
+            let kind = match a % 8 {
+                0..=2 => ReqKind::Instr { demand: a % 16 < 12 },
+                3..=5 => ReqKind::Data {
+                    is_write: a % 5 == 0,
+                    il_hint: (a % 3 == 0).then(|| LineAddr::new((a >> 8) % (1 << 20))),
+                    ifetch_seq: None,
+                },
+                6 => ReqKind::Writeback { is_instr: a % 2 == 0 },
+                _ => ReqKind::PfProbe,
+            };
+            reqs.push(LlcRequest {
+                key: ReqKey { now, core: (a % 40) as u16, seq: s },
+                line: LineAddr::new(a % (1 << 20)),
+                pc: VirtAddr::new((a & 0xffff_fff0) << 2),
+                sig: a >> 17,
+                cluster: (a % 10) as u16,
+                kind,
+            });
+        }
+        let mut drain_out = DrainOut::default();
+        out.push((
+            "shard_drain_run",
+            ns_per_iter(|| {
+                shard.drain(&reqs, snap, &mut drain_out);
+                drain_out.outcomes.len()
+            }),
+        ));
+
+        let mut cmds = Vec::with_capacity(RUN as usize);
+        let mut cnow = 0u64;
+        for s in 0..RUN {
+            let a = step();
+            cnow += 1 + a % 3;
+            let key = ReqKey { now: cnow, core: (a % 40) as u16, seq: s };
+            let cmd = if a % 3 == 0 {
+                ShardCmd::PairwisePrefetch {
+                    dl: LineAddr::new(a % (1 << 20)),
+                    sig: a >> 13,
+                    now: cnow,
+                }
+            } else {
+                ShardCmd::PairUpdate {
+                    il: LineAddr::new((a >> 7) % (1 << 20)),
+                    data_hit: a % 2 == 0,
+                    dl: LineAddr::new((a >> 11) % (1 << 20)),
+                }
+            };
+            cmds.push((key, cmd));
+        }
+        out.push(("apply_cmds_run", ns_per_iter(|| shard.apply_cmds(&cmds, snap))));
+    }
+
     for (name, ns) in &out {
         println!("[perf] {name:<36} {ns:>10.1} ns/iter");
     }

@@ -9,7 +9,7 @@
 use crate::line::{LineFlags, LineMeta, MesiState, PackedTag};
 use crate::policy::{build_policy, Lru, PolicyCtx, PolicyKind, ReplacementPolicy};
 use crate::stats::CacheStats;
-use garibaldi_types::{AccessKind, LineAddr, LINE_BYTES};
+use garibaldi_types::{hint, AccessKind, LineAddr, LINE_BYTES};
 
 /// Geometry and identity of a cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -374,14 +374,13 @@ impl PolicySlot {
         }
     }
 
-    /// Perf-only host-CPU prefetch of the policy's per-set state. Only the
-    /// inline LRU exposes a contiguous row worth hinting; boxed policies
-    /// are a no-op.
+    /// Perf-only host-CPU prefetch of the policy's per-set state row
+    /// (stamps, RRPVs, ETRs — whatever the policy reads on every event).
     #[inline]
     fn prefetch_row(&self, set: usize) {
         match self {
             PolicySlot::Lru(p) => p.prefetch_row(set),
-            PolicySlot::Dyn(_) => {}
+            PolicySlot::Dyn(p) => p.prefetch_row(set),
         }
     }
 }
@@ -587,28 +586,36 @@ impl SetAssocCache {
     /// overlap instead of serializing.
     #[inline]
     pub fn prefetch_row(&self, line: LineAddr) {
-        #[cfg(target_arch = "x86_64")]
-        unsafe {
-            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            let set = self.set_index.set_of(line.get());
-            let base = set * self.ways;
-            // Tag row: 8 bytes per way, one cache line per 8 ways.
-            let tags = self.tags.as_ptr().add(base);
-            _mm_prefetch(tags.cast(), _MM_HINT_T0);
-            if self.ways > 8 {
-                _mm_prefetch(tags.add(8).cast(), _MM_HINT_T0);
-            }
-            _mm_prefetch(self.flags.as_ptr().add(base).cast(), _MM_HINT_T0);
-            self.policy.prefetch_row(set);
+        self.prefetch_row_set(self.set_index.set_of(line.get()));
+    }
+
+    /// [`SetAssocCache::prefetch_row`] with the set already computed by
+    /// the caller — batched drains resolve every request's set in one
+    /// prologue pass (the set computation is cheap, the row miss is not)
+    /// and then hint rows from a lookahead window without re-hashing.
+    #[inline]
+    pub fn prefetch_row_set(&self, set: usize) {
+        let base = set * self.ways;
+        // Tag row: 8 bytes per way, one cache line per 8 ways.
+        hint::prefetch_index(&self.tags, base);
+        if self.ways > 8 {
+            hint::prefetch_index(&self.tags, base + 8);
         }
-        #[cfg(not(target_arch = "x86_64"))]
-        let _ = line;
+        hint::prefetch_index(&self.flags, base);
+        self.policy.prefetch_row(set);
     }
 
     /// Pure lookup: way holding `line`, if present. No policy update.
     #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<usize> {
         self.way_in(self.set_of(line), line)
+    }
+
+    /// [`SetAssocCache::lookup`] with the set precomputed by the caller.
+    #[inline]
+    pub fn lookup_at(&self, set: usize, line: LineAddr) -> Option<usize> {
+        debug_assert_eq!(set, self.set_of(line));
+        self.way_in(set, line)
     }
 
     /// Metadata of a resident line. Pure: no policy or stats update.
@@ -622,13 +629,28 @@ impl SetAssocCache {
     #[inline]
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<LineMut<'_>> {
         let set = self.set_of(line);
+        self.peek_mut_at(set, line)
+    }
+
+    /// [`SetAssocCache::peek_mut`] with the set precomputed by the caller
+    /// (batched drains resolve every request's set in a prologue pass).
+    #[inline]
+    pub fn peek_mut_at(&mut self, set: usize, line: LineAddr) -> Option<LineMut<'_>> {
+        debug_assert_eq!(set, self.set_of(line));
         let way = self.way_in(set, line)?;
+        Some(self.frame_mut(set, way))
+    }
+
+    /// Mutable metadata view of frame `(set, way)` — a way just returned
+    /// by an access or insert on the same set — without a tag re-scan.
+    #[inline]
+    pub fn frame_mut(&mut self, set: usize, way: usize) -> LineMut<'_> {
         let i = set * self.ways + way;
         if self.sharers.is_empty() {
             // First directory edit: materialize the (all-zero) column.
             self.sharers = vec![0; self.tags.len()];
         }
-        Some(LineMut { flags: &mut self.flags[i], sharers: &mut self.sharers[i] })
+        LineMut { flags: &mut self.flags[i], sharers: &mut self.sharers[i] }
     }
 
     /// Demand access: returns `true` on hit (recording stats and updating
@@ -639,10 +661,20 @@ impl SetAssocCache {
     /// prefetch) and `dirty` is set for writes.
     #[inline]
     pub fn access(&mut self, ctx: &AccessCtx, is_write: bool) -> bool {
-        let kind = if ctx.is_instr { AccessKind::Instr } else { AccessKind::Data };
         // Compute the set once; the tag scan reuses it (the index divide
         // dominates small-cache access cost otherwise).
         let set = self.set_of(ctx.line);
+        self.access_way_at(set, ctx, is_write).is_some()
+    }
+
+    /// [`SetAssocCache::access`] with the set precomputed by the caller and
+    /// the hit way returned: a drain that resolved the set in a prologue
+    /// pass can update directory state on the returned frame
+    /// ([`SetAssocCache::frame_mut`]) without re-probing the tag row.
+    #[inline]
+    pub fn access_way_at(&mut self, set: usize, ctx: &AccessCtx, is_write: bool) -> Option<usize> {
+        debug_assert_eq!(set, self.set_of(ctx.line));
+        let kind = if ctx.is_instr { AccessKind::Instr } else { AccessKind::Data };
         match self.way_in(set, ctx.line) {
             Some(way) => {
                 self.stats.record_access(kind, true);
@@ -659,11 +691,11 @@ impl SetAssocCache {
                     self.flags[i] = nf;
                 }
                 self.policy.on_hit(set, way, ctx);
-                true
+                Some(way)
             }
             None => {
                 self.stats.record_access(kind, false);
-                false
+                None
             }
         }
     }
@@ -672,6 +704,18 @@ impl SetAssocCache {
     #[inline]
     pub fn insert(&mut self, line: LineAddr, ctx: &AccessCtx, dirty: bool) -> InsertOutcome {
         self.insert_with_guard_opts(line, ctx, dirty, 0, true, |_| false)
+    }
+
+    /// [`SetAssocCache::insert`] with the set precomputed by the caller.
+    #[inline]
+    pub fn insert_at(
+        &mut self,
+        set: usize,
+        line: LineAddr,
+        ctx: &AccessCtx,
+        dirty: bool,
+    ) -> InsertOutcome {
+        self.insert_with_guard_opts_at(set, line, ctx, dirty, 0, true, |_| false)
     }
 
     /// Single-scan residency probe for fill-if-absent paths (prefetch
@@ -791,9 +835,27 @@ impl SetAssocCache {
         dirty: bool,
         max_protects: u32,
         allow_bypass: bool,
-        mut guard: impl FnMut(&LineMeta) -> bool,
+        guard: impl FnMut(&LineMeta) -> bool,
     ) -> InsertOutcome {
         let set = self.set_of(line);
+        self.insert_with_guard_opts_at(set, line, ctx, dirty, max_protects, allow_bypass, guard)
+    }
+
+    /// [`SetAssocCache::insert_with_guard_opts`] with the set precomputed
+    /// by the caller.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // the wrapper's arity + the explicit set
+    pub fn insert_with_guard_opts_at(
+        &mut self,
+        set: usize,
+        line: LineAddr,
+        ctx: &AccessCtx,
+        dirty: bool,
+        max_protects: u32,
+        allow_bypass: bool,
+        mut guard: impl FnMut(&LineMeta) -> bool,
+    ) -> InsertOutcome {
+        debug_assert_eq!(set, self.set_of(line));
 
         // One pass resolves both residency (races between prefetch and
         // demand) and the first free frame.
@@ -891,11 +953,29 @@ impl SetAssocCache {
         dirty: bool,
         allowed_mask: u64,
     ) -> InsertOutcome {
+        let set = self.set_of(line);
+        self.insert_restricted_at(set, line, ctx, dirty, allowed_mask)
+    }
+
+    /// [`SetAssocCache::insert_restricted`] with the set precomputed by
+    /// the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed_mask` selects no way of the set.
+    pub fn insert_restricted_at(
+        &mut self,
+        set: usize,
+        line: LineAddr,
+        ctx: &AccessCtx,
+        dirty: bool,
+        allowed_mask: u64,
+    ) -> InsertOutcome {
         let ways = self.ways;
         let full = if ways >= 64 { u64::MAX } else { (1u64 << ways) - 1 };
         let allowed = allowed_mask & full;
         assert!(allowed != 0, "partition mask selects no way");
-        let set = self.set_of(line);
+        debug_assert_eq!(set, self.set_of(line));
 
         if let Some(way) = self.way_in(set, line) {
             let i = set * ways + way;
@@ -928,6 +1008,13 @@ impl SetAssocCache {
             let set = self.set_of(line);
             self.policy.reset_priority(set, way);
         }
+    }
+
+    /// [`SetAssocCache::protect_line`] for a frame whose way is already
+    /// known (e.g. the fill that just returned it) — no tag re-scan.
+    #[inline]
+    pub fn protect_frame(&mut self, set: usize, way: usize) {
+        self.policy.reset_priority(set, way);
     }
 
     /// Removes `line` (coherence invalidation). Returns its metadata.

@@ -103,6 +103,10 @@ impl ReplacementPolicy for Drrip {
         self.table.set(set, way, 0);
     }
 
+    fn prefetch_row(&self, set: usize) {
+        self.table.prefetch_row(set);
+    }
+
     fn name(&self) -> &'static str {
         "DRRIP"
     }

@@ -221,6 +221,13 @@ impl ReplacementPolicy for Hawkeye {
         }
     }
 
+    fn prefetch_row(&self, set: usize) {
+        // RRPV and cache-friendly bits are the rows every event touches
+        // (one byte per way each — a single line covers both separately).
+        garibaldi_types::hint::prefetch_index(&self.rrpv, set * self.ways);
+        garibaldi_types::hint::prefetch_index(&self.friendly, set * self.ways);
+    }
+
     fn export_learned(&self, out: &mut Vec<u32>) {
         out.extend(self.predictor.iter().map(|c| c.get()));
     }

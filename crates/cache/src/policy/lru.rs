@@ -25,17 +25,11 @@ impl Lru {
     /// (perf-only; no effect on replacement decisions).
     #[inline]
     pub(crate) fn prefetch_row(&self, set: usize) {
-        #[cfg(target_arch = "x86_64")]
-        unsafe {
-            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            let row = self.last_use.as_ptr().add(set * self.ways);
-            _mm_prefetch(row.cast(), _MM_HINT_T0);
-            if self.ways > 8 {
-                _mm_prefetch(row.add(8).cast(), _MM_HINT_T0);
-            }
+        let base = set * self.ways;
+        garibaldi_types::hint::prefetch_index(&self.last_use, base);
+        if self.ways > 8 {
+            garibaldi_types::hint::prefetch_index(&self.last_use, base + 8);
         }
-        #[cfg(not(target_arch = "x86_64"))]
-        let _ = set;
     }
 
     #[inline]

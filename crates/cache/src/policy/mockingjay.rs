@@ -224,6 +224,14 @@ impl ReplacementPolicy for Mockingjay {
         false
     }
 
+    fn prefetch_row(&self, set: usize) {
+        // Victim selection and aging walk the set's contiguous ETR row
+        // (4 bytes per way — 16 ways fit one cache line); the aging clock
+        // is a separate per-set counter touched on every event.
+        garibaldi_types::hint::prefetch_index(&self.etr, set * self.ways);
+        garibaldi_types::hint::prefetch_index(&self.clock, set);
+    }
+
     fn export_learned(&self, out: &mut Vec<u32>) {
         out.extend_from_slice(&self.rdp);
     }

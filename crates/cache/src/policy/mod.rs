@@ -89,6 +89,14 @@ pub trait ReplacementPolicy: Send {
         false
     }
 
+    /// Perf-only host-CPU hint that `set`'s per-frame state row is about
+    /// to be read (see [`garibaldi_types::hint`]). Batched drains call
+    /// this from a lookahead window so the policy row's cache miss
+    /// overlaps earlier requests' work. Must not change any
+    /// decision-relevant state — the default is a no-op, and policies
+    /// whose state is not a flat per-set row keep it.
+    fn prefetch_row(&self, _set: usize) {}
+
     /// Exports the policy's PC-indexed learned state — predictor tables
     /// whose meaning is independent of set geometry (Mockingjay's RDP,
     /// SHiP's SHCT, Hawkeye's PC predictor) — by appending raw entries to

@@ -38,6 +38,13 @@ impl RrpvTable {
         self.rrpv[set * self.ways + way] = v.min(RRPV_MAX);
     }
 
+    /// Perf-only host-CPU hint for this set's RRPV row (one byte per way,
+    /// so a single cache line covers any realistic associativity).
+    #[inline]
+    pub(crate) fn prefetch_row(&self, set: usize) {
+        garibaldi_types::hint::prefetch_index(&self.rrpv, set * self.ways);
+    }
+
     /// Standard RRIP victim search: find a way at `RRPV_MAX`; if none,
     /// increment every way's RRPV and retry. `excluded` ways are skipped.
     ///
@@ -88,6 +95,10 @@ impl ReplacementPolicy for Srrip {
         self.table.set(set, way, 0);
     }
 
+    fn prefetch_row(&self, set: usize) {
+        self.table.prefetch_row(set);
+    }
+
     fn name(&self) -> &'static str {
         "SRRIP"
     }
@@ -124,6 +135,10 @@ impl ReplacementPolicy for Brrip {
 
     fn reset_priority(&mut self, set: usize, way: usize) {
         self.table.set(set, way, 0);
+    }
+
+    fn prefetch_row(&self, set: usize) {
+        self.table.prefetch_row(set);
     }
 
     fn name(&self) -> &'static str {

@@ -90,6 +90,12 @@ impl ReplacementPolicy for Ship {
         }
     }
 
+    fn prefetch_row(&self, set: usize) {
+        self.table.prefetch_row(set);
+        // Per-frame signature row (2 bytes per way), read on hit/evict.
+        garibaldi_types::hint::prefetch_index(&self.sig, set * self.ways);
+    }
+
     fn export_learned(&self, out: &mut Vec<u32>) {
         out.extend(self.shct.iter().map(|c| c.get()));
     }

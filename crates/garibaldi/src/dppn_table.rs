@@ -54,6 +54,14 @@ impl DppnTable {
         (ppn.wrapping_mul(0xd6e8_feb8_6659_fd93) >> 24) as usize % self.entries.len()
     }
 
+    /// Perf-only host-CPU hint for `ppn`'s hashed slot (see
+    /// [`garibaldi_types::hint`]); issued ahead of a batch of
+    /// [`DppnTable::insert`]s so slot misses overlap. Inert.
+    #[inline]
+    pub fn prefetch_slot(&self, ppn: PageNum) {
+        garibaldi_types::hint::prefetch_index(&self.entries, self.index_of(ppn.get()));
+    }
+
     /// Records a data page frame, returning the index DL_PA fields should
     /// store. If the hashed slot holds a different frame, its counter is
     /// decremented and the frame only replaced once the counter exhausts

@@ -162,6 +162,15 @@ impl PairTable {
         garibaldi_types::fasthash::mul_index(il.get(), self.entries.len())
     }
 
+    /// Perf-only host-CPU hint for `il`'s direct-mapped entry (see
+    /// [`garibaldi_types::hint`]): batched drains issue these from a
+    /// lookahead window so pair-table row misses overlap instead of
+    /// serializing. Architecturally inert — no stats, no entry changes.
+    #[inline]
+    pub fn prefetch_entry(&self, il: LineAddr) {
+        garibaldi_types::hint::prefetch_index(&self.entries, self.index_of(il));
+    }
+
     /// Color distance from `entry_color` to `current`, wrapping at 2^l
     /// (Fig 9c: color 5 → current 0 with l = 3 is a distance of 3).
     fn color_distance(&self, entry_color: u8, current: u8) -> u32 {
@@ -273,6 +282,40 @@ impl PairTable {
             };
         }
         *entry = fresh;
+    }
+
+    /// Fused LLC-drain instruction-miss resolution: one index computation
+    /// answers residency and the protection query, then marks the old bits
+    /// — exactly equivalent to `lookup(il).is_some()`, then (when tracked)
+    /// [`PairTable::query_protect`], then [`PairTable::on_instr_miss`],
+    /// which would each recompute the direct-mapped slot. Returns
+    /// `(tracked, protected)`; stats update as in the unfused sequence
+    /// (`query_protect` only fires on tracked entries). The old bits do
+    /// not feed [`PairTable::prefetch_candidates_into`], so marking them
+    /// before a candidate query is order-equivalent.
+    pub fn resolve_instr_miss(
+        &mut self,
+        il: LineAddr,
+        current_color: u8,
+        threshold: u32,
+    ) -> (bool, bool) {
+        let idx = self.index_of(il);
+        let colors = self.colors;
+        let e = &mut self.entries[idx];
+        if !(e.valid && e.il_line == il) {
+            return (false, false);
+        }
+        let dist = (current_color as u32 + colors - e.color as u32) % colors;
+        let protect = e.miss_cost.get().saturating_sub(dist) > threshold;
+        if protect {
+            self.stats.protects += 1;
+        } else {
+            self.stats.declines += 1;
+        }
+        for f in e.dl.iter_mut().filter(|f| f.valid) {
+            f.old = true;
+        }
+        (true, protect)
     }
 
     /// Notification of an instruction miss on `il` (Fig 10b: the old bits

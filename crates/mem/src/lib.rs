@@ -22,8 +22,6 @@
 
 use garibaldi_types::LineAddr;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// DRAM subsystem configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,8 +71,12 @@ impl DramStats {
 
 #[derive(Debug)]
 struct Channel {
-    /// Completion times of in-flight transfers.
-    inflight: BinaryHeap<Reverse<u64>>,
+    /// Completion times of in-flight transfers. Unsorted: the population
+    /// is bounded by `queue_depth` (an entry is only pushed after the
+    /// over-depth pop), so linear expiry/min scans over a flat, fully
+    /// resident array beat a binary heap's pointer-chasing sift — the
+    /// LLC-miss drain loop hits this on every miss.
+    inflight: Vec<u64>,
 }
 
 /// The DRAM timing model.
@@ -95,7 +97,9 @@ impl DramModel {
         assert!(cfg.channels > 0, "zero DRAM channels");
         assert!(cfg.queue_depth > 0, "zero queue depth");
         Self {
-            channels: (0..cfg.channels).map(|_| Channel { inflight: BinaryHeap::new() }).collect(),
+            channels: (0..cfg.channels)
+                .map(|_| Channel { inflight: Vec::with_capacity(cfg.queue_depth) })
+                .collect(),
             cfg,
             stats: DramStats::default(),
         }
@@ -121,6 +125,19 @@ impl DramModel {
         (line.get().wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as usize % self.channels.len()
     }
 
+    /// Perf-only host-CPU hint for the occupancy heap of `line`'s channel
+    /// (see [`garibaldi_types::hint`]): [`DramModel::access`] peeks and
+    /// pops the heap head, so a drain loop that knows a miss is W requests
+    /// away hints the backing buffer up front. Inert — no stats, no heap
+    /// changes.
+    #[inline]
+    pub fn prefetch_channel(&self, line: LineAddr) {
+        let ch = &self.channels[self.channel_of(line)];
+        if let Some(head) = ch.inflight.first() {
+            garibaldi_types::hint::prefetch_read(head);
+        }
+    }
+
     /// Serves a line transfer arriving at `now`; returns its total latency
     /// (queueing + access).
     pub fn access(&mut self, line: LineAddr, now: u64, write: bool) -> u64 {
@@ -128,15 +145,18 @@ impl DramModel {
         let ch_idx = self.channel_of(line);
         let ch = &mut self.channels[ch_idx];
 
-        while let Some(&Reverse(t)) = ch.inflight.peek() {
-            if t <= now {
-                ch.inflight.pop();
-            } else {
-                break;
-            }
-        }
+        // Expire completed transfers (the heap equivalent popped every
+        // entry ≤ now — same set removed, order is irrelevant because
+        // only the minimum completion time is ever observed below).
+        ch.inflight.retain(|&t| t > now);
         let queue_delay = if ch.inflight.len() >= depth {
-            let Reverse(earliest) = ch.inflight.pop().expect("non-empty");
+            let mut mi = 0;
+            for (i, &t) in ch.inflight.iter().enumerate() {
+                if t < ch.inflight[mi] {
+                    mi = i;
+                }
+            }
+            let earliest = ch.inflight.swap_remove(mi);
             self.stats.queued_requests += 1;
             earliest.saturating_sub(now)
         } else {
@@ -144,7 +164,7 @@ impl DramModel {
         };
         self.stats.queue_delay += queue_delay;
         let completion = now + queue_delay + self.cfg.transfer_occupancy;
-        ch.inflight.push(Reverse(completion));
+        ch.inflight.push(completion);
 
         if write {
             self.stats.writes += 1;

@@ -87,7 +87,7 @@ struct ShardBuf {
 /// Collection is always on — a handful of `Instant` reads per barrier —
 /// so callers ([`crate::SimRunner::run_parallel_stats`], the perf
 /// snapshot bench) can read it without a profiling env var.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     /// Epochs executed (one barrier each).
     pub epochs: u64,
@@ -106,12 +106,31 @@ pub struct EngineStats {
     pub serial_s: f64,
     /// End-to-end engine wall seconds (set by the run entry points).
     pub wall_s: f64,
+    /// Per-shard phase-A drain seconds, indexed by shard id and
+    /// accumulated across barriers (empty before the first barrier). With
+    /// `workers == 1` the entries sum to roughly `drain_s`; with more
+    /// workers they expose the load imbalance that bounds phase-A speedup
+    /// (the ROADMAP multi-core validation item).
+    pub shard_drain_s: Vec<f64>,
 }
 
 impl EngineStats {
     /// Total barrier seconds (everything except the cluster stepping).
     pub fn barrier_s(&self) -> f64 {
         self.drain_s + self.apply_s + self.serial_s
+    }
+
+    /// `(max, mean)` of the per-shard drain seconds; `None` before the
+    /// first barrier. `max / mean` is the phase-A imbalance factor — the
+    /// parallel drain finishes with the slowest shard, so a factor of 2
+    /// halves the achievable phase-A speedup.
+    pub fn drain_imbalance(&self) -> Option<(f64, f64)> {
+        if self.shard_drain_s.is_empty() {
+            return None;
+        }
+        let max = self.shard_drain_s.iter().copied().fold(0.0f64, f64::max);
+        let mean = self.shard_drain_s.iter().sum::<f64>() / self.shard_drain_s.len() as f64;
+        Some((max, mean))
     }
 }
 
@@ -213,7 +232,7 @@ impl<'p> ParallelEngine<'p> {
             }
         }
         self.advance_to(warmup + records);
-        let mut stats = self.stats;
+        let mut stats = self.stats.clone();
         stats.wall_s = t0.elapsed().as_secs_f64();
         (self.collect(), stats)
     }
@@ -226,7 +245,7 @@ impl<'p> ParallelEngine<'p> {
     fn advance_to(&mut self, target: u64) {
         let w = self.eng.epoch_cycles as f64;
         let profile = std::env::var_os("GARIBALDI_ENGINE_STATS").is_some();
-        let before = self.stats;
+        let before = self.stats.clone();
         loop {
             let min_clock = self
                 .clusters
@@ -276,6 +295,16 @@ impl<'p> ParallelEngine<'p> {
                 d.serial_s - before.serial_s,
                 d.learned_syncs - before.learned_syncs,
             );
+            if let Some((max, mean)) = d.drain_imbalance() {
+                eprintln!(
+                    "[engine] drain shards: n={} max={:.3}s mean={:.3}s imbalance={:.2}x \
+                     (cumulative; phase A finishes with the slowest shard)",
+                    d.shard_drain_s.len(),
+                    max,
+                    mean,
+                    if mean > 0.0 { max / mean } else { 1.0 },
+                );
+            }
         }
     }
 
@@ -319,10 +348,13 @@ impl<'p> ParallelEngine<'p> {
         }
 
         // Phase A: parallel per-shard drain in key order, into each
-        // shard's arena-owned `DrainOut`.
+        // shard's arena-owned `DrainOut`. Each shard's merge+drain is
+        // timed individually (worker-independent: the clock spans exactly
+        // one shard's work) to feed the imbalance account.
         let td = std::time::Instant::now();
-        let _: Vec<()> =
+        let shard_times: Vec<f64> =
             run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, buf| {
+                let ts = std::time::Instant::now();
                 let ShardBuf { reqs, run_ends, merged, out } = buf;
                 let mut runs: Vec<&[LlcRequest]> = Vec::with_capacity(run_ends.len());
                 let mut start = 0usize;
@@ -332,10 +364,20 @@ impl<'p> ParallelEngine<'p> {
                 }
                 kway_merge_into(&runs, |r| r.key, merged);
                 sh.drain(merged, snap, out);
+                ts.elapsed().as_secs_f64()
             });
         let t_drain = td.elapsed();
+        if self.stats.shard_drain_s.len() != shard_times.len() {
+            self.stats.shard_drain_s = vec![0.0; shard_times.len()];
+        }
+        for (acc, t) in self.stats.shard_drain_s.iter_mut().zip(&shard_times) {
+            *acc += t;
+        }
 
-        // Scatter outcomes back to the issuing cores.
+        // Scatter outcomes back to the issuing cores, hinting the target
+        // outcome slot a lookahead window ahead (the scatter walks each
+        // shard's outcomes in key order, so targets hop across cores and
+        // every store would otherwise be a cold row).
         let csize = self.cfg.l2_cluster_size;
         for cl in &mut self.clusters {
             for c in cl.cores.iter_mut() {
@@ -343,7 +385,16 @@ impl<'p> ParallelEngine<'p> {
             }
         }
         for b in &self.shard_bufs {
-            for &(core, seq, out) in &b.out.outcomes {
+            let outs = &b.out.outcomes;
+            for (i, &(core, seq, out)) in outs.iter().enumerate() {
+                if let Some(&(acore, aseq, _)) = outs.get(i + shard::DRAIN_LOOKAHEAD) {
+                    let acl = acore as usize / csize;
+                    let acc = acore as usize % csize;
+                    garibaldi_types::hint::prefetch_index(
+                        &self.clusters[acl].cores[acc].outcomes,
+                        aseq as usize,
+                    );
+                }
                 let cl = core as usize / csize;
                 let cc = core as usize % csize;
                 self.clusters[cl].cores[cc].outcomes[seq as usize] = out;

@@ -60,7 +60,7 @@ pub enum ReqKind {
 }
 
 /// One buffered shared-state request.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LlcRequest {
     /// Drain-order key.
     pub key: ReqKey,
@@ -77,7 +77,7 @@ pub struct LlcRequest {
 }
 
 /// Drain result of one request, scattered back to the issuing core.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReqOutcome {
     /// Full access latency in cycles (demand accesses only).
     pub latency: u64,
@@ -87,7 +87,7 @@ pub struct ReqOutcome {
 
 /// A cross-shard command produced by phase A of a barrier and applied in
 /// phase B′ (sorted by key, routed to the shard owning its target line).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardCmd {
     /// Pair-table allocate/update for `il` (shard of `il`), carrying the
     /// data line and its LLC outcome observed at the data line's shard.
@@ -113,7 +113,7 @@ pub enum ShardCmd {
 
 /// A coherence invalidation of remote private copies, produced at a shard
 /// and applied to the private tiers after phase A (in key order).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvalCmd {
     /// Line to invalidate.
     pub line: LineAddr,

@@ -15,7 +15,7 @@ use super::request::{InvalCmd, LlcRequest, ReqKey, ReqKind, ReqOutcome, ShardCmd
 use crate::config::SystemConfig;
 use crate::reuse::ReuseProfiler;
 use garibaldi::{instruction_way_mask, DppnTable, GaribaldiConfig, GaribaldiStats, PairTable};
-use garibaldi_cache::{AccessCtx, CacheConfig, LineMeta, MesiState, SetAssocCache};
+use garibaldi_cache::{AccessCtx, CacheConfig, LineMeta, LineMut, MesiState, SetAssocCache};
 use garibaldi_mem::{DramConfig, DramModel};
 use garibaldi_types::{AccessKind, LineAddr, U64Set};
 
@@ -71,6 +71,16 @@ impl DrainOut {
     }
 }
 
+/// Lookahead distance of the software-pipelined drain: while request `i`
+/// resolves, the host-CPU rows request `i + DRAIN_LOOKAHEAD` will touch
+/// (LLC tag/flag/stamp row, pair-table bucket, D_PPN slot, oracle seen
+/// slot, DRAM channel occupancy head) are already being pulled toward L1,
+/// so row misses overlap instead of serializing. Eight lines of lookahead
+/// covers a load-to-use of a few hundred cycles at the drain's per-request
+/// cost without thrashing the L1 (same window as the step-phase batching
+/// in `private.rs`).
+pub const DRAIN_LOOKAHEAD: usize = 8;
+
 /// One LLC shard.
 pub struct LlcShard {
     cache: SetAssocCache,
@@ -81,6 +91,15 @@ pub struct LlcShard {
     qbs_cycles: u64,
     /// Scratch for pairwise-prefetch candidates (reused across requests).
     pf_cands: Vec<LineAddr>,
+    /// Shard-local set of each request in the run being drained, filled by
+    /// the batched prologue pass (reused across barriers).
+    set_scratch: Vec<u32>,
+    /// Sum of the three tier hit latencies, hoisted out of the drain hot
+    /// loop (configuration-constant).
+    hit_lat: u64,
+    /// `(instruction, data)` way masks when way partitioning is on, hoisted
+    /// out of `insert_guarded` (configuration-constant).
+    part_masks: Option<(u64, u64)>,
     cfg: SystemConfig,
 }
 
@@ -111,6 +130,10 @@ impl LlcShard {
             profiler: cfg.profile_reuse.then(|| ReuseProfiler::new(total_sets)),
             qbs_cycles: 0,
             pf_cands: Vec::new(),
+            set_scratch: Vec::new(),
+            hit_lat: cfg.l1_latency + cfg.l2_latency + cfg.llc_latency,
+            part_masks: (cfg.partition_instr_ways > 0)
+                .then(|| instruction_way_mask(cfg.llc_ways, cfg.partition_instr_ways)),
             cfg: cfg.clone(),
         }
     }
@@ -187,47 +210,86 @@ impl LlcShard {
     /// Phase A: drains `reqs` (already sorted by key, all targeting this
     /// shard) against the shard state, into the engine-owned `out` arena
     /// (cleared first).
+    ///
+    /// Software-pipelined: a prologue pass batch-computes every request's
+    /// shard-local set (a multiply/mask each under `SetIndexFast`), then
+    /// the resolution pass walks the run in its original order with a
+    /// [`DRAIN_LOOKAHEAD`]-request window of host-CPU row hints in flight
+    /// ahead of the resolution point. Hints are architecturally inert, so
+    /// outcomes, commands, invalidations and stats are bit-identical to
+    /// the scalar loop (pinned by `tests/drain_differential.rs` and the
+    /// committed goldens).
     pub fn drain(&mut self, reqs: &[LlcRequest], snap: ThresholdSnapshot, out: &mut DrainOut) {
         out.clear();
+        self.set_scratch.clear();
+        self.set_scratch.reserve(reqs.len());
         for r in reqs {
+            self.set_scratch.push(self.cache.set_of(r.line) as u32);
+        }
+        for i in 0..reqs.len() {
+            if let Some(a) = reqs.get(i + DRAIN_LOOKAHEAD) {
+                let aset = self.set_scratch[i + DRAIN_LOOKAHEAD] as usize;
+                self.hint_request(a, aset);
+            }
+            let r = &reqs[i];
+            let set = self.set_scratch[i] as usize;
             match r.kind {
-                ReqKind::Instr { demand } => self.drain_instr(r, demand, snap, out),
+                ReqKind::Instr { demand } => self.drain_instr(r, set, demand, snap, out),
                 ReqKind::Data { is_write, il_hint, .. } => {
-                    self.drain_data(r, is_write, il_hint, snap, out);
+                    self.drain_data(r, set, is_write, il_hint, snap, out);
                 }
                 ReqKind::Writeback { is_instr } => {
-                    if let Some(mut m) = self.cache.peek_mut(r.line) {
+                    if let Some(mut m) = self.cache.peek_mut_at(set, r.line) {
                         m.set_dirty();
                     } else {
                         let ctx =
                             AccessCtx { line: r.line, pc_sig: r.sig, is_instr, is_prefetch: false };
-                        self.insert_guarded(r.line, &ctx, true, snap);
+                        self.insert_guarded_at(set, r.line, &ctx, true, snap);
                     }
                 }
                 ReqKind::PfProbe => {
-                    if self.cache.lookup(r.line).is_none() {
+                    if self.cache.lookup_at(set, r.line).is_none() {
                         self.dram.access(r.line, r.key.now, false);
                     }
                 }
                 ReqKind::DirUpdate { record, write } => {
                     if record {
-                        self.record_sharer(r.line, r.cluster as usize);
+                        self.record_sharer_at(set, r.line, r.cluster as usize);
                     }
                     if write {
-                        self.write_upgrade(r, out);
+                        self.write_upgrade(r, set, out);
                     }
                 }
             }
         }
     }
 
-    fn hit_latency(&self) -> u64 {
-        self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.llc_latency
+    /// Hints every host-CPU row request `r` (at shard-local set `set`) can
+    /// touch when it resolves: the LLC tag/flag/stamp rows always, plus
+    /// the structures its kind dispatches into — the oracle seen slot or
+    /// pair-table bucket for instruction fetches and the DRAM channel
+    /// occupancy head for anything that can miss to memory. Perf-only.
+    #[inline]
+    fn hint_request(&self, r: &LlcRequest, set: usize) {
+        self.cache.prefetch_row_set(set);
+        match r.kind {
+            ReqKind::Instr { .. } => {
+                if self.cfg.i_oracle {
+                    self.oracle_seen.prefetch(r.line.get());
+                } else if let Some(g) = self.gar.as_ref() {
+                    g.pair.prefetch_entry(r.line);
+                }
+                self.dram.prefetch_channel(r.line);
+            }
+            ReqKind::Data { .. } | ReqKind::PfProbe => self.dram.prefetch_channel(r.line),
+            ReqKind::Writeback { .. } | ReqKind::DirUpdate { .. } => {}
+        }
     }
 
     fn drain_instr(
         &mut self,
         r: &LlcRequest,
+        set: usize,
         demand: bool,
         snap: ThresholdSnapshot,
         out: &mut DrainOut,
@@ -243,9 +305,9 @@ impl LlcShard {
             let seen = !self.oracle_seen.insert(r.line.get());
             self.cache.stats_mut().record_access(AccessKind::Instr, seen);
             let latency = if seen {
-                self.hit_latency()
+                self.hit_lat
             } else {
-                self.hit_latency() + self.dram.access(r.line, r.key.now, false)
+                self.hit_lat + self.dram.access(r.line, r.key.now, false)
             };
             out.outcomes.push((r.key.core, r.key.seq, ReqOutcome { latency, llc_hit: seen }));
             return;
@@ -256,18 +318,22 @@ impl LlcShard {
                 p.on_access(r.line, AccessKind::Instr, r.sig);
             }
         }
-        let hit = if demand {
-            self.cache.access(&ctx, false)
+        let hit_way = if demand {
+            self.cache.access_way_at(set, &ctx, false)
         } else {
-            self.cache.lookup(r.line).is_some()
+            self.cache.lookup_at(set, r.line)
         };
+        let hit = hit_way.is_some();
 
         if let Some(g) = self.gar.as_mut() {
             g.stats.instr_accesses += 1;
             if demand && !hit {
                 g.stats.instr_misses += 1;
-                if g.pair.lookup(r.line).is_some() {
-                    let protected = g.pair.query_protect(r.line, snap.color, snap.threshold);
+                // One fused slot probe instead of the scalar loop's
+                // lookup + query_protect + on_instr_miss triple.
+                let (tracked, protected) =
+                    g.pair.resolve_instr_miss(r.line, snap.color, snap.threshold);
+                if tracked {
                     if protected {
                         g.stats.protected_entry_misses += 1;
                     } else if g.cfg.enable_prefetch {
@@ -281,18 +347,19 @@ impl LlcShard {
                         }
                     }
                 }
-                g.pair.on_instr_miss(r.line);
             }
         }
 
-        let latency = if hit {
-            self.hit_latency()
+        let (latency, way) = if hit {
+            (self.hit_lat, hit_way)
         } else {
             let dram_lat = self.dram.access(r.line, r.key.now, false);
-            let qbs = self.insert_guarded(r.line, &ctx, false, snap);
-            self.hit_latency() + dram_lat + qbs
+            let (qbs, way) = self.insert_guarded_at(set, r.line, &ctx, false, snap);
+            (self.hit_lat + dram_lat + qbs, way)
         };
-        self.record_sharer(r.line, r.cluster as usize);
+        if let Some(w) = way {
+            self.record_sharer_frame(set, w, r.cluster as usize);
+        }
         if demand {
             out.outcomes.push((r.key.core, r.key.seq, ReqOutcome { latency, llc_hit: hit }));
         }
@@ -301,6 +368,7 @@ impl LlcShard {
     fn drain_data(
         &mut self,
         r: &LlcRequest,
+        set: usize,
         is_write: bool,
         il_hint: Option<LineAddr>,
         snap: ThresholdSnapshot,
@@ -310,7 +378,8 @@ impl LlcShard {
         if let Some(p) = self.profiler.as_mut() {
             p.on_access(r.line, AccessKind::Data, r.sig);
         }
-        let hit = self.cache.access(&ctx, is_write);
+        let hit_way = self.cache.access_way_at(set, &ctx, is_write);
+        let hit = hit_way.is_some();
         if let Some(g) = self.gar.as_mut() {
             g.stats.data_accesses += 1;
             if let Some(il) = il_hint {
@@ -318,36 +387,61 @@ impl LlcShard {
                 out.cmds.push((r.key, ShardCmd::PairUpdate { il, data_hit: hit, dl: r.line }));
             }
         }
-        let latency = if hit {
-            self.hit_latency()
+        let (latency, way) = if hit {
+            (self.hit_lat, hit_way)
         } else {
             let dram_lat = self.dram.access(r.line, r.key.now, false);
-            let qbs = self.insert_guarded(r.line, &ctx, false, snap);
-            self.hit_latency() + dram_lat + qbs
+            let (qbs, way) = self.insert_guarded_at(set, r.line, &ctx, false, snap);
+            (self.hit_lat + dram_lat + qbs, way)
         };
-        self.record_sharer(r.line, r.cluster as usize);
-        if is_write {
-            self.write_upgrade(r, out);
+        if let Some(w) = way {
+            self.record_sharer_frame(set, w, r.cluster as usize);
+            if is_write {
+                self.write_upgrade_frame(set, w, r, out);
+            }
         }
         out.outcomes.push((r.key.core, r.key.seq, ReqOutcome { latency, llc_hit: hit }));
     }
 
-    fn record_sharer(&mut self, line: LineAddr, cluster: usize) {
-        if let Some(mut m) = self.cache.peek_mut(line) {
-            m.add_sharer(cluster);
-            let state = if m.sharer_count() > 1 {
-                MesiState::Shared
-            } else if m.dirty() {
-                MesiState::Modified
-            } else {
-                MesiState::Exclusive
-            };
-            m.set_state(state);
+    /// Directory update on a frame whose way the caller just resolved
+    /// (access hit or insert fill) — no tag re-scan.
+    fn record_sharer_frame(&mut self, set: usize, way: usize, cluster: usize) {
+        let mut m = self.cache.frame_mut(set, way);
+        Self::settle_sharer(&mut m, cluster);
+    }
+
+    /// Directory update on `line` if resident (set precomputed).
+    fn record_sharer_at(&mut self, set: usize, line: LineAddr, cluster: usize) {
+        if let Some(mut m) = self.cache.peek_mut_at(set, line) {
+            Self::settle_sharer(&mut m, cluster);
         }
     }
 
-    fn write_upgrade(&mut self, r: &LlcRequest, out: &mut DrainOut) {
-        let Some(mut m) = self.cache.peek_mut(r.line) else { return };
+    fn settle_sharer(m: &mut LineMut<'_>, cluster: usize) {
+        m.add_sharer(cluster);
+        let state = if m.sharer_count() > 1 {
+            MesiState::Shared
+        } else if m.dirty() {
+            MesiState::Modified
+        } else {
+            MesiState::Exclusive
+        };
+        m.set_state(state);
+    }
+
+    fn write_upgrade(&mut self, r: &LlcRequest, set: usize, out: &mut DrainOut) {
+        let Some(m) = self.cache.peek_mut_at(set, r.line) else { return };
+        Self::upgrade_frame(m, r, out);
+    }
+
+    /// [`LlcShard::write_upgrade`] on a frame whose way the caller just
+    /// resolved — no tag re-scan.
+    fn write_upgrade_frame(&mut self, set: usize, way: usize, r: &LlcRequest, out: &mut DrainOut) {
+        let m = self.cache.frame_mut(set, way);
+        Self::upgrade_frame(m, r, out);
+    }
+
+    fn upgrade_frame(mut m: LineMut<'_>, r: &LlcRequest, out: &mut DrainOut) {
         let others = m.sharers() & !(1 << r.cluster);
         if others == 0 {
             m.set_state(MesiState::Modified);
@@ -359,31 +453,33 @@ impl LlcShard {
     }
 
     /// Guarded LLC insertion (QBS + way partitioning), mirroring
-    /// `MemoryHierarchy::insert_llc_guarded`. Returns the QBS latency.
-    fn insert_guarded(
+    /// `MemoryHierarchy::insert_llc_guarded`, with the set precomputed by
+    /// the drain prologue. Returns the QBS latency and the filled way
+    /// (`None` when the fill was bypassed), so callers can update the
+    /// frame's directory state without re-probing the tag row.
+    fn insert_guarded_at(
         &mut self,
+        set: usize,
         line: LineAddr,
         ctx: &AccessCtx,
         dirty: bool,
         snap: ThresholdSnapshot,
-    ) -> u64 {
-        if self.cfg.partition_instr_ways > 0 {
-            let (i_mask, d_mask) =
-                instruction_way_mask(self.cfg.llc_ways, self.cfg.partition_instr_ways);
+    ) -> (u64, Option<usize>) {
+        if let Some((i_mask, d_mask)) = self.part_masks {
             let mask = if ctx.is_instr { i_mask } else { d_mask };
-            let out = self.cache.insert_restricted(line, ctx, dirty, mask);
+            let out = self.cache.insert_restricted_at(set, line, ctx, dirty, mask);
             if let Some(ev) = out.evicted {
                 self.on_evict(ev.meta);
             }
-            return 0;
+            return (0, out.way);
         }
 
         let Some(g) = self.gar.as_mut() else {
-            let out = self.cache.insert(line, ctx, dirty);
+            let out = self.cache.insert_at(set, line, ctx, dirty);
             if let Some(ev) = out.evicted {
                 self.on_evict(ev.meta);
             }
-            return 0;
+            return (0, out.way);
         };
 
         let enable_protection = g.cfg.enable_protection;
@@ -398,7 +494,8 @@ impl LlcShard {
         let mut queries = 0u32;
         let pair = &mut g.pair;
         let stats = &mut g.stats;
-        let out = self.cache.insert_with_guard_opts(
+        let out = self.cache.insert_with_guard_opts_at(
+            set,
             line,
             ctx,
             dirty,
@@ -418,13 +515,15 @@ impl LlcShard {
         );
         let qbs_lat = qbs_lookup_cost * queries as u64;
         self.qbs_cycles += qbs_lat;
-        if no_bypass && out.way.is_some() {
-            self.cache.protect_line(line);
+        if no_bypass {
+            if let Some(w) = out.way {
+                self.cache.protect_frame(set, w);
+            }
         }
         if let Some(ev) = out.evicted {
             self.on_evict(ev.meta);
         }
-        qbs_lat
+        (qbs_lat, out.way)
     }
 
     fn on_evict(&mut self, meta: LineMeta) {
@@ -438,8 +537,17 @@ impl LlcShard {
 
     /// Phase B′: applies cross-shard commands routed to this shard, in key
     /// order, under the same epoch-frozen threshold snapshot.
+    ///
+    /// Pipelined like [`LlcShard::drain`]: a [`DRAIN_LOOKAHEAD`]-command
+    /// window keeps the pair-table bucket and D_PPN slot of upcoming
+    /// `PairUpdate`s — and the LLC row and DRAM channel head of upcoming
+    /// `PairwisePrefetch`es — in flight ahead of the application point.
     pub fn apply_cmds(&mut self, cmds: &[(ReqKey, ShardCmd)], snap: ThresholdSnapshot) {
-        for (_, cmd) in cmds {
+        for i in 0..cmds.len() {
+            if let Some(&(_, ahead)) = cmds.get(i + DRAIN_LOOKAHEAD) {
+                self.hint_cmd(ahead);
+            }
+            let (_, cmd) = &cmds[i];
             match *cmd {
                 ShardCmd::PairUpdate { il, data_hit, dl } => {
                     if let Some(g) = self.gar.as_mut() {
@@ -456,15 +564,46 @@ impl LlcShard {
                     }
                 }
                 ShardCmd::PairwisePrefetch { dl, sig, now } => {
-                    if self.cache.lookup(dl).is_none() {
+                    let set = self.cache.set_of(dl);
+                    if self.cache.lookup_at(set, dl).is_none() {
                         let ctx =
                             AccessCtx { line: dl, pc_sig: sig, is_instr: false, is_prefetch: true };
                         self.dram.access(dl, now, false);
-                        self.insert_guarded(dl, &ctx, false, snap);
+                        self.insert_guarded_at(set, dl, &ctx, false, snap);
                     }
                 }
             }
         }
+    }
+
+    /// Hints the host-CPU rows command `cmd` will touch when it applies
+    /// (see [`LlcShard::hint_request`]). Perf-only.
+    #[inline]
+    fn hint_cmd(&self, cmd: ShardCmd) {
+        match cmd {
+            ShardCmd::PairUpdate { il, dl, .. } => {
+                if let Some(g) = self.gar.as_ref() {
+                    g.dppn.prefetch_slot(dl.ppn());
+                    g.pair.prefetch_entry(il);
+                }
+            }
+            ShardCmd::PairwisePrefetch { dl, .. } => {
+                self.cache.prefetch_row(dl);
+                self.dram.prefetch_channel(dl);
+            }
+        }
+    }
+
+    /// Shard pair/D_PPN slices, when Garibaldi is configured (read-only;
+    /// diagnostics and the drain differential battery's post-state
+    /// comparison).
+    pub fn garibaldi_tables(&self) -> Option<(&PairTable, &DppnTable)> {
+        self.gar.as_ref().map(|g| (&g.pair, &g.dppn))
+    }
+
+    /// I-oracle seen-set (read-only; differential battery post-state).
+    pub fn oracle_seen(&self) -> &U64Set {
+        &self.oracle_seen
     }
 }
 

@@ -22,6 +22,7 @@
 pub mod access;
 pub mod addr;
 pub mod fasthash;
+pub mod hint;
 pub mod ids;
 pub mod u64map;
 

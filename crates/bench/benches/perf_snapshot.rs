@@ -21,7 +21,7 @@
 
 use garibaldi_bench::*;
 use garibaldi_sim::{EngineStats, EstimatorKind};
-use garibaldi_trace::WorkloadMix;
+use garibaldi_trace::{random_shared_mixes, WorkloadMix};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -74,6 +74,49 @@ fn run_leg(runner: &SimRunner, records: u64, warmup: u64, estimator: EstimatorKi
         sync_every: eng.sync_every,
         stats,
         harmonic_mean_ipc: result.harmonic_mean_ipc(),
+    }
+}
+
+/// The shared-data coherence reference point (PR 8): an 8-core random
+/// shared mix (two L2 clusters, so the LLC directory actually carries
+/// cross-cluster invalidations) under the reference scheme on the parallel
+/// engine. Tracks the MESI path's cost and activity: `invalidations` is the
+/// serial-comparable drop count from the run result, `inval_cmds` the
+/// popcount-weighted invalidation commands the shards issued. Both must stay
+/// > 0 — a zero here means the directory path went dormant.
+struct SharedLeg {
+    mix: String,
+    stats: EngineStats,
+    harmonic_mean_ipc: f64,
+    invalidations: u64,
+}
+
+fn shared_reference(records: u64, warmup: u64) -> SharedLeg {
+    let scale = ExperimentScale {
+        factor: 1.0,
+        cores: 8,
+        records_per_core: records,
+        warmup_per_core: warmup,
+        color_period: (records / 8).max(1_000),
+    };
+    let cfg = SystemConfig::scaled(&scale, LlcScheme::mockingjay_garibaldi());
+    let mix = random_shared_mixes(1, scale.cores, 42).remove(0);
+    let mix_label = mix.slots.join(",");
+    let runner = SimRunner::new(cfg, mix, 42);
+    let eng = EngineConfig { estimator: EstimatorKind::Ewma, ..EngineConfig::default() };
+    let (result, stats) = runner.run_parallel_stats(records, warmup, &eng);
+    println!(
+        "[perf] shared-ref ({mix_label}) wall={:.3}s invals={} inval-cmds={} hmean-ipc={:.4}",
+        stats.wall_s,
+        result.invalidations,
+        stats.inval_cmds,
+        result.harmonic_mean_ipc(),
+    );
+    SharedLeg {
+        mix: mix_label,
+        stats,
+        harmonic_mean_ipc: result.harmonic_mean_ipc(),
+        invalidations: result.invalidations,
     }
 }
 
@@ -368,6 +411,7 @@ fn main() {
         .into_iter()
         .map(|e| run_leg(&runner, records, warmup, e))
         .collect();
+    let shared = shared_reference(records, warmup);
     let micro = micro_benches();
 
     let mut json = String::new();
@@ -402,6 +446,19 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"shared_reference\": {{\"cores\": 8, \"factor\": 1.0, \"mix\": \"{}\", \
+         \"scheme\": \"Mockingjay+Garibaldi\", \"estimator\": \"ewma\", \
+         \"records_per_core\": {records}, \"warmup_per_core\": {warmup}, \"seed\": 42, \
+         \"wall_s\": {}, \"invalidations\": {}, \"inval_cmds\": {}, \
+         \"harmonic_mean_ipc\": {}}},",
+        shared.mix,
+        json_num(shared.stats.wall_s),
+        shared.invalidations,
+        shared.stats.inval_cmds,
+        json_num(shared.harmonic_mean_ipc),
+    );
     let _ = writeln!(json, "  \"micro_ns_per_iter\": {{");
     for (i, (name, ns)) in micro.iter().enumerate() {
         let _ = writeln!(

@@ -26,6 +26,9 @@ pub struct Drrip {
     table: RrpvTable,
     roles: Vec<SetRole>,
     psel: SatCounter,
+    /// PSEL value as of the last learned-state sync (the shared baseline
+    /// the delta-sum merge in `import_learned` works from).
+    synced: u32,
     fills: u64,
 }
 
@@ -50,6 +53,7 @@ impl Drrip {
             table: RrpvTable::new(sets, ways),
             roles,
             psel: SatCounter::new(PSEL_BITS, 1 << (PSEL_BITS - 1)),
+            synced: 1 << (PSEL_BITS - 1),
             fills: 0,
         }
     }
@@ -107,6 +111,31 @@ impl ReplacementPolicy for Drrip {
         self.table.prefetch_row(set);
     }
 
+    fn export_learned(&self, out: &mut Vec<u32>) {
+        out.push(self.psel.get());
+    }
+
+    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+        // PSEL trains by ±1 steps, so the pooled equivalent of one
+        // globally-dueled counter is the sum of every slice's training
+        // deltas since the last sync applied to the shared baseline (every
+        // peer installs the same merged value at each sync, so the
+        // baseline is common and the merge is a pure function of the
+        // exports). Each shard sees only its slice of the leader sets, so
+        // without this merge every shard duels on a fraction of the
+        // samples and followers can disagree with the serial engine.
+        let base = self.synced as i64;
+        let mut delta = 0i64;
+        for p in peers {
+            if let Some(&v) = p.first() {
+                delta += v as i64 - base;
+            }
+        }
+        let merged = (base + delta).clamp(0, self.psel.max() as i64) as u32;
+        self.psel.set(merged);
+        self.synced = merged;
+    }
+
     fn name(&self) -> &'static str {
         "DRRIP"
     }
@@ -154,6 +183,27 @@ mod tests {
         let follower = p.roles.iter().position(|r| *r == SetRole::Follower).unwrap();
         p.on_insert(follower, 0, &ctx());
         assert_eq!(p.table.get(follower, 0), RRPV_LONG);
+    }
+
+    #[test]
+    fn learned_state_merge_sums_psel_deltas_from_the_shared_baseline() {
+        let mut p = Drrip::new(256, 4);
+        let base = 1u32 << (PSEL_BITS - 1);
+        assert_eq!(p.psel.get(), base);
+        let mut export = Vec::new();
+        p.export_learned(&mut export);
+        assert_eq!(export, vec![base], "export is the single PSEL value");
+        // Peers trained +2, 0, −1 from the shared baseline.
+        let peers = vec![vec![base + 2], vec![base], vec![base - 1]];
+        p.import_learned(&peers);
+        assert_eq!(p.psel.get(), base + 1, "base + (+2 + 0 − 1)");
+        assert_eq!(p.synced, base + 1, "the merge result becomes the next baseline");
+        // Saturation clamps: pile on more than the 10-bit counter holds.
+        let max = p.psel.max();
+        let peers = vec![vec![max]; 3];
+        p.import_learned(&peers);
+        assert_eq!(p.psel.get(), max, "clamped at the counter maximum");
+        assert_eq!(p.synced, max);
     }
 
     #[test]

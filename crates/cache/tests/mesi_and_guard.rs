@@ -189,6 +189,92 @@ fn write_hit_sets_dirty_without_state_change() {
 }
 
 // ---------------------------------------------------------------------------
+// Directory-mask hygiene: eviction, fill and refresh paths
+// ---------------------------------------------------------------------------
+
+/// A victim's sharer mask and MESI state must not leak into the line that
+/// replaces it: `evict_frame` leaves the columns in place (the fill
+/// overwrites them), so the fill path is the one that must reset them.
+#[test]
+fn eviction_fill_does_not_inherit_the_victims_sharers() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 1, 1), PolicyKind::Lru);
+    c.insert(LineAddr::new(3), &dctx(3), false);
+    {
+        let mut m = c.peek_mut(LineAddr::new(3)).unwrap();
+        m.set_sharers(0b1011);
+        m.set_state(MesiState::Shared);
+        m.set_dirty();
+    }
+    // Fill over the full set: line 3 is evicted and its frame reused.
+    let out = c.insert(LineAddr::new(4), &dctx(4), false);
+    let victim = out.evicted.expect("full set must evict").meta;
+    assert_eq!(victim.sharers, 0b1011, "eviction reports the victim's directory state");
+    assert_eq!(victim.state, MesiState::Shared);
+    let m = c.peek(LineAddr::new(4)).unwrap();
+    assert_eq!(m.sharers, 0, "sharer mask leaked across an eviction");
+    assert_eq!(m.state, MesiState::Exclusive, "clean fill enters Exclusive");
+    assert!(!m.dirty, "dirty bit leaked across an eviction");
+}
+
+/// Same hygiene through the fused probe/fill miss path (the engine's
+/// batched-drain fill): a redeemed probe over an evicted frame starts from
+/// fresh directory state.
+#[test]
+fn fill_probed_resets_the_sharer_mask() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 1, 1), PolicyKind::Lru);
+    c.insert(LineAddr::new(7), &dctx(7), false);
+    c.peek_mut(LineAddr::new(7)).unwrap().set_sharers(0b110);
+    let p = c.probe_fill(LineAddr::new(8));
+    assert!(!p.resident());
+    c.fill_probed(p, LineAddr::new(8), &dctx(8), true);
+    let m = c.peek(LineAddr::new(8)).unwrap();
+    assert_eq!(m.sharers, 0, "probe fill must reset the directory mask");
+    assert_eq!(m.state, MesiState::Modified, "dirty fill enters Modified");
+}
+
+/// A resident-line refresh (the fill races a prefetch or a second core's
+/// miss to the same line) must *carry* the directory state, not reset it —
+/// the sharer mask still describes the same resident line.
+#[test]
+fn resident_refresh_carries_the_directory_state() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 2, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(5), &dctx(5), false);
+    {
+        let mut m = c.peek_mut(LineAddr::new(5)).unwrap();
+        m.set_sharers(0b101);
+        m.set_state(MesiState::Shared);
+    }
+    let out = c.insert(LineAddr::new(5), &dctx(5), true);
+    assert!(out.evicted.is_none());
+    let m = c.peek(LineAddr::new(5)).unwrap();
+    assert_eq!(m.sharers, 0b101, "refresh clobbered the sharer mask");
+    assert_eq!(m.state, MesiState::Shared, "refresh clobbered the MESI state");
+    assert!(m.dirty, "refresh accumulates dirtiness");
+    // The restricted-fill resident branch keeps the same contract.
+    let out = c.insert_restricted(LineAddr::new(5), &dctx(5), false, 0b11);
+    assert!(out.evicted.is_none());
+    let m = c.peek(LineAddr::new(5)).unwrap();
+    assert_eq!(m.sharers, 0b101);
+    assert_eq!(m.state, MesiState::Shared);
+}
+
+/// Invalidation zeroes the sharer column itself (not just the tag), so a
+/// later fill of the same frame cannot observe the dead line's directory
+/// state even before its own reset runs.
+#[test]
+fn invalidate_zeroes_the_sharer_column() {
+    let mut c = SetAssocCache::new(CacheConfig::new("m", 2, 2), PolicyKind::Lru);
+    c.insert(LineAddr::new(6), &dctx(6), false);
+    let set = c.set_of(LineAddr::new(6));
+    let way = c.lookup(LineAddr::new(6)).unwrap();
+    c.peek_mut(LineAddr::new(6)).unwrap().set_sharers(0b111);
+    c.invalidate(LineAddr::new(6));
+    let m = c.frame_meta(set, way);
+    assert!(!m.valid);
+    assert_eq!(m.sharers, 0, "invalidate left the sharer column dirty");
+}
+
+// ---------------------------------------------------------------------------
 // insert_with_guard_opts: guard, victim and bypass paths
 // ---------------------------------------------------------------------------
 

@@ -153,6 +153,18 @@ fn parse_args() -> Result<Args, String> {
                 for w in registry::spec_workloads() {
                     println!("  {}", w.name);
                 }
+                println!("shared-data workloads:");
+                for w in registry::shared_workloads() {
+                    let deg = match w.sharing_degree {
+                        0 => "all cores".to_string(),
+                        k => format!("groups of {k}"),
+                    };
+                    println!(
+                        "  {:<16} shares hot data across {deg}, write frac {:.2}",
+                        w.name,
+                        w.hot_write_frac(),
+                    );
+                }
                 std::process::exit(0);
             }
             "--help" | "-h" => {
@@ -289,6 +301,9 @@ fn main() {
         r.dram.bytes() as f64 / 1048576.0
     );
     println!("energy: {:.4} J ({:.4} dynamic)", r.energy.total_j(), r.energy.dynamic_j);
+    if r.invalidations > 0 {
+        println!("coherence: {} MESI invalidations", r.invalidations);
+    }
     if let Some(g) = &r.garibaldi {
         println!(
             "garibaldi: {} pair updates, {} protections, {} prefetches, threshold {} after {} periods, helper hit-rate {:.2}",

@@ -112,6 +112,16 @@ pub struct EngineStats {
     /// workers they expose the load imbalance that bounds phase-A speedup
     /// (the ROADMAP multi-core validation item).
     pub shard_drain_s: Vec<f64>,
+    /// Invalidation commands emitted by write upgrades in the measured
+    /// region, weighted by the number of clusters each names (the
+    /// directory's view of copies to kill). This is the event count
+    /// comparable to the serial engine's `RunResult::invalidations`:
+    /// `RunResult::invalidations` on the parallel engine counts *copies
+    /// dropped at barriers*, which epoch batching legitimately merges —
+    /// every same-line upgrade inside one window lands on a copy the
+    /// first one already removed. Unlike the wall-clock fields this is
+    /// reset at the warmup boundary, like the simulated-outcome stats.
+    pub inval_cmds: u64,
 }
 
 impl EngineStats {
@@ -437,6 +447,8 @@ impl<'p> ParallelEngine<'p> {
             self.shard_bufs.iter().map(|b| b.out.invals.as_slice()).collect();
         kway_merge_into(&inval_runs, |&(k, _)| k, &mut self.inval_merged);
         let invals = &self.inval_merged;
+        self.stats.inval_cmds +=
+            invals.iter().map(|(_, c)| c.others.count_ones() as u64).sum::<u64>();
         let dropped = run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_invals(invals));
         self.invalidations += dropped.iter().sum::<u64>();
 
@@ -554,6 +566,7 @@ impl<'p> ParallelEngine<'p> {
         }
         self.cond = ConditionalMatrix::default();
         self.invalidations = 0;
+        self.stats.inval_cmds = 0;
     }
 
     fn collect(mut self) -> RunResult {

@@ -89,6 +89,12 @@ pub struct LlcShard {
     oracle_seen: U64Set,
     profiler: Option<ReuseProfiler>,
     qbs_cycles: u64,
+    /// Write upgrades that found no LLC directory entry (the line was not
+    /// resident), so no invalidations could be propagated — the measured
+    /// side of the LLC-directory-scoped coherence contract (see
+    /// [`LlcShard::write_upgrade`] and docs/ARCHITECTURE.md §"Coherence
+    /// semantics").
+    lost_upgrades: u64,
     /// Scratch for pairwise-prefetch candidates (reused across requests).
     pf_cands: Vec<LineAddr>,
     /// Shard-local set of each request in the run being drained, filled by
@@ -129,6 +135,7 @@ impl LlcShard {
             oracle_seen: U64Set::new(),
             profiler: cfg.profile_reuse.then(|| ReuseProfiler::new(total_sets)),
             qbs_cycles: 0,
+            lost_upgrades: 0,
             pf_cands: Vec::new(),
             set_scratch: Vec::new(),
             hit_lat: cfg.l1_latency + cfg.l2_latency + cfg.llc_latency,
@@ -187,6 +194,12 @@ impl LlcShard {
         self.qbs_cycles
     }
 
+    /// Write upgrades that missed the LLC directory (no invalidations
+    /// propagated; see `LlcShard::write_upgrade`).
+    pub fn lost_upgrades(&self) -> u64 {
+        self.lost_upgrades
+    }
+
     /// Clears statistics at the warmup boundary; cache contents, pair/D_PPN
     /// state and the DRAM channel stay.
     pub fn reset_stats(&mut self) {
@@ -205,6 +218,7 @@ impl LlcShard {
             self.profiler = Some(ReuseProfiler::new(total_sets));
         }
         self.qbs_cycles = 0;
+        self.lost_upgrades = 0;
     }
 
     /// Phase A: drains `reqs` (already sorted by key, all targeting this
@@ -429,18 +443,36 @@ impl LlcShard {
         m.set_state(state);
     }
 
+    /// Write-upgrade under the **LLC-directory-scoped** coherence contract
+    /// (docs/ARCHITECTURE.md §"Coherence semantics", identical in the
+    /// serial engine's `MemoryHierarchy::invalidate_remote`): the
+    /// non-inclusive LLC's directory is the sole authority for write
+    /// propagation. A written line that is not LLC-resident has no
+    /// directory entry, so *no* invalidations are propagated — any stale
+    /// private-tier copies persist until natural eviction or a later
+    /// upgrade after the directory re-learns its sharers. The deliberately
+    /// "lost" upgrade is counted so the coherence differential battery can
+    /// observe the path on both engines.
     fn write_upgrade(&mut self, r: &LlcRequest, set: usize, out: &mut DrainOut) {
-        let Some(m) = self.cache.peek_mut_at(set, r.line) else { return };
+        let Some(m) = self.cache.peek_mut_at(set, r.line) else {
+            self.lost_upgrades += 1;
+            return;
+        };
         Self::upgrade_frame(m, r, out);
     }
 
     /// [`LlcShard::write_upgrade`] on a frame whose way the caller just
-    /// resolved — no tag re-scan.
+    /// resolved — no tag re-scan (the fill re-established the directory
+    /// entry, so this path never loses the upgrade).
     fn write_upgrade_frame(&mut self, set: usize, way: usize, r: &LlcRequest, out: &mut DrainOut) {
         let m = self.cache.frame_mut(set, way);
         Self::upgrade_frame(m, r, out);
     }
 
+    /// The resident half of the contract: drop every other cluster from
+    /// the sharer mask, move the line to Modified, and emit one
+    /// [`InvalCmd`] carrying the displaced sharers (flowed back to the
+    /// private tiers at the barrier).
     fn upgrade_frame(mut m: LineMut<'_>, r: &LlcRequest, out: &mut DrainOut) {
         let others = m.sharers() & !(1 << r.cluster);
         if others == 0 {

@@ -43,6 +43,10 @@ pub struct MemoryHierarchy {
     qbs_cycles: u64,
     /// Coherence invalidations performed.
     invalidations: u64,
+    /// Write upgrades that found no LLC directory entry, so no
+    /// invalidations could be propagated (the LLC-directory-scoped
+    /// contract's miss path; see [`MemoryHierarchy::invalidate_remote`]).
+    lost_upgrades: u64,
     pf_buf: Vec<LineAddr>,
 }
 
@@ -100,6 +104,7 @@ impl MemoryHierarchy {
             cond: ConditionalMatrix::default(),
             qbs_cycles: 0,
             invalidations: 0,
+            lost_upgrades: 0,
             pf_buf: Vec::with_capacity(8),
             cfg: cfg.clone(),
         }
@@ -507,10 +512,22 @@ impl MemoryHierarchy {
         }
     }
 
-    /// Write from `cluster`: invalidate every other cluster's copies.
+    /// Write from `cluster`: invalidate every other cluster's copies,
+    /// under the **LLC-directory-scoped** coherence contract
+    /// (docs/ARCHITECTURE.md §"Coherence semantics", identical in the
+    /// parallel engine's `LlcShard::write_upgrade`): the non-inclusive
+    /// LLC's directory is the sole authority for write propagation. A
+    /// written line that is not LLC-resident has no directory entry, so
+    /// *no* invalidations are sent — stale private-tier copies persist
+    /// until natural eviction or a later upgrade after the directory
+    /// re-learns its sharers. The deliberately "lost" upgrade is counted
+    /// ([`MemoryHierarchy::lost_upgrades`]) so the miss path is observable.
     fn invalidate_remote(&mut self, line: LineAddr, cluster: usize) {
         use garibaldi_cache::MesiState;
-        let Some(mut m) = self.llc.peek_mut(line) else { return };
+        let Some(mut m) = self.llc.peek_mut(line) else {
+            self.lost_upgrades += 1;
+            return;
+        };
         let others = m.sharers() & !(1 << cluster);
         if others == 0 {
             m.set_state(MesiState::Modified);
@@ -563,6 +580,12 @@ impl MemoryHierarchy {
     /// Total coherence invalidations.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Write upgrades that missed the LLC directory (no invalidations
+    /// propagated; see `MemoryHierarchy::invalidate_remote`).
+    pub fn lost_upgrades(&self) -> u64 {
+        self.lost_upgrades
     }
 
     /// Cycles spent in QBS queries.
@@ -669,6 +692,7 @@ impl MemoryHierarchy {
         self.cond = ConditionalMatrix::default();
         self.qbs_cycles = 0;
         self.invalidations = 0;
+        self.lost_upgrades = 0;
     }
 }
 

@@ -215,7 +215,20 @@ impl SimRunner {
                     None => {
                         let program = &programs[name.as_str()];
                         let gen = match tid {
-                            Some(t) => TraceGenerator::new(program, walk_seed).with_private_cold(t),
+                            Some(t) => {
+                                // Sharing degree k > 0 partitions the
+                                // process's threads into hot-set groups of
+                                // k; 0 keeps the one process-wide hot
+                                // region (group 0 salts nothing, so
+                                // pre-family profiles stream unchanged).
+                                let group = match profile.sharing_degree as u64 {
+                                    0 => 0,
+                                    k => t / k,
+                                };
+                                TraceGenerator::new(program, walk_seed)
+                                    .with_private_cold(t)
+                                    .with_shared_group(group)
+                            }
                             None => TraceGenerator::new(program, walk_seed),
                         };
                         RecordSource::Gen(gen)

@@ -35,6 +35,7 @@ struct RefShard {
     gstats: GaribaldiStats,
     oracle_seen: U64Set,
     qbs_cycles: u64,
+    lost_upgrades: u64,
     pf_cands: Vec<LineAddr>,
     cfg: SystemConfig,
 }
@@ -65,6 +66,7 @@ impl RefShard {
             gstats: GaribaldiStats::default(),
             oracle_seen: U64Set::new(),
             qbs_cycles: 0,
+            lost_upgrades: 0,
             pf_cands: Vec::new(),
             cfg: cfg.clone(),
         }
@@ -223,8 +225,15 @@ impl RefShard {
         }
     }
 
+    /// LLC-directory-scoped write upgrade (the contract of
+    /// `LlcShard::write_upgrade` and the serial `invalidate_remote`): an
+    /// LLC miss has no directory entry, so the upgrade is counted as lost
+    /// and propagates nothing.
     fn write_upgrade(&mut self, r: &LlcRequest, out: &mut DrainOut) {
-        let Some(mut m) = self.cache.peek_mut(r.line) else { return };
+        let Some(mut m) = self.cache.peek_mut(r.line) else {
+            self.lost_upgrades += 1;
+            return;
+        };
         let others = m.sharers() & !(1 << r.cluster);
         if others == 0 {
             m.set_state(MesiState::Modified);
@@ -440,6 +449,7 @@ fn assert_same_state(
     prop_assert_eq!(sh.cache().stats(), rf.cache.stats(), "cache stats diverged");
     prop_assert_eq!(sh.dram().stats(), rf.dram.stats(), "dram stats diverged");
     prop_assert_eq!(sh.qbs_cycles(), rf.qbs_cycles, "qbs cycles diverged");
+    prop_assert_eq!(sh.lost_upgrades(), rf.lost_upgrades, "lost upgrades diverged");
     let mut a: Vec<u64> = sh.oracle_seen().iter().collect();
     let mut b: Vec<u64> = rf.oracle_seen.iter().collect();
     a.sort_unstable();

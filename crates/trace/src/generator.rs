@@ -30,12 +30,21 @@ pub struct TraceGenerator<'p> {
     iters_left: u32,
     cold_cursor: u64,
     cold_salt: u64,
+    /// VA offset applied to hot-region references: `group << 30` for a
+    /// walk in sharing group `group` (see
+    /// [`TraceGenerator::with_shared_group`]); 0 = the process-wide hot
+    /// region every walk shared historically.
+    hot_salt: u64,
     emitted: u64,
     /// Guaranteed data references per fetch (integer part of the profile's
     /// `data_refs_per_line`; hoisted out of the per-record path).
     refs_base: u32,
     /// Probability of one extra data reference (its fractional part).
     refs_extra_p: f64,
+    /// Write probability of a hot-region reference (the profile's
+    /// `shared_write_frac` when set, else its `write_frac`; hoisted out of
+    /// the per-reference path).
+    hot_write_p: f64,
     /// Per-record branch misprediction probability (from the profile's
     /// MPKI; constant per program, hoisted out of the per-record path).
     p_miss: f64,
@@ -62,9 +71,11 @@ impl<'p> TraceGenerator<'p> {
             iters_left,
             cold_cursor,
             cold_salt: 0,
+            hot_salt: 0,
             emitted: 0,
             refs_base: prof.data_refs_per_line as u32,
             refs_extra_p: prof.data_refs_per_line.fract(),
+            hot_write_p: prof.hot_write_frac(),
             p_miss: prof.branch_mpki * prof.instrs_per_line as f64 / 1000.0,
         }
     }
@@ -76,6 +87,23 @@ impl<'p> TraceGenerator<'p> {
     /// disjoint inside the shared address space.
     pub fn with_private_cold(mut self, thread_index: u64) -> Self {
         self.cold_salt = thread_index << 38;
+        self
+    }
+
+    /// Places this walk's hot-region addresses in sharing group `group`'s
+    /// copy of the hot set (a 1 GiB-strided VA offset, disjoint per group
+    /// for any realistic hot-region size and below the cold region's base
+    /// for well over the supported core counts).
+    ///
+    /// Walks of the same group touch *identical* hot addresses — the
+    /// shared-data working set the coherence machinery sees — while
+    /// different groups never overlap. Group 0 keeps the historical
+    /// process-wide hot region, so profiles without a sharing degree are
+    /// byte-identical to before the knob existed. The salt alters only the
+    /// emitted address, never an RNG draw, so a walk's control flow is
+    /// independent of its group.
+    pub fn with_shared_group(mut self, group: u64) -> Self {
+        self.hot_salt = group << 30;
         self
     }
 
@@ -112,15 +140,25 @@ impl<'p> TraceGenerator<'p> {
 
     fn gen_data_ref(&mut self, line_idx: u32) -> (garibaldi_types::VirtAddr, RwKind) {
         let prof = self.program.profile();
-        let rw = if self.rng.gen::<f64>() < prof.write_frac { RwKind::Write } else { RwKind::Read };
-        let va = match self.program.behavior(line_idx) {
+        // The behaviour lookup is pure, so choosing the write threshold per
+        // region ahead of the single read/write draw keeps the RNG stream
+        // identical to the one-threshold historical walk whenever the
+        // profile sets no `shared_write_frac`.
+        let behavior = self.program.behavior(line_idx);
+        let write_p = match behavior {
+            LineBehavior::Hot { .. } => self.hot_write_p,
+            LineBehavior::Cold => prof.write_frac,
+        };
+        let rw = if self.rng.gen::<f64>() < write_p { RwKind::Write } else { RwKind::Read };
+        let va = match behavior {
             LineBehavior::Hot { pairs, n } => {
-                if self.rng.gen::<f64>() < HOT_NOISE {
+                let hot = if self.rng.gen::<f64>() < HOT_NOISE {
                     self.program.hot_va(self.program.hot_zipf().sample(&mut self.rng) as u32)
                 } else {
                     let k = self.rng.gen_range(0..n as usize);
                     self.program.hot_va(pairs[k])
-                }
+                };
+                garibaldi_types::VirtAddr::new(hot.get() + self.hot_salt)
             }
             LineBehavior::Cold => {
                 let va = self.program.cold_va(self.cold_cursor);
@@ -262,6 +300,83 @@ mod tests {
         let total: u64 = v.iter().sum();
         let top100: u64 = v.iter().take(100).sum();
         assert!(top100 as f64 / total as f64 > 0.3, "hot data not concentrated");
+    }
+
+    #[test]
+    fn shared_group_shifts_hot_addresses_and_nothing_else() {
+        let prog = program("ocean");
+        let a: Vec<_> = TraceGenerator::new(&prog, 9).take(2_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&prog, 9).with_shared_group(3).take(2_000).collect();
+        assert_eq!(a.len(), b.len());
+        let hot_top = HOT_BASE + prog.profile().hot_data_lines * 64;
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.pc, rb.pc, "control flow is group-independent");
+            assert_eq!(ra.mispredict, rb.mispredict);
+            assert_eq!(ra.data_refs().len(), rb.data_refs().len());
+            for (da, db) in ra.data_refs().iter().zip(rb.data_refs()) {
+                assert_eq!(da.rw, db.rw);
+                if (HOT_BASE..hot_top).contains(&da.va.get()) {
+                    assert_eq!(db.va.get(), da.va.get() + (3 << 30), "hot refs shift by the salt");
+                } else {
+                    assert_eq!(da.va, db.va, "cold refs are untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_zero_is_the_identity() {
+        let prog = program("tpcc");
+        let a: Vec<_> = TraceGenerator::new(&prog, 12).take(1_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&prog, 12).with_shared_group(0).take(1_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_write_frac_splits_hot_and_cold_writer_mixes() {
+        // radix: hot refs write ~45 % of the time, cold refs ~30 %.
+        let prog = program("radix");
+        let swf = prog.profile().shared_write_frac.unwrap();
+        let wf = prog.profile().write_frac;
+        let (mut hot_w, mut hot_n, mut cold_w, mut cold_n) = (0u64, 0u64, 0u64, 0u64);
+        for rec in TraceGenerator::new(&prog, 13).take(60_000) {
+            for d in rec.data_refs() {
+                let w = (d.rw == RwKind::Write) as u64;
+                if d.va.get() < COLD_BASE {
+                    hot_w += w;
+                    hot_n += 1;
+                } else {
+                    cold_w += w;
+                    cold_n += 1;
+                }
+            }
+        }
+        let hot_frac = hot_w as f64 / hot_n as f64;
+        let cold_frac = cold_w as f64 / cold_n as f64;
+        assert!((hot_frac - swf).abs() < 0.02, "hot want≈{swf}, got {hot_frac}");
+        assert!((cold_frac - wf).abs() < 0.02, "cold want≈{wf}, got {cold_frac}");
+    }
+
+    #[test]
+    fn sharing_groups_are_disjoint_and_internally_identical_regions() {
+        let prog = program("barnes");
+        let hot_lines = prog.profile().hot_data_lines;
+        let hot_region = |g: u64| {
+            let base = HOT_BASE + (g << 30);
+            base..base + hot_lines * 64
+        };
+        for g in [0u64, 1, 7] {
+            let r = hot_region(g);
+            assert!(r.end <= COLD_BASE, "group {g} must stay below the cold region");
+            let gen = TraceGenerator::new(&prog, 21).with_shared_group(g);
+            for rec in gen.take(3_000) {
+                for d in rec.data_refs() {
+                    let a = d.va.get();
+                    assert!(r.contains(&a) || a >= COLD_BASE, "group {g}: stray address {a:#x}");
+                }
+            }
+        }
+        assert!(hot_region(0).end <= hot_region(1).start, "groups do not overlap");
     }
 
     #[test]

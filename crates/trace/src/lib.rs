@@ -36,7 +36,7 @@ pub mod vm;
 pub mod zipf;
 
 pub use generator::TraceGenerator;
-pub use mix::{random_server_mixes, server_spec_mix, WorkloadMix};
+pub use mix::{random_server_mixes, random_shared_mixes, server_spec_mix, WorkloadMix};
 pub use profiles::{WorkloadClass, WorkloadProfile};
 pub use program::SyntheticProgram;
 pub use record::{DataRef, TraceRecord, MAX_DATA_REFS};

@@ -56,6 +56,21 @@ pub fn random_server_mixes(n_mixes: usize, cores: usize, seed: u64) -> Vec<Workl
         .collect()
 }
 
+/// Draws `n_mixes` random multiprogrammed mixes of shared-data workloads
+/// (sampling with replacement from the SPLASH-2-style family), the
+/// coherence-battery analogue of [`random_server_mixes`]: heterogeneous
+/// placements of sharing groups across cores are what stress cross-shard
+/// invalidation routing.
+pub fn random_shared_mixes(n_mixes: usize, cores: usize, seed: u64) -> Vec<WorkloadMix> {
+    let names = registry::SHARED_NAMES;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a4e_d0c5);
+    (0..n_mixes)
+        .map(|_| WorkloadMix {
+            slots: (0..cores).map(|_| names[rng.gen_range(0..names.len())].to_string()).collect(),
+        })
+        .collect()
+}
+
 /// Builds a mix with `server_pct` percent of the cores running server
 /// workloads and the rest SPEC (Fig 15a). Slot assignment is deterministic
 /// in `seed`; server slots come first.
@@ -109,6 +124,19 @@ mod tests {
     #[test]
     fn different_seed_different_mixes() {
         assert_ne!(random_server_mixes(5, 8, 1), random_server_mixes(5, 8, 2));
+    }
+
+    #[test]
+    fn shared_mixes_draw_only_from_the_shared_family() {
+        let a = random_shared_mixes(4, 8, 3);
+        assert_eq!(a, random_shared_mixes(4, 8, 3), "deterministic per seed");
+        for m in &a {
+            assert_eq!(m.cores(), 8);
+            for s in &m.slots {
+                assert!(registry::SHARED_NAMES.contains(&s.as_str()), "{s}");
+            }
+        }
+        assert_ne!(random_shared_mixes(4, 8, 3), random_shared_mixes(4, 8, 4));
     }
 
     #[test]

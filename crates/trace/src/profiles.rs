@@ -64,6 +64,22 @@ pub struct WorkloadProfile {
     /// Fig 4c). When false — the common server case — hot data is reached
     /// from arbitrary (mostly cold) instruction lines.
     pub correlate_hot: bool,
+    /// Sharing-group size for the hot data region of a multithreaded
+    /// (server-class) run: 0 = every thread of the process shares the one
+    /// hot region (the historical behaviour, and the one all pre-existing
+    /// profiles keep); `k > 0` = threads are partitioned into groups of
+    /// `k` (`group = tid / k`), each group getting a private copy of the
+    /// hot region. Tuning the group size tunes the *sharing degree* of
+    /// the workload's shared working set.
+    #[serde(default)]
+    pub sharing_degree: u32,
+    /// Write fraction applied to hot-region (shared-data) references,
+    /// overriding `write_frac` there; `None` means hot and cold regions
+    /// use the same `write_frac` (again the historical behaviour). The
+    /// shared-data family sets this to model reader/writer mixes on the
+    /// contended set independently of the private streaming traffic.
+    #[serde(default)]
+    pub shared_write_frac: Option<f64>,
 }
 
 impl WorkloadProfile {
@@ -85,6 +101,12 @@ impl WorkloadProfile {
     /// True for server-class workloads.
     pub fn is_server(&self) -> bool {
         self.class == WorkloadClass::Server
+    }
+
+    /// Write fraction for hot-region references: `shared_write_frac` when
+    /// set (the shared-data family's reader/writer mix), else `write_frac`.
+    pub fn hot_write_frac(&self) -> f64 {
+        self.shared_write_frac.unwrap_or(self.write_frac)
     }
 
     /// Returns a copy with all footprints (text, hot, cold) scaled by `f`.
@@ -136,6 +158,11 @@ impl WorkloadProfile {
         if self.func_zipf < 0.0 || self.hot_zipf < 0.0 {
             return Err(format!("{}: negative zipf exponent", self.name));
         }
+        if let Some(f) = self.shared_write_frac {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("{}: shared_write_frac out of [0,1]", self.name));
+            }
+        }
         Ok(())
     }
 }
@@ -168,5 +195,31 @@ mod tests {
         let p = registry::by_name("verilator").unwrap();
         assert_eq!(p.text_lines(), p.n_funcs as u64 * p.lines_per_func as u64);
         assert_eq!(p.instr_footprint_bytes(), p.text_lines() * 64);
+    }
+
+    #[test]
+    fn hot_write_frac_defaults_to_write_frac() {
+        let p = registry::by_name("tpcc").unwrap();
+        assert_eq!(p.shared_write_frac, None);
+        assert_eq!(p.hot_write_frac(), p.write_frac);
+        let s = registry::by_name("radix").unwrap();
+        assert_eq!(s.hot_write_frac(), s.shared_write_frac.unwrap());
+        assert_ne!(s.hot_write_frac(), s.write_frac);
+    }
+
+    #[test]
+    fn shared_write_frac_is_range_checked() {
+        let mut p = registry::by_name("barnes").unwrap().clone();
+        p.validate().unwrap();
+        p.shared_write_frac = Some(1.5);
+        assert!(p.validate().unwrap_err().contains("shared_write_frac"));
+    }
+
+    #[test]
+    fn scaling_preserves_sharing_parameters() {
+        let p = registry::by_name("ocean").unwrap().scaled(0.25);
+        let o = registry::by_name("ocean").unwrap();
+        assert_eq!(p.sharing_degree, o.sharing_degree);
+        assert_eq!(p.shared_write_frac, o.shared_write_frac);
     }
 }

@@ -39,6 +39,15 @@ pub const SERVER_NAMES: [&str; 16] = [
 /// SPEC comparator workload names (Fig 1 top, Fig 3, Fig 15a mixtures).
 pub const SPEC_NAMES: [&str; 8] = ["gcc", "gobmk", "bwaves", "lbm", "cam4", "wrf", "bzip2", "mcf"];
 
+/// Shared-data multithreaded workload names (SPLASH-2-style scientific
+/// kernels). Unlike the Table 3 server population — whose threads share
+/// text and hot data but are dominated by private streaming — these are
+/// parameterised to *stress* the coherence path: every thread's sharing
+/// group hammers a common hot set with a tuned reader/writer mix, so
+/// cross-cluster invalidations and directory traffic become first-order
+/// effects (ROADMAP item 3(c)).
+pub const SHARED_NAMES: [&str; 4] = ["barnes", "ocean", "radix", "raytrace"];
+
 #[allow(clippy::too_many_arguments)]
 fn mk(
     name: &str,
@@ -73,7 +82,18 @@ fn mk(
         instrs_per_line: 8,
         pairs_per_line: 2,
         correlate_hot,
+        sharing_degree: 0,
+        shared_write_frac: None,
     }
+}
+
+/// Marks a profile as a shared-data family member: threads partition into
+/// sharing groups of `degree` (0 = one process-wide group) and hot-region
+/// references use `shared_write_frac` instead of `write_frac`.
+fn shared(mut p: WorkloadProfile, degree: u32, shared_write_frac: f64) -> WorkloadProfile {
+    p.sharing_degree = degree;
+    p.shared_write_frac = Some(shared_write_frac);
+    p
 }
 
 fn build_all() -> Vec<WorkloadProfile> {
@@ -183,6 +203,52 @@ fn build_all() -> Vec<WorkloadProfile> {
             false,
         ),
         mk("xalan", Server, 1_200, 36, 1.00, 3, 24_000, 1.05, 100_000, 0.60, 0.65, 0.20, 6.0, true),
+        // ---- shared-data multithreaded family (SPLASH-2-style) ----------
+        // barnes: n-body tree walk — groups of 3 threads share a mid-size,
+        // read-mostly body set (low shared write fraction, rare upgrades).
+        // Degree 3 deliberately straddles the 4-core L2 cluster boundary,
+        // so even a homogeneous barnes run drives cross-cluster
+        // invalidations (a degree of 4 would nest every group inside one
+        // cluster and leave the directory idle).
+        shared(
+            mk(
+                "barnes", Server, 500, 28, 0.80, 4, 16_000, 0.95, 60_000, 0.70, 0.70, 0.25, 5.0,
+                false,
+            ),
+            3,
+            0.10,
+        ),
+        // ocean: grid solver — groups of 8 share a larger stencil halo with
+        // a substantial writer mix (steady invalidation churn).
+        shared(
+            mk(
+                "ocean", Server, 450, 30, 0.75, 6, 28_000, 0.85, 200_000, 0.65, 0.90, 0.30, 4.0,
+                false,
+            ),
+            8,
+            0.30,
+        ),
+        // radix: parallel sort — every thread shares one small histogram
+        // region and nearly half the shared references are writes: the
+        // maximum-contention point of the family.
+        shared(
+            mk(
+                "radix", Server, 300, 24, 0.90, 8, 6_000, 1.10, 300_000, 0.60, 0.85, 0.30, 3.0,
+                false,
+            ),
+            0,
+            0.45,
+        ),
+        // raytrace: shared scene graph — process-wide read-mostly sharing
+        // over a large hot set (wide sharer masks, few upgrades).
+        shared(
+            mk(
+                "raytrace", Server, 600, 32, 0.70, 3, 40_000, 0.90, 150_000, 0.75, 0.75, 0.20, 6.0,
+                false,
+            ),
+            0,
+            0.05,
+        ),
         // ---- SPEC comparators -------------------------------------------
         mk("gcc", Spec, 160, 24, 1.40, 10, 40_000, 0.90, 600_000, 0.50, 1.00, 0.30, 9.0, false),
         mk("gobmk", Spec, 120, 24, 1.30, 12, 30_000, 1.00, 150_000, 0.55, 0.80, 0.25, 13.0, false),
@@ -200,7 +266,7 @@ fn all() -> &'static [WorkloadProfile] {
     ALL.get_or_init(build_all)
 }
 
-/// All registered profiles (16 server + 8 SPEC).
+/// All registered profiles (16 server + 4 shared-data + 8 SPEC).
 pub fn all_workloads() -> &'static [WorkloadProfile] {
     all()
 }
@@ -220,6 +286,11 @@ pub fn spec_workloads() -> Vec<&'static WorkloadProfile> {
     SPEC_NAMES.iter().map(|n| by_name(n).expect("registry complete")).collect()
 }
 
+/// The shared-data multithreaded profiles ([`SHARED_NAMES`] order).
+pub fn shared_workloads() -> Vec<&'static WorkloadProfile> {
+    SHARED_NAMES.iter().map(|n| by_name(n).expect("registry complete")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,8 +299,9 @@ mod tests {
     fn registry_has_all_names() {
         assert_eq!(server_workloads().len(), 16);
         assert_eq!(spec_workloads().len(), 8);
-        assert_eq!(all_workloads().len(), 24);
-        for n in SERVER_NAMES.iter().chain(SPEC_NAMES.iter()) {
+        assert_eq!(shared_workloads().len(), 4);
+        assert_eq!(all_workloads().len(), 28);
+        for n in SERVER_NAMES.iter().chain(SPEC_NAMES.iter()).chain(SHARED_NAMES.iter()) {
             assert!(by_name(n).is_some(), "missing {n}");
         }
     }
@@ -247,6 +319,29 @@ mod tests {
         for p in spec_workloads() {
             assert_eq!(p.class, WorkloadClass::Spec, "{}", p.name);
         }
+        // The shared family rides the server-class plumbing: threads of one
+        // process share an address space, which is what makes the hot set a
+        // genuinely shared (coherence-visible) working set.
+        for p in shared_workloads() {
+            assert_eq!(p.class, WorkloadClass::Server, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn shared_family_has_sharing_parameters_and_nobody_else_does() {
+        for p in shared_workloads() {
+            assert!(p.shared_write_frac.is_some(), "{} missing reader/writer mix", p.name);
+        }
+        for p in server_workloads().iter().chain(spec_workloads().iter()) {
+            assert_eq!(p.sharing_degree, 0, "{}", p.name);
+            assert_eq!(p.shared_write_frac, None, "{} must keep legacy streams", p.name);
+        }
+        // The family spans the sharing-degree axis: grouped and process-wide.
+        assert!(shared_workloads().iter().any(|p| p.sharing_degree > 0));
+        assert!(shared_workloads().iter().any(|p| p.sharing_degree == 0));
+        // And the reader/writer axis: a write-heavy and a read-mostly point.
+        assert!(by_name("radix").unwrap().shared_write_frac.unwrap() > 0.4);
+        assert!(by_name("raytrace").unwrap().shared_write_frac.unwrap() < 0.1);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   (default `5000,20000,50000,100000,250000`);
 //! - `GARIBALDI_FID_MIXES` — mini-Fig 11 mix count (default 3);
 //! - `GARIBALDI_FID_WORKLOADS` — mini-Fig 12 workload count (default 4);
+//! - `GARIBALDI_SYNC_EVERY` / `GARIBALDI_TRAIN_MODE` — sweep an
+//!   off-default learned-sync cadence / the async training mode
+//!   (`docs/fidelity/` commits one report per studied value);
 //! - `GARIBALDI_FULL=1` — sweep at the default figure scale instead of
 //!   the shortened fidelity scale (slow).
 
@@ -55,6 +58,18 @@ fn main() {
     // optimistic rows are cadence-independent and stay shared).
     if let Some(k) = garibaldi_sim::config::env_positive("GARIBALDI_SYNC_EVERY") {
         suite.sync_every = k;
+    }
+    // Training-mode axis: GARIBALDI_TRAIN_MODE=async sweeps the whole
+    // parallel grid under asynchronous training (every engine tag grows
+    // an `-async` suffix, so async rows never collide with sync rows in
+    // the checkpoint or the report).
+    if let Some(m) = garibaldi_sim::TrainMode::parse(
+        "GARIBALDI_TRAIN_MODE",
+        std::env::var("GARIBALDI_TRAIN_MODE").ok().as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+    {
+        suite.train_mode = m;
     }
     let jobs = suite.jobs();
     println!(

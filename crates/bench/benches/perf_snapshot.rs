@@ -20,7 +20,7 @@
 //! snapshots from the same host class only.
 
 use garibaldi_bench::*;
-use garibaldi_sim::{EngineStats, EstimatorKind};
+use garibaldi_sim::{EngineStats, EstimatorKind, TrainMode};
 use garibaldi_trace::{random_shared_mixes, WorkloadMix};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -30,6 +30,7 @@ use std::time::Instant;
 struct EngineLeg {
     estimator: EstimatorKind,
     sync_every: usize,
+    train_mode: TrainMode,
     stats: EngineStats,
     harmonic_mean_ipc: f64,
 }
@@ -48,30 +49,41 @@ fn reference_runner(records: u64, warmup: u64) -> (SimRunner, u64, u64) {
     (SimRunner::new(cfg, WorkloadMix { slots }, 42), records, warmup)
 }
 
-fn run_leg(runner: &SimRunner, records: u64, warmup: u64, estimator: EstimatorKind) -> EngineLeg {
-    let eng = EngineConfig { estimator, ..EngineConfig::default() };
+fn run_leg(
+    runner: &SimRunner,
+    records: u64,
+    warmup: u64,
+    estimator: EstimatorKind,
+    train_mode: TrainMode,
+) -> EngineLeg {
+    let eng = EngineConfig { estimator, train_mode, ..EngineConfig::default() };
     let (result, stats) = runner.run_parallel_stats(records, warmup, &eng);
     println!(
-        "[perf] {}{} wall={:.3}s step={:.3}s drain={:.3}s apply={:.3}s serial={:.3}s \
-         epochs={} syncs={} hmean-ipc={:.4}",
+        "[perf] {}{}{} wall={:.3}s step={:.3}s drain={:.3}s merge={:.3}s apply={:.3}s \
+         serial={:.3}s epochs={} syncs={} merge-bg={:.3}s lag={} hmean-ipc={:.4}",
         estimator.label(),
         if estimator == EstimatorKind::Ewma {
             format!(" k={}", eng.sync_every)
         } else {
             String::new()
         },
+        if train_mode == TrainMode::Async { " async" } else { "" },
         stats.wall_s,
         stats.step_s,
         stats.drain_s,
+        stats.merge_s,
         stats.apply_s,
         stats.serial_s,
         stats.epochs,
         stats.learned_syncs,
+        stats.merge_bg_s,
+        stats.publish_lag,
         result.harmonic_mean_ipc(),
     );
     EngineLeg {
         estimator,
         sync_every: eng.sync_every,
+        train_mode,
         stats,
         harmonic_mean_ipc: result.harmonic_mean_ipc(),
     }
@@ -382,6 +394,44 @@ fn micro_benches() -> Vec<(&'static str, f64)> {
         out.push(("apply_cmds_run", ns_per_iter(|| shard.apply_cmds(&cmds, snap))));
     }
 
+    // Learned-state merge (the unit of work the async training mode lifts
+    // off the barrier critical path): pool eight divergently trained
+    // Mockingjay predictors' privatized exports into one consensus. One
+    // iteration ≈ one sync's merge under the 8-shard default geometry.
+    {
+        let n_shards = 8usize;
+        let peers: Vec<SetAssocCache> = (0..n_shards as u64)
+            .map(|i| {
+                let mut c =
+                    SetAssocCache::new(CacheConfig::new("merge", 64, 8), PolicyKind::Mockingjay);
+                let mut state = 0x9e37_79b9u64.wrapping_mul(i + 1) | 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for _ in 0..4_000 {
+                    let la = LineAddr::new(next() % 2_048);
+                    let ctx = AccessCtx::data(la, 0x40_0000 + (next() % 256) * 4);
+                    if !c.access(&ctx, false) {
+                        c.insert(la, &ctx, false);
+                    }
+                }
+                c
+            })
+            .collect();
+        let exports: Vec<Vec<u32>> = peers.iter().map(|c| c.export_policy_learned()).collect();
+        let mut merged = Vec::new();
+        out.push((
+            "learned_merge_run",
+            ns_per_iter(|| {
+                peers[0].merge_policy_learned(&exports, &mut merged);
+                merged.len()
+            }),
+        ));
+    }
+
     for (name, ns) in &out {
         println!("[perf] {name:<36} {ns:>10.1} ns/iter");
     }
@@ -407,10 +457,17 @@ fn main() {
     );
 
     let (runner, records, warmup) = reference_runner(records, warmup);
-    let legs: Vec<EngineLeg> = [EstimatorKind::Optimistic, EstimatorKind::Ewma]
-        .into_iter()
-        .map(|e| run_leg(&runner, records, warmup, e))
-        .collect();
+    // Three reference rows: the Optimistic floor, the ewma profile under
+    // synchronous training (the PR 8 number), and the same profile with
+    // asynchronous training — the row the learned-merge overlap moves.
+    let legs: Vec<EngineLeg> = [
+        (EstimatorKind::Optimistic, TrainMode::Sync),
+        (EstimatorKind::Ewma, TrainMode::Sync),
+        (EstimatorKind::Ewma, TrainMode::Async),
+    ]
+    .into_iter()
+    .map(|(e, m)| run_leg(&runner, records, warmup, e, m))
+    .collect();
     let shared = shared_reference(records, warmup);
     let micro = micro_benches();
 
@@ -429,18 +486,23 @@ fn main() {
         let s = &leg.stats;
         let _ = writeln!(
             json,
-            "    {{\"estimator\": \"{}\", \"sync_every\": {}, \"wall_s\": {}, \
-             \"step_s\": {}, \"drain_s\": {}, \"apply_s\": {}, \"serial_s\": {}, \
-             \"epochs\": {}, \"learned_syncs\": {}, \"harmonic_mean_ipc\": {}}}{}",
+            "    {{\"estimator\": \"{}\", \"sync_every\": {}, \"train_mode\": \"{}\", \
+             \"wall_s\": {}, \"step_s\": {}, \"drain_s\": {}, \"merge_s\": {}, \
+             \"apply_s\": {}, \"serial_s\": {}, \"epochs\": {}, \"learned_syncs\": {}, \
+             \"merge_bg_s\": {}, \"publish_lag\": {}, \"harmonic_mean_ipc\": {}}}{}",
             leg.estimator.label(),
             leg.sync_every,
+            leg.train_mode.label(),
             json_num(s.wall_s),
             json_num(s.step_s),
             json_num(s.drain_s),
+            json_num(s.merge_s),
             json_num(s.apply_s),
             json_num(s.serial_s),
             s.epochs,
             s.learned_syncs,
+            json_num(s.merge_bg_s),
+            s.publish_lag,
             json_num(leg.harmonic_mean_ipc),
             if i + 1 < legs.len() { "," } else { "" },
         );

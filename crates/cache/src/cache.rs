@@ -499,6 +499,21 @@ impl SetAssocCache {
         self.policy.as_dyn_mut().import_learned(peers);
     }
 
+    /// Computes the consensus of same-policy `peers` exports into `out`
+    /// without mutating any state (see
+    /// [`ReplacementPolicy::merge_learned`]). Pure in the exports, so one
+    /// peer's merge can be installed into every slice.
+    pub fn merge_policy_learned(&self, peers: &[Vec<u32>], out: &mut Vec<u32>) {
+        self.policy.as_dyn().merge_learned(peers, out);
+    }
+
+    /// Installs a consensus table computed by
+    /// [`SetAssocCache::merge_policy_learned`] (see
+    /// [`ReplacementPolicy::install_learned`]).
+    pub fn install_policy_learned(&mut self, merged: &[u32]) {
+        self.policy.as_dyn_mut().install_learned(merged);
+    }
+
     /// Set index of a line (local to this cache/shard).
     ///
     /// For shard views the caller must only present lines whose global set

@@ -115,7 +115,7 @@ impl ReplacementPolicy for Drrip {
         out.push(self.psel.get());
     }
 
-    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+    fn merge_learned(&self, peers: &[Vec<u32>], out: &mut Vec<u32>) {
         // PSEL trains by ±1 steps, so the pooled equivalent of one
         // globally-dueled counter is the sum of every slice's training
         // deltas since the last sync applied to the shared baseline (every
@@ -124,6 +124,7 @@ impl ReplacementPolicy for Drrip {
         // exports). Each shard sees only its slice of the leader sets, so
         // without this merge every shard duels on a fraction of the
         // samples and followers can disagree with the serial engine.
+        out.clear();
         let base = self.synced as i64;
         let mut delta = 0i64;
         for p in peers {
@@ -131,9 +132,14 @@ impl ReplacementPolicy for Drrip {
                 delta += v as i64 - base;
             }
         }
-        let merged = (base + delta).clamp(0, self.psel.max() as i64) as u32;
-        self.psel.set(merged);
-        self.synced = merged;
+        out.push((base + delta).clamp(0, self.psel.max() as i64) as u32);
+    }
+
+    fn install_learned(&mut self, merged: &[u32]) {
+        if let Some(&v) = merged.first() {
+            self.psel.set(v);
+            self.synced = v;
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -232,7 +232,7 @@ impl ReplacementPolicy for Hawkeye {
         out.extend(self.predictor.iter().map(|c| c.get()));
     }
 
-    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+    fn merge_learned(&self, peers: &[Vec<u32>], out: &mut Vec<u32>) {
         // The predictor trains by ±1 steps, so the pooled equivalent of
         // one globally-trained table is the *sum of every slice's
         // training deltas* since the last sync, applied to the shared
@@ -240,7 +240,9 @@ impl ReplacementPolicy for Hawkeye {
         // All peers share the same baseline (every sync installs the same
         // values everywhere), so the merge stays a pure function of the
         // exports.
-        for (i, c) in self.predictor.iter_mut().enumerate() {
+        out.clear();
+        out.reserve(self.predictor.len());
+        for (i, c) in self.predictor.iter().enumerate() {
             let base = self.synced[i] as i64;
             let mut delta = 0i64;
             for p in peers {
@@ -248,9 +250,14 @@ impl ReplacementPolicy for Hawkeye {
                     delta += v as i64 - base;
                 }
             }
-            let merged = (base + delta).clamp(0, c.max() as i64) as u32;
-            c.set(merged);
-            self.synced[i] = merged;
+            out.push((base + delta).clamp(0, c.max() as i64) as u32);
+        }
+    }
+
+    fn install_learned(&mut self, merged: &[u32]) {
+        for (i, &v) in merged.iter().enumerate().take(self.predictor.len()) {
+            self.predictor[i].set(v);
+            self.synced[i] = v;
         }
     }
 

@@ -236,13 +236,18 @@ impl ReplacementPolicy for Mockingjay {
         out.extend_from_slice(&self.rdp);
     }
 
-    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+    fn merge_learned(&self, peers: &[Vec<u32>], out: &mut Vec<u32>) {
         // Per entry: slices that never trained a PC abstain; among trained
         // slices, SCAN wins only by majority (a stray aged-out sample in
         // one slice must not force global bypassing), otherwise the
         // finite observations average — the pooled estimate a single
-        // unsharded RDP would converge to.
-        for (i, entry) in self.rdp.iter_mut().enumerate() {
+        // unsharded RDP would converge to. A PC no slice trained merges
+        // to RDP_UNTRAINED, which is exactly the local state of every
+        // peer (each peer's own export is among `peers`), so installing
+        // the merge keeps untrained entries untrained.
+        out.clear();
+        out.reserve(self.rdp.len());
+        for i in 0..self.rdp.len() {
             let mut scans = 0u32;
             let mut finite = 0u64;
             let mut sum = 0u64;
@@ -256,14 +261,19 @@ impl ReplacementPolicy for Mockingjay {
                     }
                 }
             }
-            if finite == 0 && scans == 0 {
-                continue; // nowhere trained: keep the local (untrained) state
-            }
-            *entry = if scans as u64 > finite {
+            out.push(if finite == 0 && scans == 0 {
+                RDP_UNTRAINED
+            } else if scans as u64 > finite {
                 SCAN_DISTANCE
             } else {
                 ((sum + finite / 2) / finite) as u32
-            };
+            });
+        }
+    }
+
+    fn install_learned(&mut self, merged: &[u32]) {
+        for (e, &v) in self.rdp.iter_mut().zip(merged) {
+            *e = v;
         }
     }
 

@@ -63,9 +63,11 @@ impl PolicyCtx {
 ///
 /// Way-level state is the policy's own responsibility; the cache only
 /// reports events. This trait is object-safe: caches hold
-/// `Box<dyn ReplacementPolicy + Send>` so experiments can select policies
-/// at runtime.
-pub trait ReplacementPolicy: Send {
+/// `Box<dyn ReplacementPolicy + Send + Sync>` so experiments can select
+/// policies at runtime. The `Sync` bound lets the parallel engine read a
+/// shard's policy (e.g. [`ReplacementPolicy::merge_learned`]) from a merge
+/// worker while other threads step unrelated private tiers.
+pub trait ReplacementPolicy: Send + Sync {
     /// Called when `line` is filled into `(set, way)`.
     fn on_insert(&mut self, set: usize, way: usize, ctx: &PolicyCtx);
 
@@ -109,14 +111,39 @@ pub trait ReplacementPolicy: Send {
     /// lets every slice converge on the pooled statistics.
     fn export_learned(&self, _out: &mut Vec<u32>) {}
 
-    /// Installs a deterministic consensus of `peers` — the
+    /// Computes the deterministic consensus of `peers` — the
     /// [`ReplacementPolicy::export_learned`] tables of same-policy
     /// instances over disjoint set slices, in slice order (this
-    /// instance's own export included). Every peer that applies the same
-    /// `peers` input must end with the same learned table, regardless of
-    /// which peer it is — the merge is a pure function of the exports.
-    /// No-op by default.
-    fn import_learned(&mut self, _peers: &[Vec<u32>]) {}
+    /// instance's own export included) — into `out` (cleared first),
+    /// without mutating any state. The merge is a *pure function of the
+    /// exports*: every peer fed the same `peers` computes the same bytes,
+    /// because the per-peer baselines the delta-sum policies subtract are
+    /// installed identically everywhere at every sync. That purity is
+    /// what lets the epoch engine compute the merge once (or off-thread)
+    /// and [`ReplacementPolicy::install_learned`] the result into every
+    /// slice. Policies with no learned tables (the default) leave `out`
+    /// empty.
+    fn merge_learned(&self, _peers: &[Vec<u32>], out: &mut Vec<u32>) {
+        out.clear();
+    }
+
+    /// Installs a consensus table previously computed by
+    /// [`ReplacementPolicy::merge_learned`] — in export layout — as this
+    /// instance's learned state and next delta baseline. No-op by
+    /// default.
+    fn install_learned(&mut self, _merged: &[u32]) {}
+
+    /// Merges `peers` and installs the result in one step — the PR 4
+    /// synchronous-sync entry point, kept as the
+    /// merge-then-install composition so a policy only implements the
+    /// two halves.
+    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+        let mut merged = Vec::new();
+        self.merge_learned(peers, &mut merged);
+        if !merged.is_empty() {
+            self.install_learned(&merged);
+        }
+    }
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;

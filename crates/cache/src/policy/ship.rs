@@ -100,13 +100,15 @@ impl ReplacementPolicy for Ship {
         out.extend(self.shct.iter().map(|c| c.get()));
     }
 
-    fn import_learned(&mut self, peers: &[Vec<u32>]) {
+    fn merge_learned(&self, peers: &[Vec<u32>], out: &mut Vec<u32>) {
         // The SHCT trains by ±1 steps, so the pooled equivalent of one
         // globally-trained table is the sum of every slice's training
         // deltas since the last sync, applied to the shared baseline (all
         // peers install the same values at every sync, so the baseline is
         // common and the merge is a pure function of the exports).
-        for (i, c) in self.shct.iter_mut().enumerate() {
+        out.clear();
+        out.reserve(self.shct.len());
+        for (i, c) in self.shct.iter().enumerate() {
             let base = self.synced[i] as i64;
             let mut delta = 0i64;
             for p in peers {
@@ -114,9 +116,14 @@ impl ReplacementPolicy for Ship {
                     delta += v as i64 - base;
                 }
             }
-            let merged = (base + delta).clamp(0, c.max() as i64) as u32;
-            c.set(merged);
-            self.synced[i] = merged;
+            out.push((base + delta).clamp(0, c.max() as i64) as u32);
+        }
+    }
+
+    fn install_learned(&mut self, merged: &[u32]) {
+        for (i, &v) in merged.iter().enumerate().take(self.shct.len()) {
+            self.shct[i].set(v);
+            self.synced[i] = v;
         }
     }
 

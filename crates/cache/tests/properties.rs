@@ -4,6 +4,39 @@ use garibaldi_cache::{AccessCtx, CacheConfig, MshrQueue, PolicyKind, SatCounter,
 use garibaldi_types::LineAddr;
 use proptest::prelude::*;
 
+/// Drives `cache` through a seeded pseudo-random access/insert stream so
+/// its policy accumulates learned state (PSEL duels, SHCT/predictor PC
+/// counters, RDP reuse samples). Deterministic in `seed`.
+fn train_policy(cache: &mut SetAssocCache, seed: u64, n: usize) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let line = next() % 256;
+        let pc = 0x40_0000 + (next() % 64) * 4;
+        let la = LineAddr::new(line);
+        let ctx = AccessCtx::data(la, pc);
+        if !cache.access(&ctx, false) {
+            cache.insert(la, &ctx, false);
+        }
+    }
+}
+
+/// Seeded Fisher–Yates (the vendored proptest has no `prop_shuffle`).
+fn shuffle(order: &mut [usize], seed: u64) {
+    let mut state = seed | 1;
+    for i in (1..order.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+}
+
 proptest! {
     /// Occupancy never exceeds capacity and resident lines are findable,
     /// under arbitrary access/insert/invalidate sequences, for every policy.
@@ -87,6 +120,91 @@ proptest! {
             let (delay, completion) = q.admit(now, service);
             prop_assert_eq!(completion, now + delay + service);
             prop_assert!(q.in_flight(now) <= cap);
+        }
+    }
+
+    /// Learned-state merges are commutative: the pooled consensus is
+    /// byte-invariant under any permutation of the privatized per-shard
+    /// exports, for every policy. Delta policies fold a sum over peer
+    /// deltas (commutative by construction), Mockingjay counts votes per
+    /// entry; either way the engine may merge shard exports in any
+    /// enumeration order — fixed shard order is a convention, not a
+    /// correctness requirement. Also asserts the merge is pure: computing
+    /// it must not move the merging cache's own exportable state.
+    #[test]
+    fn learned_merge_is_permutation_invariant(
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        n_peers in 2usize..6,
+        seed in 1u64..u64::MAX,
+        perm_seed in 1u64..u64::MAX,
+    ) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let mut caches: Vec<SetAssocCache> = (0..n_peers)
+            .map(|i| {
+                let mut c = SetAssocCache::new(CacheConfig::new("m", 8, 4), kind);
+                train_policy(&mut c, seed.wrapping_add(i as u64 * 0x9e37), 300);
+                c
+            })
+            .collect();
+        let exports: Vec<Vec<u32>> = caches.iter().map(|c| c.export_policy_learned()).collect();
+
+        let before = caches[0].export_policy_learned();
+        let mut canonical = Vec::new();
+        caches[0].merge_policy_learned(&exports, &mut canonical);
+        prop_assert_eq!(&caches[0].export_policy_learned(), &before, "{}: merge mutated state", kind);
+
+        let mut order: Vec<usize> = (0..n_peers).collect();
+        shuffle(&mut order, perm_seed);
+        let permuted: Vec<Vec<u32>> = order.iter().map(|&i| exports[i].clone()).collect();
+        let mut shuffled = Vec::new();
+        caches[0].merge_policy_learned(&permuted, &mut shuffled);
+        prop_assert_eq!(&shuffled, &canonical, "{}: merge depends on peer order {:?}", kind, order);
+
+        // Every peer computes the same consensus (baselines only move at
+        // installs, which land identically everywhere) — the invariant
+        // that lets the engine merge once and install the result into
+        // every shard.
+        for (i, c) in caches.iter_mut().enumerate() {
+            let mut m = Vec::new();
+            c.merge_policy_learned(&exports, &mut m);
+            prop_assert_eq!(&m, &canonical, "{}: peer {} computed a different consensus", kind, i);
+        }
+    }
+
+    /// After every peer installs the same consensus, their exportable
+    /// learned states are byte-identical — divergently-trained slices
+    /// reconverge at each sync, and `import_learned` (merge + install) is
+    /// indistinguishable from a separately computed merge followed by
+    /// `install_learned`.
+    #[test]
+    fn learned_install_reconverges_divergent_peers(
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        n_peers in 2usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let mut caches: Vec<SetAssocCache> = (0..n_peers)
+            .map(|i| {
+                let mut c = SetAssocCache::new(CacheConfig::new("r", 8, 4), kind);
+                train_policy(&mut c, seed.wrapping_add(i as u64 * 0x51ed), 300);
+                c
+            })
+            .collect();
+        let exports: Vec<Vec<u32>> = caches.iter().map(|c| c.export_policy_learned()).collect();
+        let mut consensus = Vec::new();
+        caches[0].merge_policy_learned(&exports, &mut consensus);
+
+        // Half the peers take the composed path, half the split path.
+        for (i, c) in caches.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                c.import_policy_learned(&exports);
+            } else if !consensus.is_empty() {
+                c.install_policy_learned(&consensus);
+            }
+        }
+        let after: Vec<Vec<u32>> = caches.iter().map(|c| c.export_policy_learned()).collect();
+        for (i, a) in after.iter().enumerate().skip(1) {
+            prop_assert_eq!(a, &after[0], "{}: peer {} did not reconverge", kind, i);
         }
     }
 

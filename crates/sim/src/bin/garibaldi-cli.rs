@@ -32,6 +32,13 @@
 //!                            sync; like GARIBALDI_SYNC_EVERY; no effect
 //!                            under the optimistic estimator, where no
 //!                            sync runs)
+//!   --train-mode MODE        learned-state training mode: sync|async
+//!                            (default sync). async takes the merge off
+//!                            the barrier critical path (overlapped with
+//!                            the next epoch's step phase, installed one
+//!                            barrier late) and privatizes pair-table
+//!                            confidence updates per source shard; like
+//!                            GARIBALDI_TRAIN_MODE
 //!   --dump-trace PATH        write the per-core record streams to PATH and
 //!                            exit (replayable across schemes and engines)
 //!   --replay PATH            replay streams dumped with --dump-trace
@@ -45,7 +52,7 @@
 
 use garibaldi_cache::PolicyKind;
 use garibaldi_sim::{
-    EngineConfig, EstimatorKind, ExperimentScale, LlcScheme, SimRunner, SystemConfig,
+    EngineConfig, EstimatorKind, ExperimentScale, LlcScheme, SimRunner, SystemConfig, TrainMode,
 };
 use garibaldi_trace::{registry, serial, WorkloadMix};
 
@@ -81,6 +88,7 @@ struct Args {
     /// (mirrors the `GARIBALDI_ESTIMATOR` precedence rule).
     estimator: Option<EstimatorKind>,
     sync_every: usize,
+    train_mode: TrainMode,
     dump_trace: Option<String>,
     replay: Option<String>,
 }
@@ -103,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
         epoch: defaults.epoch_cycles,
         estimator: None,
         sync_every: defaults.sync_every,
+        train_mode: defaults.train_mode,
         dump_trace: None,
         replay: None,
     };
@@ -136,6 +145,10 @@ fn parse_args() -> Result<Args, String> {
                     Some(&val("--sync-every")?),
                 )?
                 .expect("value present");
+            }
+            "--train-mode" => {
+                a.train_mode = TrainMode::parse("--train-mode", Some(&val("--train-mode")?))?
+                    .expect("value present");
             }
             "--dump-trace" => a.dump_trace = Some(val("--dump-trace")?),
             "--replay" => a.replay = Some(val("--replay")?),
@@ -236,6 +249,7 @@ fn main() {
         llc_shards: args.shards,
         estimator: args.estimator.unwrap_or_default(),
         sync_every: args.sync_every,
+        train_mode: args.train_mode,
     };
     let replay_streams = args.replay.as_ref().map(|path| {
         let bytes = std::fs::read(path).unwrap_or_else(|e| {
@@ -256,10 +270,11 @@ fn main() {
         cfg.scheme.label(),
         if parallel {
             format!(
-                " [parallel engine: {} workers, {} shards, {} estimator]",
+                " [parallel engine: {} workers, {} shards, {} estimator, {} training]",
                 eng.workers,
                 eng.llc_shards,
-                eng.estimator.label()
+                eng.estimator.label(),
+                eng.train_mode.label()
             )
         } else {
             String::new()

@@ -1,6 +1,6 @@
 //! System configuration (Table 1) and LLC scheme selection.
 
-use crate::engine::estimate::EstimatorKind;
+use crate::engine::estimate::{EstimatorKind, TrainMode};
 use crate::experiment::ExperimentScale;
 use garibaldi::GaribaldiConfig;
 use garibaldi_cache::PolicyKind;
@@ -250,6 +250,17 @@ pub struct EngineConfig {
     /// `epoch_cycles` — the barrier count is a pure function of the
     /// simulated schedule, so every value stays worker-count invariant.
     pub sync_every: usize,
+    /// When learned-state merges run (`--train-mode` /
+    /// `GARIBALDI_TRAIN_MODE`; see [`TrainMode`]): synchronously inside
+    /// the exporting barrier (the default, bit-compatible with every
+    /// committed golden), or overlapped with the next epoch's step phase
+    /// and installed one barrier later, with pair-table confidence
+    /// batches privatized per source shard. [`TrainMode::Async`] is a
+    /// *model* parameter like `epoch_cycles`: it changes simulated
+    /// results (fidelity-gated), never determinism — the publish schedule
+    /// is barrier-count pure and merges run in fixed shard order, so
+    /// worker-count byte-invariance holds in both modes.
+    pub train_mode: TrainMode,
 }
 
 impl Default for EngineConfig {
@@ -279,6 +290,7 @@ impl Default for EngineConfig {
             llc_shards: 8,
             estimator: EstimatorKind::Optimistic,
             sync_every: 8,
+            train_mode: TrainMode::Sync,
         }
     }
 }
@@ -310,29 +322,31 @@ impl EngineConfig {
     }
 
     /// Pure form of [`EngineConfig::from_env`]: builds a config from the
-    /// raw values of the four environment variables. `Ok(None)` when both
-    /// `workers` and `estimator` are absent (either one selects the
+    /// raw values of the engine environment variables. `Ok(None)` when
+    /// both `workers` and `estimator` are absent (either one selects the
     /// parallel engine on its own — the estimator only exists there).
     ///
     /// # Errors
     ///
     /// Rejects garbage, overflow and zero counts — and unknown estimator
-    /// names — for every variable with a message naming the variable and
-    /// the offending value; never a silent fallback. All variables are
-    /// validated even when none selects the engine, so e.g. a bad
-    /// `GARIBALDI_SHARDS` cannot hide behind a serial run.
+    /// or train-mode names — for every variable with a message naming the
+    /// variable and the offending value; never a silent fallback. All
+    /// variables are validated even when none selects the engine, so e.g.
+    /// a bad `GARIBALDI_SHARDS` cannot hide behind a serial run.
     pub fn parse_env(
         workers: Option<&str>,
         shards: Option<&str>,
         epoch: Option<&str>,
         estimator: Option<&str>,
         sync_every: Option<&str>,
+        train_mode: Option<&str>,
     ) -> Result<Option<Self>, String> {
         let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
         let shards = parse_positive("GARIBALDI_SHARDS", shards)?;
         let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
         let estimator = EstimatorKind::parse("GARIBALDI_ESTIMATOR", estimator)?;
         let sync_every = parse_positive("GARIBALDI_SYNC_EVERY", sync_every)?;
+        let train_mode = TrainMode::parse("GARIBALDI_TRAIN_MODE", train_mode)?;
         if workers.is_none() && estimator.is_none() {
             return Ok(None);
         }
@@ -351,6 +365,9 @@ impl EngineConfig {
         }
         if let Some(k) = sync_every {
             cfg.sync_every = k;
+        }
+        if let Some(m) = train_mode {
+            cfg.train_mode = m;
         }
         Ok(Some(cfg))
     }
@@ -415,7 +432,8 @@ impl EngineChoice {
     /// caller's `default` when that is parallel (else
     /// [`EngineConfig::default`]) and each of `GARIBALDI_WORKERS` /
     /// `GARIBALDI_SHARDS` / `GARIBALDI_EPOCH` / `GARIBALDI_ESTIMATOR` /
-    /// `GARIBALDI_SYNC_EVERY` that is set overrides its field — so e.g.
+    /// `GARIBALDI_SYNC_EVERY` / `GARIBALDI_TRAIN_MODE` that is set
+    /// overrides its field — so e.g.
     /// `GARIBALDI_EPOCH=5000` alone re-windows a bench run (the benches
     /// default to parallel). When the outcome is serial, the geometry
     /// variables have nothing to configure and are only validated.
@@ -435,6 +453,7 @@ impl EngineChoice {
             env_raw("GARIBALDI_EPOCH").as_deref(),
             env_raw("GARIBALDI_ESTIMATOR").as_deref(),
             env_raw("GARIBALDI_SYNC_EVERY").as_deref(),
+            env_raw("GARIBALDI_TRAIN_MODE").as_deref(),
             default,
         )
         .unwrap_or_else(|e| panic!("{e}"))
@@ -446,6 +465,7 @@ impl EngineChoice {
     ///
     /// Returns a message naming the offending variable and value for an
     /// unknown engine or estimator name or an invalid count.
+    #[allow(clippy::too_many_arguments)]
     pub fn resolve(
         engine: Option<&str>,
         workers: Option<&str>,
@@ -453,6 +473,7 @@ impl EngineChoice {
         epoch: Option<&str>,
         estimator: Option<&str>,
         sync_every: Option<&str>,
+        train_mode: Option<&str>,
         default: Self,
     ) -> Result<Self, String> {
         let workers = parse_positive("GARIBALDI_WORKERS", workers)?;
@@ -460,6 +481,7 @@ impl EngineChoice {
         let epoch = parse_positive("GARIBALDI_EPOCH", epoch)?;
         let estimator = EstimatorKind::parse("GARIBALDI_ESTIMATOR", estimator)?;
         let sync_every = parse_positive("GARIBALDI_SYNC_EVERY", sync_every)?;
+        let train_mode = TrainMode::parse("GARIBALDI_TRAIN_MODE", train_mode)?;
         // Which engine, and from which base geometry?
         let base = match engine.map(str::trim) {
             Some("serial") => return Ok(Self::Serial),
@@ -499,19 +521,26 @@ impl EngineChoice {
         if let Some(k) = sync_every {
             cfg.sync_every = k;
         }
+        if let Some(m) = train_mode {
+            cfg.train_mode = m;
+        }
         Ok(Self::Parallel(cfg))
     }
 
     /// Stable identity string for checkpoint keys and reports: `"serial"`
-    /// or `"sharded-s<shards>-e<epoch>[-<estimator>[-k<sync_every>]]"`
-    /// (the estimator suffix appears only for non-default estimators, and
-    /// the sync suffix only under ewma with `sync_every != 1`, so keys
-    /// minted before either axis existed still name the same model).
+    /// or `"sharded-s<shards>-e<epoch>[-<estimator>[-k<sync_every>]][-async]"`
+    /// (the estimator suffix appears only for non-default estimators, the
+    /// sync suffix only under ewma with `sync_every != 1`, and the
+    /// train-mode suffix only for [`TrainMode::Async`], so keys minted
+    /// before any of these axes existed still name the same model).
     /// Worker count is deliberately excluded — it never changes simulated
     /// results (the determinism contract), so runs under different worker
     /// counts may share rows. `sync_every` is likewise excluded under the
     /// optimistic estimator, where no sync ever runs and the knob provably
-    /// cannot change the model.
+    /// cannot change the model. The async marker appears under *every*
+    /// estimator: Phase B′ pair-table batches change shape in async mode
+    /// regardless of the estimator, so the mode is part of the model
+    /// identity even when no learned sync runs.
     pub fn tag(&self) -> String {
         match self {
             Self::Serial => "serial".to_string(),
@@ -523,6 +552,10 @@ impl EngineChoice {
                     if e.sync_every != 1 {
                         t.push_str(&format!("-k{}", e.sync_every));
                     }
+                }
+                if e.train_mode != TrainMode::default() {
+                    t.push('-');
+                    t.push_str(e.train_mode.label());
                 }
                 t
             }
@@ -638,15 +671,16 @@ mod tests {
     fn engine_config_parse_env_cases() {
         // Neither workers nor estimator → None regardless of other knobs.
         assert_eq!(
-            EngineConfig::parse_env(None, Some("4"), Some("1000"), None, None).unwrap(),
+            EngineConfig::parse_env(None, Some("4"), Some("1000"), None, None, None).unwrap(),
             None
         );
         // Workers alone → defaults for the rest.
-        let c = EngineConfig::parse_env(Some("2"), None, None, None, None).unwrap().unwrap();
+        let c = EngineConfig::parse_env(Some("2"), None, None, None, None, None).unwrap().unwrap();
         assert_eq!(c.workers, 2);
         assert_eq!(c, EngineConfig { workers: 2, ..EngineConfig::default() });
         // Estimator alone also selects the engine (it only exists there).
-        let c = EngineConfig::parse_env(None, None, None, Some("ewma"), None).unwrap().unwrap();
+        let c =
+            EngineConfig::parse_env(None, None, None, Some("ewma"), None, None).unwrap().unwrap();
         assert_eq!(c, EngineConfig { estimator: EstimatorKind::Ewma, ..EngineConfig::default() });
         // Full set.
         let c = EngineConfig::parse_env(
@@ -655,27 +689,42 @@ mod tests {
             Some("5000"),
             Some("optimistic"),
             Some("8"),
+            Some("async"),
         )
         .unwrap()
         .unwrap();
         assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (4, 2, 5000));
         assert_eq!(c.estimator, EstimatorKind::Optimistic);
         assert_eq!(c.sync_every, 8);
+        assert_eq!(c.train_mode, TrainMode::Async);
         // Invalid values err rather than falling back.
-        assert!(EngineConfig::parse_env(Some("0"), None, None, None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("two"), None, None, None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("2"), Some("0"), None, None, None).is_err());
-        assert!(EngineConfig::parse_env(Some("2"), None, Some("0"), None, None).is_err());
-        assert!(
-            EngineConfig::parse_env(Some("18446744073709551616"), None, None, None, None).is_err()
-        );
-        let err = EngineConfig::parse_env(Some("2"), None, None, Some("magic"), None).unwrap_err();
+        assert!(EngineConfig::parse_env(Some("0"), None, None, None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("two"), None, None, None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), Some("0"), None, None, None, None).is_err());
+        assert!(EngineConfig::parse_env(Some("2"), None, Some("0"), None, None, None).is_err());
+        assert!(EngineConfig::parse_env(
+            Some("18446744073709551616"),
+            None,
+            None,
+            None,
+            None,
+            None
+        )
+        .is_err());
+        let err =
+            EngineConfig::parse_env(Some("2"), None, None, Some("magic"), None, None).unwrap_err();
         assert!(err.contains("GARIBALDI_ESTIMATOR") && err.contains("magic"), "{err}");
         // sync_every is hardened like every other count — even when it
         // selects nothing (serial outcome), a bad value must fail loudly.
-        let err = EngineConfig::parse_env(Some("2"), None, None, None, Some("0")).unwrap_err();
+        let err =
+            EngineConfig::parse_env(Some("2"), None, None, None, Some("0"), None).unwrap_err();
         assert!(err.contains("GARIBALDI_SYNC_EVERY"), "{err}");
-        assert!(EngineConfig::parse_env(None, None, None, None, Some("nope")).is_err());
+        assert!(EngineConfig::parse_env(None, None, None, None, Some("nope"), None).is_err());
+        // …and so is the train mode, with the same always-validated rule.
+        let err =
+            EngineConfig::parse_env(Some("2"), None, None, None, None, Some("maybe")).unwrap_err();
+        assert!(err.contains("GARIBALDI_TRAIN_MODE") && err.contains("maybe"), "{err}");
+        assert!(EngineConfig::parse_env(None, None, None, None, None, Some("lazy")).is_err());
     }
 
     #[test]
@@ -683,18 +732,27 @@ mod tests {
         let default_par = EngineChoice::Parallel(EngineConfig::default());
         // Nothing set → the caller's default.
         assert_eq!(
-            EngineChoice::resolve(None, None, None, None, None, None, EngineChoice::Serial)
+            EngineChoice::resolve(None, None, None, None, None, None, None, EngineChoice::Serial)
                 .unwrap(),
             EngineChoice::Serial
         );
         assert_eq!(
-            EngineChoice::resolve(None, None, None, None, None, None, default_par).unwrap(),
+            EngineChoice::resolve(None, None, None, None, None, None, None, default_par).unwrap(),
             default_par
         );
         // serial wins even over GARIBALDI_WORKERS and GARIBALDI_ESTIMATOR.
         assert_eq!(
-            EngineChoice::resolve(Some("serial"), Some("4"), None, None, None, None, default_par)
-                .unwrap(),
+            EngineChoice::resolve(
+                Some("serial"),
+                Some("4"),
+                None,
+                None,
+                None,
+                None,
+                None,
+                default_par
+            )
+            .unwrap(),
             EngineChoice::Serial
         );
         assert_eq!(
@@ -705,14 +763,24 @@ mod tests {
                 None,
                 Some("ewma"),
                 None,
+                None,
                 default_par
             )
             .unwrap(),
             EngineChoice::Serial
         );
         // Back-compat: workers alone flips to parallel.
-        match EngineChoice::resolve(None, Some("3"), None, None, None, None, EngineChoice::Serial)
-            .unwrap()
+        match EngineChoice::resolve(
+            None,
+            Some("3"),
+            None,
+            None,
+            None,
+            None,
+            None,
+            EngineChoice::Serial,
+        )
+        .unwrap()
         {
             EngineChoice::Parallel(c) => assert_eq!(c.workers, 3),
             other => panic!("expected parallel, got {other:?}"),
@@ -724,6 +792,7 @@ mod tests {
             None,
             None,
             Some("ewma"),
+            None,
             None,
             EngineChoice::Serial,
         )
@@ -742,8 +811,17 @@ mod tests {
             llc_shards: 4,
             ..EngineConfig::default()
         });
-        match EngineChoice::resolve(Some("parallel"), None, None, Some("123"), None, None, tuned)
-            .unwrap()
+        match EngineChoice::resolve(
+            Some("parallel"),
+            None,
+            None,
+            Some("123"),
+            None,
+            None,
+            None,
+            tuned,
+        )
+        .unwrap()
         {
             EngineChoice::Parallel(c) => {
                 assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (2, 4, 123));
@@ -752,21 +830,41 @@ mod tests {
         }
         // Geometry overrides also apply when the *default* supplies the
         // parallel engine (the benches' contract): GARIBALDI_EPOCH alone
-        // re-windows a bench run instead of being silently ignored.
-        match EngineChoice::resolve(None, None, Some("16"), Some("123"), Some("ewma"), None, tuned)
-            .unwrap()
+        // re-windows a bench run instead of being silently ignored. The
+        // train mode rides the same rule.
+        match EngineChoice::resolve(
+            None,
+            None,
+            Some("16"),
+            Some("123"),
+            Some("ewma"),
+            None,
+            Some("async"),
+            tuned,
+        )
+        .unwrap()
         {
             EngineChoice::Parallel(c) => {
                 assert_eq!((c.workers, c.llc_shards, c.epoch_cycles), (2, 16, 123));
                 assert_eq!(c.estimator, EstimatorKind::Ewma);
+                assert_eq!(c.train_mode, TrainMode::Async);
             }
             other => panic!("expected parallel, got {other:?}"),
         }
         // With a serial default, geometry variables alone do not flip the
         // engine — but they are still validated.
         assert_eq!(
-            EngineChoice::resolve(None, None, None, Some("123"), None, None, EngineChoice::Serial)
-                .unwrap(),
+            EngineChoice::resolve(
+                None,
+                None,
+                None,
+                Some("123"),
+                None,
+                None,
+                None,
+                EngineChoice::Serial
+            )
+            .unwrap(),
             EngineChoice::Serial
         );
         assert!(EngineChoice::resolve(
@@ -776,12 +874,31 @@ mod tests {
             Some("0"),
             None,
             None,
+            None,
             EngineChoice::Serial
         )
         .is_err());
+        // The train mode alone does not select an engine either — it is a
+        // parallel-engine scheduling axis, not a forcing mechanism — but
+        // it is still validated.
+        assert_eq!(
+            EngineChoice::resolve(
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+                Some("async"),
+                EngineChoice::Serial
+            )
+            .unwrap(),
+            EngineChoice::Serial
+        );
         // Unknown engine name is a hard error naming the value.
         let err = EngineChoice::resolve(
             Some("turbo"),
+            None,
             None,
             None,
             None,
@@ -791,11 +908,13 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("GARIBALDI_ENGINE") && err.contains("turbo"), "{err}");
-        // Invalid counts and estimator names propagate even under an
-        // explicit engine name — including serial (validated, unused).
+        // Invalid counts, estimator and train-mode names propagate even
+        // under an explicit engine name — including serial (validated,
+        // unused).
         assert!(EngineChoice::resolve(
             Some("parallel"),
             Some("0"),
+            None,
             None,
             None,
             None,
@@ -810,10 +929,23 @@ mod tests {
             None,
             Some("magic"),
             None,
+            None,
             EngineChoice::Serial,
         )
         .unwrap_err();
         assert!(err.contains("GARIBALDI_ESTIMATOR") && err.contains("magic"), "{err}");
+        let err = EngineChoice::resolve(
+            Some("serial"),
+            None,
+            None,
+            None,
+            None,
+            None,
+            Some("eventually"),
+            EngineChoice::Serial,
+        )
+        .unwrap_err();
+        assert!(err.contains("GARIBALDI_TRAIN_MODE") && err.contains("eventually"), "{err}");
     }
 
     #[test]
@@ -837,5 +969,12 @@ mod tests {
         assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000-ewma");
         let e = EngineConfig { sync_every: 8, ..e };
         assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000-ewma-k8");
+        // The async train mode is part of the model identity under every
+        // estimator (Phase B′ pair batches change shape); the sync default
+        // is tag-invisible so pre-PR-9 keys stay valid.
+        let e = EngineConfig { train_mode: TrainMode::Async, ..e };
+        assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000-ewma-k8-async");
+        let e = EngineConfig { estimator: EstimatorKind::Optimistic, ..e };
+        assert_eq!(EngineChoice::Parallel(e).tag(), "sharded-s8-e50000-async");
     }
 }

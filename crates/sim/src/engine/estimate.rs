@@ -87,6 +87,67 @@ impl EstimatorKind {
     }
 }
 
+/// When the epoch engine merges and installs learned state — the
+/// `train_mode` axis of [`crate::config::EngineConfig`].
+///
+/// Learned-state *training* (per-shard predictor slices, pair-table
+/// confidence) always happens inside the barrier phases that own the
+/// state; this knob selects when the cross-shard **merge** runs:
+///
+/// - [`TrainMode::Sync`]: merge and install inside the same barrier that
+///   exported (the PR 4 schedule; bit-compatible with every committed
+///   golden). The merge itself is computed once per sync — it is a pure
+///   function of the shard-ordered exports — and installed everywhere.
+/// - [`TrainMode::Async`]: the merge runs on a thread overlapped with the
+///   *next* epoch's parallel step phase and installs at the next barrier's
+///   entry, one barrier later. Shard policies are only read/mutated inside
+///   barriers, so the deferred install is byte-identical to publishing at
+///   the exporting barrier's tail as far as the learned tables are
+///   concerned; the mode additionally privatizes pair-table confidence
+///   batches per source shard (merged in fixed shard order), which is a
+///   model change gated by the fidelity suite. Deterministic and
+///   worker-count byte-invariant: the publish schedule is barrier-count
+///   pure and every merge ingests shard-indexed exports in shard order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TrainMode {
+    /// Merge learned state synchronously at the exporting barrier.
+    #[default]
+    Sync,
+    /// Merge off the barrier critical path; install one barrier later.
+    Async,
+}
+
+impl TrainMode {
+    /// Every selectable mode, in report order.
+    pub const ALL: [TrainMode; 2] = [TrainMode::Sync, TrainMode::Async];
+
+    /// Stable lowercase name (env values, report axes, engine tags).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrainMode::Sync => "sync",
+            TrainMode::Async => "async",
+        }
+    }
+
+    /// Parses an env-var value (`GARIBALDI_TRAIN_MODE` hardening: invalid
+    /// values must fail loudly, naming the variable and the value, never
+    /// silently fall back). `Ok(None)` when unset.
+    ///
+    /// # Errors
+    ///
+    /// Rejects anything but `"sync"` / `"async"` (trimmed).
+    pub fn parse(var: &str, raw: Option<&str>) -> Result<Option<Self>, String> {
+        let Some(raw) = raw else {
+            return Ok(None);
+        };
+        match raw.trim() {
+            "sync" => Ok(Some(TrainMode::Sync)),
+            "async" => Ok(Some(TrainMode::Async)),
+            other => Err(format!("{var} must be \"sync\" or \"async\", got {other:?}")),
+        }
+    }
+}
+
 /// The stream class an LLC-bound access belongs to. Instruction fetches
 /// and data accesses have structurally different latency distributions
 /// (the cost asymmetry at the heart of the paper), so the learned

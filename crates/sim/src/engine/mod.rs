@@ -24,7 +24,11 @@
 //!    key-merged and applied in a second parallel shard pass; coherence
 //!    invalidations flow back to the private tiers; under the ewma
 //!    fidelity profile the shards pool their replacement-policy learned
-//!    state; and every core's issue-time latency estimates are corrected
+//!    state (merged on the barrier path under [`estimate::TrainMode::Sync`],
+//!    or — under [`estimate::TrainMode::Async`] — merged overlapped with
+//!    the next epoch's step phase and installed one barrier late, with
+//!    pair-table confidence updates privatized per source shard); and
+//!    every core's issue-time latency estimates are corrected
 //!    to the drained outcomes, which also train the configured
 //!    [`estimate::LatencyEstimator`]. All barrier orders are restored by
 //!    stable k-way merges of already-sorted runs ([`merge`]), never by
@@ -47,7 +51,7 @@ use crate::config::{EngineConfig, SystemConfig};
 use crate::energy::{EnergyEvents, EnergyModel};
 use crate::metrics::{ConditionalMatrix, GaribaldiReport, ReuseSummary, RunResult};
 use crate::reuse::ReuseProfiler;
-use estimate::EstimatorStats;
+use estimate::{EstimatorStats, TrainMode};
 use garibaldi::ThresholdUnit;
 use garibaldi_cache::{CacheConfig, CacheStats};
 use garibaldi_mem::DramStats;
@@ -81,9 +85,10 @@ struct ShardBuf {
 /// Wall-clock phase breakdown of an engine run, accumulated across every
 /// epoch (warmup + measured). The phase boundaries match the historical
 /// `GARIBALDI_ENGINE_STATS=1` lines: `step` is the parallel cluster
-/// stepping, `drain` the parallel per-shard phase A, `apply` the
-/// invalidation/learned-sync/correction tail, and `serial` the barrier
-/// remainder (outcome scatter, threshold replay, command routing).
+/// stepping, `drain` the parallel per-shard phase A, `merge` the
+/// learned-state merge/install work on the barrier path, `apply` the
+/// invalidation/correction tail, and `serial` the barrier remainder
+/// (outcome scatter, threshold replay, command routing).
 /// Collection is always on — a handful of `Instant` reads per barrier —
 /// so callers ([`crate::SimRunner::run_parallel_stats`], the perf
 /// snapshot bench) can read it without a profiling env var.
@@ -100,7 +105,23 @@ pub struct EngineStats {
     pub step_s: f64,
     /// Parallel shard-drain seconds (phase A).
     pub drain_s: f64,
-    /// Invalidation + learned-sync + correction seconds (barrier tail).
+    /// Learned-state merge/install seconds on the barrier critical path:
+    /// the pooled-consensus merge plus the per-shard install under sync
+    /// training, the install alone under async training (where the merge
+    /// itself runs overlapped with the step phase — see `merge_bg_s`).
+    pub merge_s: f64,
+    /// Learned-state merge seconds overlapped with cluster stepping
+    /// (async training only). Off the barrier critical path whenever the
+    /// host has a spare core; on a fully loaded host it shows up as
+    /// step-phase interference instead.
+    pub merge_bg_s: f64,
+    /// Cumulative published-state lag, in barriers, between a learned
+    /// export and its install: 0 under sync training (merged and
+    /// installed at the exporting barrier), +1 per sync under async
+    /// training (the consensus lands at the next barrier's entry).
+    pub publish_lag: u64,
+    /// Invalidation + correction seconds (barrier tail, minus the
+    /// learned-state work accounted in `merge_s`).
     pub apply_s: f64,
     /// Serial barrier remainder seconds.
     pub serial_s: f64,
@@ -125,9 +146,10 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Total barrier seconds (everything except the cluster stepping).
+    /// Total barrier seconds (everything except the cluster stepping and
+    /// the overlapped async merge, which runs during the step phase).
     pub fn barrier_s(&self) -> f64 {
-        self.drain_s + self.apply_s + self.serial_s
+        self.drain_s + self.merge_s + self.apply_s + self.serial_s
     }
 
     /// `(max, mean)` of the per-shard drain seconds; `None` before the
@@ -167,6 +189,17 @@ pub struct ParallelEngine<'p> {
     /// holds a predictor-table-sized snapshot — the largest per-barrier
     /// allocation before these arenas existed).
     learned_exports: Vec<Vec<u32>>,
+    /// Pooled learned-state consensus: merged once per sync from
+    /// `learned_exports` (baselines are identical on every shard, so one
+    /// consensus serves all) and installed into every shard. Reused
+    /// across syncs.
+    learned_merged: Vec<u32>,
+    /// Async training: a consensus merge is pending. Exports were taken
+    /// at the last sync barrier's tail; the merge runs overlapped with
+    /// the next epoch's step phase and installs at the next barrier's
+    /// entry. Persists across `advance_to` calls (the schedule is a pure
+    /// function of the barrier count, never of wall clock or workers).
+    merge_pending: bool,
     /// Wall-clock phase account (always collected; printed under
     /// `GARIBALDI_ENGINE_STATS=1`, returned by `run_with_stats`).
     stats: EngineStats,
@@ -220,6 +253,8 @@ impl<'p> ParallelEngine<'p> {
             cmd_routed: vec![Vec::new(); n_shards],
             inval_merged: Vec::new(),
             learned_exports: vec![Vec::new(); n_shards],
+            learned_merged: Vec::new(),
+            merge_pending: false,
             stats: EngineStats::default(),
         }
     }
@@ -268,7 +303,40 @@ impl<'p> ParallelEngine<'p> {
 
             let t0 = std::time::Instant::now();
             let workers = self.eng.workers.min(self.clusters.len()).max(1);
-            if workers == 1 {
+            if self.merge_pending {
+                // Async training: fold the privatized learned-state
+                // exports into the pooled consensus *while* the clusters
+                // step the next epoch. The merge reads shard 0's policy
+                // baselines (identical on every shard) and the
+                // shard-indexed exports; the stepping mutates only the
+                // private tiers — disjoint state, so the overlap cannot
+                // change either side's bytes, only who waits for whom.
+                let (clusters, shards) = (&mut self.clusters, &self.shards);
+                let (exports, merged) = (&self.learned_exports, &mut self.learned_merged);
+                let bg = std::thread::scope(|s| {
+                    let h = s.spawn(move || {
+                        let tm = std::time::Instant::now();
+                        shards[0].merge_policy_learned(exports, merged);
+                        tm.elapsed().as_secs_f64()
+                    });
+                    if workers == 1 {
+                        for cl in clusters.iter_mut() {
+                            cl.step_epoch(epoch_end, target);
+                        }
+                    } else {
+                        let chunk = clusters.len().div_ceil(workers);
+                        for ch in clusters.chunks_mut(chunk) {
+                            s.spawn(move || {
+                                for cl in ch {
+                                    cl.step_epoch(epoch_end, target);
+                                }
+                            });
+                        }
+                    }
+                    h.join().expect("merge worker")
+                });
+                self.stats.merge_bg_s += bg;
+            } else if workers == 1 {
                 for cl in &mut self.clusters {
                     cl.step_epoch(epoch_end, target);
                 }
@@ -296,14 +364,18 @@ impl<'p> ParallelEngine<'p> {
             let d = &self.stats;
             eprintln!(
                 "[engine] target={target} epochs={} step={:.3}s barrier={:.3}s \
-                 (drain={:.3}s apply={:.3}s serial={:.3}s syncs={})",
+                 (drain={:.3}s merge={:.3}s apply={:.3}s serial={:.3}s syncs={} \
+                 merge_bg={:.3}s lag={})",
                 d.epochs - before.epochs,
                 d.step_s - before.step_s,
                 d.barrier_s() - before.barrier_s(),
                 d.drain_s - before.drain_s,
+                d.merge_s - before.merge_s,
                 d.apply_s - before.apply_s,
                 d.serial_s - before.serial_s,
                 d.learned_syncs - before.learned_syncs,
+                d.merge_bg_s - before.merge_bg_s,
+                d.publish_lag - before.publish_lag,
             );
             if let Some((max, mean)) = d.drain_imbalance() {
                 eprintln!(
@@ -326,13 +398,35 @@ impl<'p> ParallelEngine<'p> {
     /// borrow and cost tens of words each).
     fn barrier(&mut self) {
         let t0 = std::time::Instant::now();
+        let n_shards = self.shards.len();
+        let workers = self.eng.workers.max(1);
+        self.stats.barriers += 1;
+
+        // Async training: install the consensus merged during the step
+        // phase (from exports taken at the previous sync barrier's tail)
+        // before phase A consults the policies. Deferring the install
+        // from the exporting barrier's tail to here crosses only cluster
+        // stepping, which never touches shard policies — so the learned
+        // bytes installed are identical to a tail install; the lag the
+        // *next* training interval sees is what the fidelity sweep gates.
+        let mut t_install = std::time::Duration::ZERO;
+        if self.merge_pending {
+            let tm = std::time::Instant::now();
+            let merged = &self.learned_merged;
+            let _: Vec<()> =
+                run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, _| {
+                    sh.install_policy_learned(merged)
+                });
+            self.merge_pending = false;
+            self.stats.learned_syncs += 1;
+            self.stats.publish_lag += 1;
+            t_install = tm.elapsed();
+        }
+
         let snap = ThresholdSnapshot {
             color: self.threshold.as_ref().map(|t| t.color()).unwrap_or(0),
             threshold: self.threshold.as_ref().map(|t| t.threshold()).unwrap_or(0),
         };
-        let n_shards = self.shards.len();
-        let workers = self.eng.workers.max(1);
-        self.stats.barriers += 1;
 
         // Bucket requests by shard. Each core's buffer is key-sorted by
         // construction, so the scatter produces per-(shard, core) sorted
@@ -415,24 +509,38 @@ impl<'p> ParallelEngine<'p> {
         self.replay_outcomes();
 
         // Phase B′: cross-shard commands, routed by target. Each shard
-        // drained in key order, so its command stream is already sorted:
-        // global order is a k-way merge of the per-shard runs (same-key
-        // batches — several pairwise-prefetch candidates of one request —
-        // stay in their shard's emission order).
-        let cmd_runs: Vec<&[(ReqKey, ShardCmd)]> =
-            self.shard_bufs.iter().map(|b| b.out.cmds.as_slice()).collect();
-        kway_merge_into(&cmd_runs, |&(k, _)| k, &mut self.cmd_merged);
+        // drained in key order, so its command stream is already sorted.
+        //
+        // Sync training restores the serial engine's global order with a
+        // k-way merge of the per-shard runs (same-key batches — several
+        // pairwise-prefetch candidates of one request — stay in their
+        // shard's emission order). Async training privatizes the batches
+        // instead: each source shard's run is routed directly, in fixed
+        // shard order, so targets apply source-major batches without the
+        // serial merge. `LlcShard::apply_cmds` never reads the keys, so
+        // the two modes differ only in pair-table mutation *order* — a
+        // deterministic, worker-count-invariant model difference that the
+        // fidelity sweep gates like any other async drift.
         for v in self.cmd_routed.iter_mut() {
             v.clear();
         }
-        for &(k, cmd) in &self.cmd_merged {
-            let target = match cmd {
-                ShardCmd::PairUpdate { il, .. } => Self::shard_of_line(llc_sets, n_shards, il),
-                ShardCmd::PairwisePrefetch { dl, .. } => {
-                    Self::shard_of_line(llc_sets, n_shards, dl)
+        let route = |cmd: &ShardCmd| match *cmd {
+            ShardCmd::PairUpdate { il, .. } => Self::shard_of_line(llc_sets, n_shards, il),
+            ShardCmd::PairwisePrefetch { dl, .. } => Self::shard_of_line(llc_sets, n_shards, dl),
+        };
+        if self.eng.train_mode == TrainMode::Async {
+            for b in &self.shard_bufs {
+                for &(k, cmd) in &b.out.cmds {
+                    self.cmd_routed[route(&cmd)].push((k, cmd));
                 }
-            };
-            self.cmd_routed[target].push((k, cmd));
+            }
+        } else {
+            let cmd_runs: Vec<&[(ReqKey, ShardCmd)]> =
+                self.shard_bufs.iter().map(|b| b.out.cmds.as_slice()).collect();
+            kway_merge_into(&cmd_runs, |&(k, _)| k, &mut self.cmd_merged);
+            for &(k, cmd) in &self.cmd_merged {
+                self.cmd_routed[route(&cmd)].push((k, cmd));
+            }
         }
         let _: Vec<()> =
             run_per_shard(&mut self.shards, &mut self.cmd_routed, workers, |sh, buf| {
@@ -456,8 +564,9 @@ impl<'p> ParallelEngine<'p> {
         // optimistic profile stays bit-identical to the pre-estimator
         // engine): every shard's replacement policy trained its slice of
         // the PC-indexed predictor on 1/n of the samples this epoch; the
-        // shards exchange exports and each installs the same pooled
-        // consensus, so the sharded policy tracks the serial engine's one
+        // shards export their privatized deltas, the deltas are merged
+        // once into a pooled consensus, and every shard installs it, so
+        // the sharded policy tracks the serial engine's one
         // globally-trained instance. Exports are indexed by shard and the
         // merge is a pure function of them — worker-count invariant.
         //
@@ -465,29 +574,52 @@ impl<'p> ParallelEngine<'p> {
         // `GARIBALDI_SYNC_EVERY`): the barrier count is a pure function of
         // the simulated schedule, so the sync schedule — and therefore the
         // results — stay worker-count invariant for every `sync_every`.
+        let mut t_sync = std::time::Duration::ZERO;
         if self.eng.estimator == estimate::EstimatorKind::Ewma
             && self.stats.barriers % self.eng.sync_every.max(1) as u64 == 0
         {
+            let tm = std::time::Instant::now();
             for (sh, buf) in self.shards.iter().zip(self.learned_exports.iter_mut()) {
                 sh.export_policy_learned_into(buf);
             }
             if self.learned_exports.iter().any(|e| !e.is_empty()) {
-                let exports = &self.learned_exports;
-                let _: Vec<()> =
-                    run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, _| {
-                        sh.import_policy_learned(exports)
-                    });
-                self.stats.learned_syncs += 1;
+                match self.eng.train_mode {
+                    // Merge the privatized deltas once — the baselines
+                    // are identical on every shard, so shard 0's
+                    // consensus serves all — and install it everywhere:
+                    // byte-identical to each shard merging redundantly,
+                    // at 1/n_shards the merge work.
+                    TrainMode::Sync => {
+                        self.shards[0]
+                            .merge_policy_learned(&self.learned_exports, &mut self.learned_merged);
+                        let merged = &self.learned_merged;
+                        let _: Vec<()> = run_per_shard(
+                            &mut self.shards,
+                            &mut self.shard_bufs,
+                            workers,
+                            |sh, _| sh.install_policy_learned(merged),
+                        );
+                        self.stats.learned_syncs += 1;
+                    }
+                    // Defer: the merge overlaps the next epoch's step
+                    // phase and the install lands at the next barrier's
+                    // entry. Both the deferral and the install point are
+                    // pure functions of the barrier count — worker-count
+                    // invariant for any cadence.
+                    TrainMode::Async => self.merge_pending = true,
+                }
             }
+            t_sync = tm.elapsed();
         }
 
         // Latency corrections + epoch reset.
         run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_corrections());
-        let t_apply = ta.elapsed();
+        let t_apply = ta.elapsed() - t_sync;
         let total = t0.elapsed();
         self.stats.drain_s += t_drain.as_secs_f64();
+        self.stats.merge_s += (t_install + t_sync).as_secs_f64();
         self.stats.apply_s += t_apply.as_secs_f64();
-        self.stats.serial_s += (total - t_drain - t_apply).as_secs_f64();
+        self.stats.serial_s += (total - t_drain - t_apply - t_install - t_sync).as_secs_f64();
     }
 
     /// Replays every demand access outcome into the threshold unit and the

@@ -169,6 +169,22 @@ impl LlcShard {
         self.cache.import_policy_learned(peers);
     }
 
+    /// Computes the consensus of all shards' policy exports into `out`
+    /// without touching shard state. The merge is a pure function of the
+    /// shard-ordered exports (see
+    /// [`garibaldi_cache::ReplacementPolicy::merge_learned`]), so the
+    /// engine computes it once — on any shard, or on a thread overlapped
+    /// with the next epoch's step phase — and installs the same bytes
+    /// into every shard.
+    pub fn merge_policy_learned(&self, peers: &[Vec<u32>], out: &mut Vec<u32>) {
+        self.cache.merge_policy_learned(peers, out);
+    }
+
+    /// Installs a consensus computed by [`LlcShard::merge_policy_learned`].
+    pub fn install_policy_learned(&mut self, merged: &[u32]) {
+        self.cache.install_policy_learned(merged);
+    }
+
     /// Shard DRAM slice (read-only; reporting).
     pub fn dram(&self) -> &DramModel {
         &self.dram

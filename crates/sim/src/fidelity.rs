@@ -18,7 +18,7 @@
 
 use crate::checkpoint::{self, esc, num, Json};
 use crate::config::{EngineChoice, EngineConfig, LlcScheme};
-use crate::engine::estimate::EstimatorKind;
+use crate::engine::estimate::{EstimatorKind, TrainMode};
 use crate::experiment::{geomean, ExperimentScale};
 use crate::metrics::{MetricDiff, RunDiff, RunResult};
 use garibaldi_cache::PolicyKind;
@@ -98,6 +98,13 @@ pub struct FidelitySuite {
     /// tags embed non-default values, so suite keys never collide across
     /// cadences.
     pub sync_every: usize,
+    /// Learned-state training mode for the parallel runs
+    /// ([`EngineConfig::train_mode`]): synchronous (merge + install on the
+    /// barrier critical path) or asynchronous (merge overlapped with the
+    /// next epoch's step phase, installed one barrier late). Async engine
+    /// tags embed an `-async` suffix, so suite keys never collide across
+    /// modes.
+    pub train_mode: TrainMode,
     /// Per-figure speedup aggregates: `(figure, metric)`.
     pub figure_metrics: Vec<(String, SpeedupMetric)>,
     /// Comparison points. Within each figure, every case must include an
@@ -157,6 +164,7 @@ impl FidelitySuite {
             estimators: EstimatorKind::ALL.to_vec(),
             llc_shards: EngineConfig::default().llc_shards,
             sync_every: EngineConfig::default().sync_every,
+            train_mode: EngineConfig::default().train_mode,
             figure_metrics: vec![
                 ("fig11".into(), SpeedupMetric::IpcSum),
                 ("fig12".into(), SpeedupMetric::HarmonicMeanIpc),
@@ -173,6 +181,7 @@ impl FidelitySuite {
             llc_shards: self.llc_shards,
             estimator,
             sync_every: self.sync_every,
+            train_mode: self.train_mode,
         }
     }
 
@@ -254,6 +263,7 @@ impl FidelitySuite {
             estimators: self.estimators.iter().map(|k| k.label()).collect(),
             llc_shards: self.llc_shards,
             sync_every: self.sync_every,
+            train_mode: self.train_mode.label(),
             cells,
             figures,
         }
@@ -376,6 +386,10 @@ pub struct FidelityReport {
     /// Learned-state sync cadence of the parallel runs (ewma only; 1 =
     /// every barrier, the pre-knob behavior).
     pub sync_every: usize,
+    /// Learned-state training-mode label of the parallel runs (`"sync"`
+    /// = merged on the barrier critical path, `"async"` = merged off it,
+    /// installed one barrier late).
+    pub train_mode: &'static str,
     /// Per-(point, epoch, estimator) metric diffs.
     pub cells: Vec<FidelityCell>,
     /// Per-(figure, scheme, epoch, estimator) geomean comparisons.
@@ -468,8 +482,10 @@ impl FidelityReport {
         let _ = writeln!(
             out,
             "{{\"type\":\"meta\",\"epoch_grid\":[{grid}],\"estimators\":[{ests}],\
-             \"llc_shards\":{},\"sync_every\":{}}}",
-            self.llc_shards, self.sync_every
+             \"llc_shards\":{},\"sync_every\":{},\"train_mode\":\"{}\"}}",
+            self.llc_shards,
+            self.sync_every,
+            esc(self.train_mode)
         );
         for c in &self.cells {
             let metrics = c
@@ -541,6 +557,7 @@ impl FidelityReport {
         let mut estimators: Vec<&'static str> = Vec::new();
         let mut llc_shards = 0usize;
         let mut sync_every = 1usize;
+        let mut train_mode = TrainMode::default().label();
         let mut cells = Vec::new();
         let mut figures = Vec::new();
         let mut saw_meta = false;
@@ -557,6 +574,10 @@ impl FidelityReport {
                         0 => 1,
                         k => k,
                     };
+                    // Reports written before the train-mode axis carry no
+                    // field: they were measured in the then-only
+                    // synchronous mode.
+                    train_mode = train_mode_name(&j.str_field("train_mode"));
                     if let Some(Json::Arr(v)) = j.get("epoch_grid") {
                         epoch_grid = v
                             .iter()
@@ -622,6 +643,7 @@ impl FidelityReport {
             estimators,
             llc_shards,
             sync_every,
+            train_mode,
             cells,
             figures,
         })
@@ -711,6 +733,16 @@ fn estimator_name(name: &str) -> &'static str {
     EstimatorKind::ALL.iter().map(|k| k.label()).find(|l| *l == name).unwrap_or("unknown_estimator")
 }
 
+/// Interns a parsed train-mode label. Absent/empty fields (reports written
+/// before the train-mode axis) mean the then-only synchronous mode; any
+/// *other* unknown label maps to a sentinel (mirrors [`estimator_name`]).
+fn train_mode_name(name: &str) -> &'static str {
+    if name.is_empty() {
+        return TrainMode::Sync.label();
+    }
+    TrainMode::ALL.iter().map(|m| m.label()).find(|l| *l == name).unwrap_or("unknown_train_mode")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -760,6 +792,7 @@ mod tests {
             estimators: vec![EstimatorKind::Optimistic],
             llc_shards: 2,
             sync_every: 1,
+            train_mode: TrainMode::Sync,
             figure_metrics: vec![("fig12".into(), SpeedupMetric::HarmonicMeanIpc)],
             points: vec![
                 mk("a", LlcScheme::plain(PolicyKind::Lru)),
@@ -863,6 +896,37 @@ mod tests {
         // The estimator axis round-trips through the JSON-lines form.
         let back = FidelityReport::parse_json_lines(&report.to_json_lines()).expect("parse");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn train_mode_axis_changes_keys_and_round_trips() {
+        let mut s = tiny_suite();
+        s.train_mode = TrainMode::Async;
+        let jobs = s.jobs();
+        assert!(jobs[..4].iter().all(|j| j.key.contains("/serial/")), "serial block unchanged");
+        assert!(
+            jobs[4..].iter().all(|j| j.key.contains("-async/")),
+            "async runs key under the -async engine tag: {}",
+            jobs[4].key
+        );
+        // Sync-mode keys are byte-identical to pre-axis keys.
+        let sync_jobs = tiny_suite().jobs();
+        assert!(!sync_jobs[4].key.contains("async"), "{}", sync_jobs[4].key);
+
+        let report = s.assemble(&tiny_results());
+        assert_eq!(report.train_mode, "async");
+        let back = FidelityReport::parse_json_lines(&report.to_json_lines()).expect("parse");
+        assert_eq!(back, report);
+        // Pre-axis reports (no train_mode field) parse as sync.
+        let stripped: String = report
+            .to_json_lines()
+            .replace(",\"train_mode\":\"async\"", "")
+            .lines()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let old = FidelityReport::parse_json_lines(&stripped).expect("parse");
+        assert_eq!(old.train_mode, "sync", "absent field means the pre-axis sync mode");
+        assert_eq!(train_mode_name("lazy"), "unknown_train_mode", "never misattribute");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod system;
 pub use config::{EngineChoice, EngineConfig, LlcScheme, SystemConfig};
 pub use core_model::CpiStack;
 pub use energy::{EnergyModel, EnergyReport};
-pub use engine::estimate::{EstimatorKind, LatencyEstimator};
+pub use engine::estimate::{EstimatorKind, LatencyEstimator, TrainMode};
 pub use engine::{EngineStats, ParallelEngine};
 pub use experiment::{geomean, ExperimentScale, WeightedSpeedup};
 pub use fidelity::{FidelityReport, FidelitySuite};

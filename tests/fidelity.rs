@@ -16,7 +16,9 @@
 
 use garibaldi_sim::experiment::run_mix_on;
 use garibaldi_sim::fidelity::{FidelityJob, FidelitySuite};
-use garibaldi_sim::{checkpoint, EngineConfig, EstimatorKind, ExperimentScale, RunResult};
+use garibaldi_sim::{
+    checkpoint, EngineConfig, EstimatorKind, ExperimentScale, RunResult, TrainMode,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -59,6 +61,18 @@ fn gate_suite_with(estimators: Vec<EstimatorKind>) -> FidelitySuite {
     // sweeps can gate an off-default cadence too.
     if let Some(k) = garibaldi_sim::config::env_positive("GARIBALDI_SYNC_EVERY") {
         suite.sync_every = k;
+    }
+    // The train-mode axis: `GARIBALDI_TRAIN_MODE=async` runs the whole
+    // parallel block in async training (deferred learned-state install +
+    // privatized pair batches), which the CI `async-train` leg gates at
+    // the same hard tolerance as sync.
+    if let Some(m) = TrainMode::parse(
+        "GARIBALDI_TRAIN_MODE",
+        std::env::var("GARIBALDI_TRAIN_MODE").ok().as_deref(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+    {
+        suite.train_mode = m;
     }
     suite
 }
@@ -107,10 +121,12 @@ fn load_goldens() -> HashMap<String, RunResult> {
 /// `optimistic_parallel_matches_golden_baselines` gates on.
 #[test]
 fn serial_engine_matches_golden_baselines() {
-    // Estimator axis pinned to Optimistic: the serial block is estimator-
-    // independent, and the blessed parallel block must always be the
-    // (default epoch, Optimistic) one, whatever GARIBALDI_ESTIMATOR says.
-    let suite = gate_suite_with(vec![EstimatorKind::Optimistic]);
+    // Estimator axis pinned to Optimistic and train mode pinned to Sync:
+    // the serial block is independent of both, and the blessed parallel
+    // block must always be the (default epoch, Optimistic, sync) one,
+    // whatever GARIBALDI_ESTIMATOR / GARIBALDI_TRAIN_MODE say.
+    let mut suite = gate_suite_with(vec![EstimatorKind::Optimistic]);
+    suite.train_mode = TrainMode::Sync;
     let jobs = suite.jobs();
     let serial_jobs = &jobs[..suite.points.len()];
     let serial = run_jobs(&suite, serial_jobs);
@@ -167,10 +183,12 @@ fn optimistic_parallel_matches_golden_baselines() {
     if std::env::var("GARIBALDI_BLESS").as_deref() == Ok("1") {
         return; // blessing run: baselines are being rewritten.
     }
-    // Pinned to Optimistic regardless of GARIBALDI_ESTIMATOR: this test
-    // is the bit-compatibility backstop, so it must run the optimistic
-    // block even on the CI ewma matrix leg.
-    let suite = gate_suite_with(vec![EstimatorKind::Optimistic]);
+    // Pinned to Optimistic and sync training regardless of
+    // GARIBALDI_ESTIMATOR / GARIBALDI_TRAIN_MODE: this test is the
+    // bit-compatibility backstop, so it must run the (Optimistic, sync)
+    // block even on the CI ewma and async-train matrix legs.
+    let mut suite = gate_suite_with(vec![EstimatorKind::Optimistic]);
+    suite.train_mode = TrainMode::Sync;
     let jobs = suite.jobs();
     let n = suite.points.len();
     // The first parallel block is the default epoch window.

@@ -120,18 +120,23 @@ pub fn ipc_single(scale: &ExperimentScale, scheme: LlcScheme, workload: &str, se
 pub fn out_dir() -> PathBuf {
     let dir =
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target").join("garibaldi-results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", dir.display()));
     dir
 }
 
 /// Writes a CSV file into [`out_dir`].
 pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = out_dir().join(name);
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", headers.join(",")).expect("write csv");
-    for r in rows {
-        writeln!(f, "{}", r.join(",")).expect("write csv");
-    }
+    let write = |path: &std::path::Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", headers.join(","))?;
+        for r in rows {
+            writeln!(f, "{}", r.join(","))?;
+        }
+        Ok(())
+    };
+    write(&path).unwrap_or_else(|e| panic!("cannot write csv {}: {e}", path.display()));
     println!("[csv] {}", path.display());
 }
 
@@ -211,14 +216,26 @@ where
 /// Checkpoint-aware batch runner: runs the keyed jobs whose key is not yet
 /// in `target/garibaldi-results/<file>` (JSON lines, one run per line, see
 /// `garibaldi_sim::checkpoint`), appends each fresh result, and returns all
-/// results in input order. Interrupted sweeps resume where they stopped;
-/// delete the file to force a full re-run.
+/// results in input order. Interrupted sweeps resume where they stopped —
+/// a torn tail from a crash mid-append is salvaged (and reported on
+/// stderr) rather than poisoning the file; delete the file to force a
+/// full re-run. Fresh rows are framed with the resolved [`engine_tag`] so
+/// rows from different engine geometries are never silently mixed.
 pub fn parallel_runs_checkpointed<F>(file: &str, jobs: Vec<(String, F)>) -> Vec<RunResult>
 where
     F: FnOnce() -> RunResult + Send,
 {
     let path = out_dir().join(file);
-    let mut done = garibaldi_sim::checkpoint::load(&path);
+    let (mut done, salvage) = match garibaldi_sim::checkpoint::load_report(&path) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("[checkpoint] {e} — starting the sweep from scratch");
+            Default::default()
+        }
+    };
+    if !salvage.is_clean() {
+        eprintln!("[checkpoint] salvage from {}: {salvage}", path.display());
+    }
     let mut fresh: Vec<(String, F)> = Vec::new();
     let mut slots: Vec<Result<RunResult, usize>> = Vec::new(); // Err(i) = fresh job i
     for (key, job) in jobs {
@@ -236,9 +253,13 @@ where
     }
     // Append each line as its job completes (under a lock — appends come
     // from pool threads), so an interrupted sweep keeps everything that
-    // finished before the kill.
+    // finished before the kill. Transient I/O errors are retried with
+    // bounded backoff; a run whose append ultimately fails is still
+    // returned (it just re-runs on the next resume).
+    let tag = engine_tag();
     let sink = Mutex::new(());
     let path_ref = &path;
+    let tag_ref = &tag;
     let sink_ref = &sink;
     let ran = parallel_runs(
         fresh
@@ -246,9 +267,11 @@ where
             .map(|(key, f)| {
                 move || {
                     let r = f();
-                    let _guard = sink_ref.lock().unwrap();
-                    if let Err(e) = garibaldi_sim::checkpoint::append(path_ref, &key, &r) {
-                        eprintln!("[checkpoint] cannot append to {}: {e}", path_ref.display());
+                    let _guard = sink_ref.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Err(e) =
+                        garibaldi_sim::checkpoint::append_retry(path_ref, tag_ref, &key, &r, 3)
+                    {
+                        eprintln!("[checkpoint] giving up on append: {e}");
                     }
                     r
                 }

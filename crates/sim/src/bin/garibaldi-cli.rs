@@ -43,8 +43,22 @@
 //!                            exit (replayable across schemes and engines)
 //!   --replay PATH            replay streams dumped with --dump-trace
 //!                            instead of generating traces
+//!   --checkpoint PATH        durable JSON-lines checkpoint (see
+//!                            `garibaldi_sim::checkpoint`): if the run's
+//!                            key is already present the cached result is
+//!                            reported without simulating; otherwise the
+//!                            fresh result is appended (fsynced, framed
+//!                            with the engine tag, transient I/O errors
+//!                            retried with bounded backoff). Salvage
+//!                            findings — torn tail, garbage lines — are
+//!                            reported on stderr
+//!   --key NAME               checkpoint key for this run (default: a key
+//!                            derived from scheme/workloads/scale/seed)
 //!   --list                   list available workloads and exit
 //! ```
+//!
+//! Exit status: 0 on success, 1 on I/O or engine failure (typed error on
+//! stderr), 2 on a usage error.
 //!
 //! Example:
 //! `cargo run --release -p garibaldi-sim --bin garibaldi-cli -- \`
@@ -52,7 +66,8 @@
 
 use garibaldi_cache::PolicyKind;
 use garibaldi_sim::{
-    EngineConfig, EstimatorKind, ExperimentScale, LlcScheme, SimRunner, SystemConfig, TrainMode,
+    EngineChoice, EngineConfig, EstimatorKind, ExperimentScale, LlcScheme, RunResult, SimRunner,
+    SystemConfig, TrainMode,
 };
 use garibaldi_trace::{registry, serial, WorkloadMix};
 
@@ -91,6 +106,8 @@ struct Args {
     train_mode: TrainMode,
     dump_trace: Option<String>,
     replay: Option<String>,
+    checkpoint: Option<String>,
+    key: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -114,6 +131,8 @@ fn parse_args() -> Result<Args, String> {
         train_mode: defaults.train_mode,
         dump_trace: None,
         replay: None,
+        checkpoint: None,
+        key: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -152,6 +171,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dump-trace" => a.dump_trace = Some(val("--dump-trace")?),
             "--replay" => a.replay = Some(val("--replay")?),
+            "--checkpoint" => a.checkpoint = Some(val("--checkpoint")?),
+            "--key" => a.key = Some(val("--key")?),
             "--list" => {
                 println!("server workloads:");
                 for w in registry::server_workloads() {
@@ -192,7 +213,32 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("unknown workload '{w}' (try --list)"));
         }
     }
+    if a.key.is_some() && a.checkpoint.is_none() {
+        return Err("--key only makes sense together with --checkpoint".into());
+    }
     Ok(a)
+}
+
+/// Default checkpoint key: every knob that changes the result (the engine
+/// identity is carried separately, in the frame tag).
+fn default_key(args: &Args, scheme_label: &str) -> String {
+    let mut key = format!(
+        "{}|{}|c{}|f{}|r{}+{}|seed{}",
+        scheme_label,
+        args.workloads.join("+"),
+        args.cores,
+        args.factor,
+        args.records,
+        args.warmup,
+        args.seed
+    );
+    if args.oracle {
+        key.push_str("|oracle");
+    }
+    if args.partition > 0 {
+        key.push_str(&format!("|part{}", args.partition));
+    }
+    key
 }
 
 fn main() {
@@ -239,6 +285,32 @@ fn main() {
         return;
     }
 
+    // Durable checkpoint: a key already on disk reports the cached result
+    // without simulating; salvage findings (torn tail, garbage lines,
+    // legacy unframed records) go to stderr.
+    let ckpt = args.checkpoint.as_ref().map(std::path::PathBuf::from);
+    let key = args.key.clone().unwrap_or_else(|| default_key(&args, &cfg.scheme.label()));
+    if let Some(path) = &ckpt {
+        let (done, salvage) = match garibaldi_sim::checkpoint::load_report(path) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !salvage.is_clean() {
+            eprintln!("[checkpoint] salvage from {}: {salvage}", path.display());
+        }
+        if let Some(r) = done.get(&key) {
+            eprintln!(
+                "[checkpoint] key '{key}' already in {} — reporting the cached result",
+                path.display()
+            );
+            print_result(r);
+            return;
+        }
+    }
+
     // Like GARIBALDI_ESTIMATOR, `--estimator` alone selects the parallel
     // engine — silently running the serial engine instead would drop the
     // flag (the failure mode the env hardening exists to prevent).
@@ -281,15 +353,47 @@ fn main() {
         }
     );
     let t0 = std::time::Instant::now();
+    let mut degraded = false;
     let r = match (&replay_streams, parallel) {
         // Replay always goes through the (deterministic) parallel engine;
         // --workers only changes wall-clock, never the result.
         (Some(streams), _) => runner.run_parallel_replay(streams, args.records, args.warmup, &eng),
-        (None, true) => runner.run_parallel(args.records, args.warmup, &eng),
+        // Interactive runs degrade gracefully: a contained engine failure
+        // retries once on the serial engine (byte-identical goldens make
+        // the swap safe) and is surfaced on stderr by `run_recover`.
+        (None, true) => {
+            let (r, err) = runner.run_recover(args.records, args.warmup, &eng);
+            degraded = err.is_some();
+            r
+        }
         (None, false) => runner.run(args.records, args.warmup),
     };
     let dt = t0.elapsed();
 
+    print_result(&r);
+    eprintln!(
+        "\n[{} records simulated in {dt:.2?}]",
+        args.cores as u64 * (args.records + args.warmup)
+    );
+
+    if let Some(path) = &ckpt {
+        // The frame tag records the engine that actually produced the row —
+        // "serial" when the run degraded off the parallel engine.
+        let used_parallel = (parallel || replay_streams.is_some()) && !degraded;
+        let tag = if used_parallel {
+            EngineChoice::Parallel(eng).tag()
+        } else {
+            EngineChoice::Serial.tag()
+        };
+        if let Err(e) = garibaldi_sim::checkpoint::append_retry(path, &tag, &key, &r, 3) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[checkpoint] appended key '{key}' to {}", path.display());
+    }
+}
+
+fn print_result(r: &RunResult) {
     println!("\nscheme: {}", r.scheme);
     println!(
         "aggregate: harmonic-mean IPC {:.4}, IPC sum {:.3}, wall {:.0} cycles",
@@ -334,8 +438,4 @@ fn main() {
     for (i, c) in r.cores.iter().enumerate() {
         println!("  core{i:<2} {:<16} ipc {:.4}", c.workload, c.ipc);
     }
-    eprintln!(
-        "\n[{} records simulated in {dt:.2?}]",
-        args.cores as u64 * (args.records + args.warmup)
-    );
 }

@@ -8,17 +8,41 @@
 //! and skips runs already present in the checkpoint file, which makes long
 //! figure sweeps resumable (`garibaldi_bench::parallel_runs_checkpointed`).
 //!
-//! Floats are written in Rust's shortest round-trip form, so a parsed
-//! result is bit-identical to the one written.
+//! Floats are written in Rust's shortest round-trip form (non-finite
+//! values as tagged `"NaN"`/`"inf"`/`"-inf"` strings), so a parsed result
+//! is bit-identical to the one written.
+//!
+//! # Durability
+//!
+//! [`append`] frames each record as
+//!
+//! ```text
+//! GCKP1 <engine-tag> <crc32-hex8> <json-payload>\n
+//! ```
+//!
+//! and fsyncs (`sync_data`) before returning, so a record that `append`
+//! acknowledged survives a process crash or power cut. The trailing
+//! newline is the commit marker: [`load_report`] treats a final line
+//! without one as a *torn tail* — never parsed, flagged in
+//! [`SalvageReport::truncated_tail`] — and the next `append` isolates it
+//! behind an inserted newline, so a crash mid-append loses at most the
+//! record that was being written. The payload CRC32 ([`garibaldi_types::crc`])
+//! rejects bit rot and half-written frames that happen to end in a
+//! newline. Unframed lines from pre-framing checkpoint files still load
+//! (counted in [`SalvageReport::version_mismatches`]); framed lines with
+//! an unknown version are skipped, not guessed at.
 
 use crate::core_model::CpiStack;
 use crate::energy::EnergyReport;
+use crate::fault;
 use crate::metrics::{ConditionalMatrix, CoreResult, GaribaldiReport, ReuseSummary, RunResult};
 use garibaldi::GaribaldiStats;
 use garibaldi_cache::CacheStats;
 use garibaldi_mem::DramStats;
+use garibaldi_types::crc::crc32;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 // ---- writing ---------------------------------------------------------------
 
@@ -43,9 +67,14 @@ pub(crate) fn esc(s: &str) -> String {
 pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
+    } else if v.is_nan() {
+        // JSON has no NaN/inf; tagged strings keep the round trip
+        // bit-faithful instead of collapsing non-finite values to 0.0.
+        "\"NaN\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
     } else {
-        // JSON has no NaN/inf; null parses back as 0.0.
-        "null".to_string()
+        "\"-inf\"".to_string()
     }
 }
 
@@ -210,6 +239,11 @@ impl Json {
         match self.get(key) {
             Some(Json::UInt(n)) => *n as f64,
             Some(Json::Num(n)) => *n,
+            // `num()` tags non-finite values as strings; legacy lines
+            // wrote `null`, which keeps parsing as the old 0.0.
+            Some(Json::Str(s)) if s == "NaN" => f64::NAN,
+            Some(Json::Str(s)) if s == "inf" => f64::INFINITY,
+            Some(Json::Str(s)) if s == "-inf" => f64::NEG_INFINITY,
             _ => 0.0,
         }
     }
@@ -510,47 +544,295 @@ pub fn parse_json_line(line: &str) -> Option<(String, RunResult)> {
     ))
 }
 
-/// Loads every parseable line of a checkpoint file; a missing file is an
-/// empty checkpoint. Later lines win on duplicate keys.
-pub fn load(path: &std::path::Path) -> HashMap<String, RunResult> {
-    let mut out = HashMap::new();
-    if let Ok(text) = std::fs::read_to_string(path) {
-        for line in text.lines() {
-            if let Some((k, r)) = parse_json_line(line) {
-                out.insert(k, r);
+// ---- durable framed storage ------------------------------------------------
+
+/// Frame magic; a full header is `GCKP<version> <engine-tag> <crc-hex8> `.
+const FRAME_MAGIC: &str = "GCKP";
+/// Current frame format version.
+pub const FRAME_VERSION: u32 = 1;
+
+/// A typed checkpoint-layer failure, carrying the path it happened on.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A filesystem operation failed.
+    Io {
+        /// Checkpoint file the operation targeted.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint I/O on {}: {source}", path.display())
             }
         }
     }
-    out
 }
 
-/// Appends one run to a checkpoint file (created on demand).
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io { path: path.to_path_buf(), source }
+}
+
+/// What [`load_report`] salvaged from a checkpoint file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Records parsed into the returned map (before duplicate-key wins).
+    pub parsed: usize,
+    /// Lines dropped: CRC mismatches, unparseable payloads, non-UTF-8
+    /// bytes, or malformed frame headers.
+    pub skipped_garbage: usize,
+    /// The file ended without a trailing newline: the final record was
+    /// torn mid-append and has been excluded (the prefix is intact).
+    pub truncated_tail: bool,
+    /// Lines from another format version: legacy unframed lines (still
+    /// parsed) and framed lines with an unknown version (skipped).
+    pub version_mismatches: usize,
+}
+
+impl SalvageReport {
+    /// True when every line parsed cleanly in the current format.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.skipped_garbage == 0 && !self.truncated_tail && self.version_mismatches == 0
+    }
+}
+
+impl std::fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} record{} parsed, {} garbage line{} skipped, {} version mismatch{}, {}",
+            self.parsed,
+            if self.parsed == 1 { "" } else { "s" },
+            self.skipped_garbage,
+            if self.skipped_garbage == 1 { "" } else { "s" },
+            self.version_mismatches,
+            if self.version_mismatches == 1 { "" } else { "es" },
+            if self.truncated_tail { "torn tail truncated" } else { "clean tail" }
+        )
+    }
+}
+
+/// Frames one record as a durable checkpoint line (no trailing newline).
 ///
-/// If the file's last line was cut short (a previous run was killed
-/// mid-write), a newline is inserted first so the partial record is
-/// isolated as one unparseable line instead of corrupting this one —
-/// resuming after a crash loses at most the record that was being
-/// written (`tests/checkpoint_properties.rs`).
+/// `tag` names the engine that produced the record (whitespace is folded
+/// to `-` so the space-separated header stays parseable); the CRC32
+/// covers the JSON payload exactly as written.
+pub fn frame_line(tag: &str, key: &str, r: &RunResult) -> String {
+    let payload = to_json_line(key, r);
+    let tag: String = tag.chars().map(|c| if c.is_whitespace() { '-' } else { c }).collect();
+    let tag = if tag.is_empty() { "-".to_string() } else { tag };
+    format!("{FRAME_MAGIC}{FRAME_VERSION} {tag} {:08x} {payload}", crc32(payload.as_bytes()))
+}
+
+/// `GCKP`-prefixed line split into (version, crc, payload), if well-formed.
+fn parse_frame(after_magic: &str) -> Option<(u32, u32, &str)> {
+    let (version_s, rest) = after_magic.split_once(' ')?;
+    let version: u32 = version_s.parse().ok()?;
+    let (_tag, rest) = rest.split_once(' ')?;
+    let (crc_s, payload) = rest.split_once(' ')?;
+    if crc_s.len() != 8 {
+        return None;
+    }
+    let crc = u32::from_str_radix(crc_s, 16).ok()?;
+    Some((version, crc, payload))
+}
+
+/// Loads a checkpoint file, reporting exactly what was salvaged.
+///
+/// A missing file is an empty checkpoint. Later lines win on duplicate
+/// keys. Only newline-terminated lines are considered committed: a final
+/// unterminated segment is the torn tail of a crashed append and is
+/// flagged, never parsed. See [`SalvageReport`] for the per-line
+/// classification.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
-pub fn append(path: &std::path::Path, key: &str, r: &RunResult) -> std::io::Result<()> {
-    use std::io::{Read, Seek, SeekFrom, Write};
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut f = std::fs::OpenOptions::new().create(true).read(true).append(true).open(path)?;
-    let len = f.metadata()?.len();
-    if len > 0 {
-        f.seek(SeekFrom::End(-1))?;
-        let mut last = [0u8];
-        f.read_exact(&mut last)?;
-        if last[0] != b'\n' {
-            writeln!(f)?;
+/// Returns [`CheckpointError::Io`] when the file exists but cannot be
+/// read; per-line damage is salvage-reported, not an error.
+pub fn load_report(
+    path: &Path,
+) -> Result<(HashMap<String, RunResult>, SalvageReport), CheckpointError> {
+    let mut map = HashMap::new();
+    let mut report = SalvageReport::default();
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((map, report)),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let body = match bytes.iter().rposition(|&b| b == b'\n') {
+        Some(last_nl) => {
+            report.truncated_tail = last_nl + 1 < bytes.len();
+            &bytes[..last_nl]
+        }
+        None => {
+            report.truncated_tail = !bytes.is_empty();
+            &bytes[..0]
+        }
+    };
+    for raw in body.split(|&b| b == b'\n') {
+        if raw.is_empty() {
+            continue;
+        }
+        let Ok(line) = std::str::from_utf8(raw) else {
+            report.skipped_garbage += 1;
+            continue;
+        };
+        if let Some(after_magic) = line.strip_prefix(FRAME_MAGIC) {
+            match parse_frame(after_magic) {
+                Some((version, _, _)) if version != FRAME_VERSION => {
+                    // A future format we cannot safely interpret.
+                    report.version_mismatches += 1;
+                }
+                Some((_, crc, payload)) => {
+                    if crc32(payload.as_bytes()) != crc {
+                        report.skipped_garbage += 1;
+                    } else if let Some((k, r)) = parse_json_line(payload) {
+                        report.parsed += 1;
+                        map.insert(k, r);
+                    } else {
+                        report.skipped_garbage += 1;
+                    }
+                }
+                None => report.skipped_garbage += 1,
+            }
+        } else if let Some((k, r)) = parse_json_line(line) {
+            // Legacy unframed record from a pre-framing checkpoint.
+            report.parsed += 1;
+            report.version_mismatches += 1;
+            map.insert(k, r);
+        } else {
+            report.skipped_garbage += 1;
         }
     }
-    writeln!(f, "{}", to_json_line(key, r))
+    Ok((map, report))
+}
+
+/// Loads every salvageable record, discarding the [`SalvageReport`].
+///
+/// Convenience wrapper over [`load_report`] for callers that treat an
+/// unreadable file the same as an empty checkpoint.
+pub fn load(path: &Path) -> HashMap<String, RunResult> {
+    load_report(path).map(|(map, _)| map).unwrap_or_default()
+}
+
+/// Appends one framed run record with a `-` engine tag. See [`append_tagged`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on any filesystem failure.
+pub fn append(path: &Path, key: &str, r: &RunResult) -> Result<(), CheckpointError> {
+    append_tagged(path, "-", key, r)
+}
+
+/// Appends one run to a checkpoint file (created on demand), durably.
+///
+/// The record is framed ([`frame_line`]) and `sync_data` runs before
+/// returning, so an acknowledged append survives a crash. If the file's
+/// last line was cut short (a previous writer died mid-append), a
+/// newline is inserted first so the partial record stays isolated as one
+/// garbage line instead of corrupting this one — resuming after a crash
+/// loses at most the record that was being written
+/// (`tests/checkpoint_properties.rs`, `tests/fault_injection.rs`).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on any filesystem failure.
+pub fn append_tagged(
+    path: &Path,
+    tag: &str,
+    key: &str,
+    r: &RunResult,
+) -> Result<(), CheckpointError> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(path, e))?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    let len = f.metadata().map_err(|e| io_err(path, e))?.len();
+    if len > 0 {
+        f.seek(SeekFrom::End(-1)).map_err(|e| io_err(path, e))?;
+        let mut last = [0u8];
+        f.read_exact(&mut last).map_err(|e| io_err(path, e))?;
+        if last[0] != b'\n' {
+            f.write_all(b"\n").map_err(|e| io_err(path, e))?;
+        }
+    }
+    let line = frame_line(tag, key, r);
+    match fault::io_hook() {
+        Some(fault::IoFault::Error) => {
+            return Err(io_err(path, std::io::Error::other("injected transient I/O error")));
+        }
+        Some(fault::IoFault::ShortWrite) => {
+            // Simulated crash mid-append: half the frame lands, no commit
+            // newline, and the caller never hears back (in the real crash
+            // the process is gone). load_report must flag this tail.
+            let cut = line.len() / 2;
+            f.write_all(&line.as_bytes()[..cut]).map_err(|e| io_err(path, e))?;
+            f.sync_data().map_err(|e| io_err(path, e))?;
+            return Ok(());
+        }
+        None => {}
+    }
+    f.write_all(line.as_bytes()).map_err(|e| io_err(path, e))?;
+    f.write_all(b"\n").map_err(|e| io_err(path, e))?;
+    // The newline is the commit marker; sync_data makes it durable.
+    f.sync_data().map_err(|e| io_err(path, e))
+}
+
+/// [`append_tagged`] with bounded-backoff retries for transient I/O errors.
+///
+/// Retries up to `attempts` times total, sleeping 10 ms and quadrupling
+/// between attempts (10 ms, 40 ms for the default 3 attempts); each
+/// failed attempt logs one line to stderr.
+///
+/// # Errors
+///
+/// Returns the last [`CheckpointError`] once `attempts` is exhausted.
+pub fn append_retry(
+    path: &Path,
+    tag: &str,
+    key: &str,
+    r: &RunResult,
+    attempts: u32,
+) -> Result<(), CheckpointError> {
+    let attempts = attempts.max(1);
+    let mut delay = std::time::Duration::from_millis(10);
+    let mut last = None;
+    for attempt in 1..=attempts {
+        match append_tagged(path, tag, key, r) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if attempt < attempts {
+                    eprintln!(
+                        "[checkpoint] append attempt {attempt}/{attempts} failed: {e} — \
+                         retrying in {delay:?}"
+                    );
+                    std::thread::sleep(delay);
+                    delay *= 4;
+                }
+                last = Some(e);
+            }
+        }
+    }
+    Err(last.expect("attempts >= 1 ran at least once"))
 }
 
 #[cfg(test)]
@@ -600,6 +882,24 @@ mod tests {
             assert_eq!(key, "fig11/tpcc/seed42");
             assert_eq!(back, r);
         }
+        // Non-finite floats round-trip via the tagged-string encoding.
+        // NaN != NaN under PartialEq, so compare bits and re-serialization.
+        let mut r = sample(true);
+        r.cores[0].cycles = f64::NAN;
+        r.cores[0].ipc = f64::INFINITY;
+        r.cores[0].stack.data = f64::NEG_INFINITY;
+        r.energy.dynamic_j = f64::NAN;
+        let line = to_json_line("nonfinite", &r);
+        let (_, back) = parse_json_line(&line).expect("parse");
+        assert_eq!(back.cores[0].cycles.to_bits(), f64::NAN.to_bits());
+        assert_eq!(back.cores[0].ipc, f64::INFINITY);
+        assert_eq!(back.cores[0].stack.data, f64::NEG_INFINITY);
+        assert_eq!(back.energy.dynamic_j.to_bits(), f64::NAN.to_bits());
+        assert_eq!(to_json_line("nonfinite", &back), line, "re-serialization is stable");
+        // Legacy lines wrote null for non-finite; that still parses as 0.0.
+        let legacy = line.replace("\"NaN\"", "null");
+        let (_, old) = parse_json_line(&legacy).expect("parse legacy");
+        assert_eq!(old.energy.dynamic_j, 0.0);
     }
 
     #[test]
@@ -629,5 +929,87 @@ mod tests {
     fn garbage_lines_are_skipped() {
         assert!(parse_json_line("not json").is_none());
         assert!(parse_json_line("{\"key\":\"x\"}").is_none(), "missing fields rejected");
+
+        // load_report counts every class of damage instead of silently
+        // dropping lines.
+        let dir = std::env::temp_dir().join("garibaldi-checkpoint-salvage-test");
+        let path = dir.join("runs.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = frame_line("serial", "good", &sample(true));
+        let legacy = to_json_line("legacy", &sample(false));
+        let mut corrupt = frame_line("serial", "corrupt", &sample(false)).into_bytes();
+        let flip = corrupt.len() - 10;
+        // Flip one payload byte (ASCII JSON) so the CRC check rejects it.
+        corrupt[flip] ^= 0x01;
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        let future = format!("{FRAME_MAGIC}9 tag 00000000 {{}}");
+        let content = format!("{good}\nnot json at all\n{legacy}\n{corrupt}\n{future}\nGCKP torn");
+        std::fs::write(&path, content).unwrap();
+
+        let (map, report) = load_report(&path).unwrap();
+        assert_eq!(map.len(), 2, "framed + legacy records load");
+        assert!(map.contains_key("good") && map.contains_key("legacy"));
+        assert_eq!(report.parsed, 2);
+        assert_eq!(report.skipped_garbage, 2, "garbage line + CRC mismatch");
+        assert_eq!(report.version_mismatches, 2, "legacy line + future-version line");
+        assert!(report.truncated_tail, "unterminated final segment flagged");
+        assert!(!report.is_clean());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_report_display_is_readable() {
+        let report = SalvageReport {
+            parsed: 2,
+            skipped_garbage: 1,
+            truncated_tail: true,
+            version_mismatches: 0,
+        };
+        assert_eq!(
+            report.to_string(),
+            "2 records parsed, 1 garbage line skipped, 0 version mismatches, torn tail truncated"
+        );
+        assert!(SalvageReport { parsed: 5, ..Default::default() }.is_clean());
+    }
+
+    #[test]
+    fn framed_lines_embed_the_engine_tag_and_crc() {
+        let r = sample(false);
+        let line = frame_line("sharded-s8-e20000", "k", &r);
+        assert!(line.starts_with("GCKP1 sharded-s8-e20000 "));
+        let payload = to_json_line("k", &r);
+        assert!(line.ends_with(&payload));
+        assert!(line.contains(&format!("{:08x}", crc32(payload.as_bytes()))));
+        // Tags with whitespace cannot break the space-separated header.
+        assert!(frame_line("two words", "k", &r).starts_with("GCKP1 two-words "));
+        assert!(frame_line("", "k", &r).starts_with("GCKP1 - "));
+    }
+
+    #[test]
+    fn append_fsyncs_a_framed_line_and_load_reports_clean() {
+        let dir = std::env::temp_dir().join("garibaldi-checkpoint-framed-test");
+        let path = dir.join("runs.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_tagged(&path, "serial", "a", &sample(true)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("GCKP1 serial "));
+        assert!(text.ends_with('\n'), "newline commit marker present");
+        let (map, report) = load_report(&path).unwrap();
+        assert_eq!(map.len(), 1);
+        assert!(report.is_clean(), "fresh framed file is clean: {report}");
+        assert_eq!(report.version_mismatches, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_error_display_names_the_path() {
+        let dir = std::env::temp_dir().join("garibaldi-checkpoint-error-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Appending to a path that is a directory fails with a typed error.
+        let err = append(&dir, "k", &sample(false)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("checkpoint I/O"), "{msg}");
+        assert!(msg.contains("garibaldi-checkpoint-error-test"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -1,0 +1,368 @@
+//! Worker-failure containment for the parallel engine.
+//!
+//! Every parallel section (cluster stepping, shard drains, command
+//! applies, invalidation/correction passes, learned-state merges) runs
+//! its per-unit closures through [`run_units`], which:
+//!
+//! * wraps each unit in `catch_unwind`, converting a worker panic into a
+//!   structured [`EngineError`] recorded in the engine's [`FailState`]
+//!   instead of a poisoned `thread::scope` abort;
+//! * raises a cooperative cancel flag on the first failure so the
+//!   remaining queued units are skipped (their slots are filled with
+//!   `T::default()` — the engine aborts at the next check, so the values
+//!   are never used);
+//! * when a barrier watchdog timeout is configured
+//!   (`GARIBALDI_BARRIER_TIMEOUT_S`), monitors the section with a
+//!   watchdog thread that — instead of letting a stuck worker deadlock
+//!   the barrier — dumps every unit's phase state to stderr, records a
+//!   timeout [`EngineError`], and cancels the section.
+//!
+//! The cancel flag is also the release signal for injected stalls
+//! ([`crate::fault`]), which is what makes the watchdog path testable
+//! without a real deadlock.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A contained failure inside the parallel engine.
+///
+/// Returned by [`crate::ParallelEngine::try_run_with_stats`] (and
+/// surfaced by [`crate::SimRunner::run_recover`]'s serial fallback)
+/// instead of aborting the process when a worker panics or a barrier
+/// phase times out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// Epoch ordinal (1-based, counted from run start including warmup)
+    /// whose step/barrier the failure surfaced in.
+    pub epoch: u64,
+    /// Failed worker unit within the phase — a shard index in shard
+    /// phases, a cluster index in cluster phases — when one is
+    /// implicated; `None` for the pooled learned-state merge.
+    pub shard: Option<usize>,
+    /// Engine phase: `"step"`, `"drain"`, `"apply-cmds"`, `"install"`,
+    /// `"merge"`, `"invals"` or `"corrections"`.
+    pub phase: &'static str,
+    /// The worker's panic payload, or the watchdog's timeout description.
+    pub payload: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine {} phase failed at epoch {}", self.phase, self.epoch)?;
+        if let Some(unit) = self.shard {
+            write!(f, " (unit {unit})")?;
+        }
+        write!(f, ": {}", self.payload)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// First-failure latch plus the cooperative cancel flag shared by every
+/// worker closure, injected stall, and the watchdog.
+#[derive(Default)]
+pub(super) struct FailState {
+    first: Mutex<Option<EngineError>>,
+    cancel: AtomicBool,
+}
+
+impl FailState {
+    /// Record a failure (first one wins) and cancel in-flight work.
+    pub(super) fn record(&self, e: EngineError) {
+        self.cancel.store(true, Ordering::SeqCst);
+        let mut g = lock(&self.first);
+        if g.is_none() {
+            *g = Some(e);
+        }
+    }
+
+    pub(super) fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// The cancel flag, polled by injected stalls.
+    pub(super) fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    /// Take the recorded failure, if any (the cancel flag stays raised —
+    /// a failed engine run never resumes).
+    pub(super) fn take(&self) -> Option<EngineError> {
+        lock(&self.first).take()
+    }
+}
+
+/// One parallel section's containment context.
+pub(super) struct SectionCtx<'a> {
+    pub(super) fail: &'a FailState,
+    /// Epoch ordinal stamped into any [`EngineError`] from this section.
+    pub(super) epoch: u64,
+    /// Phase label stamped into any [`EngineError`] from this section.
+    pub(super) phase: &'static str,
+    /// Watchdog deadline for the whole section; `None` disables the
+    /// watchdog (and its monitor thread) entirely.
+    pub(super) timeout: Option<Duration>,
+}
+
+/// Per-unit lifecycle states for the watchdog dump.
+const ST_QUEUED: u8 = 0;
+const ST_RUNNING: u8 = 1;
+const ST_DONE: u8 = 2;
+const ST_FAILED: u8 = 3;
+const ST_SKIPPED: u8 = 4;
+
+fn state_label(s: u8) -> &'static str {
+    match s {
+        ST_QUEUED => "queued",
+        ST_RUNNING => "running",
+        ST_DONE => "done",
+        ST_FAILED => "failed",
+        ST_SKIPPED => "skipped",
+        _ => "?",
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Worker panics are contained before they can poison these locks,
+    // but a poisoned guard would still only carry plain data.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a panic payload as text for [`EngineError::payload`].
+pub(super) fn payload_str(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Signals the watchdog that the section's workers have all returned.
+#[derive(Default)]
+struct DoneSignal {
+    finished: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl DoneSignal {
+    fn signal(&self) {
+        *lock(&self.finished) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Run `f(i, item)` over every item — in parallel across `workers`
+/// threads when possible — with containment and (optionally) a watchdog.
+///
+/// Results come back indexed by item regardless of scheduling. A failed
+/// or skipped unit yields `T::default()`; the caller must consult
+/// `ctx.fail` before trusting the results. The single-threaded fast path
+/// is taken only when no watchdog is armed (the watchdog needs a
+/// monitor thread to be able to interrupt anything).
+pub(super) fn run_units<I: Send, T: Send + Default>(
+    items: Vec<I>,
+    workers: usize,
+    ctx: &SectionCtx<'_>,
+    f: impl Fn(usize, I) -> T + Sync,
+) -> Vec<T> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n).max(1);
+    let states: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(ST_QUEUED)).collect();
+    let run_one = |i: usize, item: I| -> T {
+        if ctx.fail.cancelled() {
+            states[i].store(ST_SKIPPED, Ordering::SeqCst);
+            return T::default();
+        }
+        states[i].store(ST_RUNNING, Ordering::SeqCst);
+        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(v) => {
+                states[i].store(ST_DONE, Ordering::SeqCst);
+                v
+            }
+            Err(p) => {
+                states[i].store(ST_FAILED, Ordering::SeqCst);
+                ctx.fail.record(EngineError {
+                    epoch: ctx.epoch,
+                    shard: Some(i),
+                    phase: ctx.phase,
+                    payload: payload_str(p),
+                });
+                T::default()
+            }
+        }
+    };
+    if workers == 1 && ctx.timeout.is_none() {
+        return items.into_iter().enumerate().map(|(i, item)| run_one(i, item)).collect();
+    }
+
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<(usize, I)>> = Vec::with_capacity(workers);
+    for (i, item) in items.into_iter().enumerate() {
+        if i % chunk == 0 {
+            chunks.push(Vec::with_capacity(chunk));
+        }
+        chunks.last_mut().expect("chunk pushed").push((i, item));
+    }
+    let done = DoneSignal::default();
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|ch| {
+                let run_one = &run_one;
+                s.spawn(move || {
+                    ch.into_iter().map(|(i, item)| run_one(i, item)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        if let Some(timeout) = ctx.timeout {
+            let (states, done) = (&states, &done);
+            s.spawn(move || watchdog(timeout, ctx, states, done));
+        }
+        for h in handles {
+            out.extend(h.join().expect("contained worker"));
+        }
+        done.signal();
+    });
+    out
+}
+
+/// Waits for the section to finish or the deadline to pass; on timeout,
+/// dumps per-unit phase state and records a structured error (which also
+/// cancels the section, releasing any injected stall).
+fn watchdog(timeout: Duration, ctx: &SectionCtx<'_>, states: &[AtomicU8], done: &DoneSignal) {
+    let deadline = Instant::now() + timeout;
+    let mut finished = lock(&done.finished);
+    while !*finished {
+        let now = Instant::now();
+        if now >= deadline {
+            drop(finished);
+            let dump: Vec<String> = states
+                .iter()
+                .enumerate()
+                .map(|(i, st)| format!("{i}:{}", state_label(st.load(Ordering::SeqCst))))
+                .collect();
+            let dump = dump.join(" ");
+            eprintln!(
+                "[engine] barrier watchdog: phase {} of epoch {} exceeded {timeout:?}; \
+                 worker states: {dump}",
+                ctx.phase, ctx.epoch
+            );
+            let stuck = states.iter().position(|st| st.load(Ordering::SeqCst) == ST_RUNNING);
+            ctx.fail.record(EngineError {
+                epoch: ctx.epoch,
+                shard: stuck,
+                phase: ctx.phase,
+                payload: format!(
+                    "barrier watchdog timeout after {timeout:?} (worker states: {dump})"
+                ),
+            });
+            return;
+        }
+        let (g, _) =
+            done.cv.wait_timeout(finished, deadline - now).unwrap_or_else(PoisonError::into_inner);
+        finished = g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(fail: &FailState, timeout: Option<Duration>) -> SectionCtx<'_> {
+        SectionCtx { fail, epoch: 5, phase: "drain", timeout }
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        for workers in [1, 2, 4, 7] {
+            let fail = FailState::default();
+            let items: Vec<usize> = (0..10).collect();
+            let out = run_units(items, workers, &ctx(&fail, None), |i, v| {
+                assert_eq!(i, v);
+                v * 3
+            });
+            assert_eq!(out, (0..10).map(|v| v * 3).collect::<Vec<_>>());
+            assert!(fail.take().is_none());
+        }
+    }
+
+    #[test]
+    fn a_panicking_unit_becomes_a_structured_error() {
+        for workers in [1, 3] {
+            let fail = FailState::default();
+            let out = run_units((0..6).collect(), workers, &ctx(&fail, None), |_, v: i32| {
+                assert!(v != 4, "unit four exploded");
+                v
+            });
+            let e = fail.take().expect("failure recorded");
+            assert_eq!(e.epoch, 5);
+            assert_eq!(e.phase, "drain");
+            assert_eq!(e.shard, Some(4));
+            assert!(e.payload.contains("unit four exploded"), "{}", e.payload);
+            assert_eq!(out[4], 0, "failed slot defaulted");
+            assert!(fail.cancelled(), "cancel flag raised");
+            // Display is readable.
+            assert!(e.to_string().contains("drain phase failed at epoch 5"));
+        }
+    }
+
+    #[test]
+    fn first_failure_wins_and_cancel_skips_queued_units() {
+        let fail = FailState::default();
+        fail.record(EngineError { epoch: 1, shard: None, phase: "merge", payload: "a".into() });
+        fail.record(EngineError { epoch: 2, shard: None, phase: "merge", payload: "b".into() });
+        assert_eq!(fail.take().expect("kept").payload, "a");
+        // cancel stays raised after take(): everything now skips.
+        let out = run_units((0..4).collect(), 2, &ctx(&fail, None), |_, v: i32| v + 1);
+        assert_eq!(out, vec![0; 4], "all units skipped");
+    }
+
+    #[test]
+    fn watchdog_fires_on_a_stuck_unit_and_cancels_it() {
+        let fail = FailState::default();
+        let out = run_units(
+            (0..3).collect(),
+            2,
+            &ctx(&fail, Some(Duration::from_millis(50))),
+            |i, v: i32| {
+                if i == 1 {
+                    // A stuck worker that honors the cancel flag (like an
+                    // injected stall): without the watchdog this would
+                    // block the section forever.
+                    let cap = Instant::now() + Duration::from_secs(10);
+                    while !fail.cancelled() {
+                        assert!(Instant::now() < cap, "watchdog never fired");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                v
+            },
+        );
+        assert_eq!(out.len(), 3);
+        let e = fail.take().expect("timeout recorded");
+        assert!(e.payload.contains("watchdog timeout"), "{}", e.payload);
+        assert!(e.payload.contains("running"), "dump embedded: {}", e.payload);
+        assert_eq!(e.shard, Some(1), "stuck unit identified");
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_a_fast_section() {
+        let fail = FailState::default();
+        let out = run_units(
+            (0..8).collect(),
+            4,
+            &ctx(&fail, Some(Duration::from_secs(30))),
+            |_, v: i32| v,
+        );
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert!(fail.take().is_none());
+    }
+}

@@ -40,17 +40,30 @@
 //! the serial engine are bounded by the epoch window: LLC latency feedback,
 //! pair-table updates and remote invalidations land at the next barrier
 //! instead of instantly, and the threshold/color pair is frozen per epoch.
+//!
+//! **Failure containment**: every parallel section runs its worker
+//! closures under `catch_unwind`; the first panic — or a barrier
+//! watchdog timeout when `GARIBALDI_BARRIER_TIMEOUT_S` is set — cancels
+//! the run cooperatively and surfaces as a structured [`EngineError`]
+//! from [`ParallelEngine::try_run_with_stats`] instead of aborting the
+//! process or deadlocking the barrier (ARCHITECTURE.md §"Failure
+//! model"; fault hooks for the battery live in [`crate::fault`]).
 
+mod contain;
 pub mod estimate;
 pub mod merge;
 pub mod private;
 pub mod request;
 pub mod shard;
 
+pub use contain::EngineError;
+
 use crate::config::{EngineConfig, SystemConfig};
 use crate::energy::{EnergyEvents, EnergyModel};
+use crate::fault;
 use crate::metrics::{ConditionalMatrix, GaribaldiReport, ReuseSummary, RunResult};
 use crate::reuse::ReuseProfiler;
+use contain::{payload_str, FailState, SectionCtx};
 use estimate::{EstimatorStats, TrainMode};
 use garibaldi::ThresholdUnit;
 use garibaldi_cache::{CacheConfig, CacheStats};
@@ -203,6 +216,12 @@ pub struct ParallelEngine<'p> {
     /// Wall-clock phase account (always collected; printed under
     /// `GARIBALDI_ENGINE_STATS=1`, returned by `run_with_stats`).
     stats: EngineStats,
+    /// First-failure latch + cooperative cancel flag shared by every
+    /// parallel section (and polled by injected stalls).
+    fail: FailState,
+    /// Barrier watchdog timeout (`GARIBALDI_BARRIER_TIMEOUT_S`); `None`
+    /// disables the watchdog and its per-section monitor thread.
+    watchdog: Option<std::time::Duration>,
 }
 
 impl<'p> ParallelEngine<'p> {
@@ -221,6 +240,11 @@ impl<'p> ParallelEngine<'p> {
         eng.validate().expect("valid engine configuration");
         assert_eq!(cores.len(), cfg.cores, "one source per core");
         assert_eq!(mix.cores(), cfg.cores, "mix slots must equal core count");
+        // Resolve GARIBALDI_FAULTS here so a malformed plan fails loudly
+        // on the main thread, not inside a contained worker.
+        let _ = fault::active();
+        let watchdog = crate::config::env_positive("GARIBALDI_BARRIER_TIMEOUT_S")
+            .map(|secs| std::time::Duration::from_secs(secs as u64));
 
         let llc_sets = CacheConfig::from_capacity("llc", cfg.llc_bytes, cfg.llc_ways).sets;
         let n_shards = eng.llc_shards.min(llc_sets).max(1);
@@ -256,30 +280,70 @@ impl<'p> ParallelEngine<'p> {
             learned_merged: Vec::new(),
             merge_pending: false,
             stats: EngineStats::default(),
+            fail: FailState::default(),
+            watchdog,
         }
     }
 
     /// Runs `warmup` + `records` records per core; returns the
     /// measured-region result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a contained worker failure — use [`Self::try_run`] (or
+    /// [`crate::SimRunner::run_recover`]) for structured handling.
     pub fn run(self, records: u64, warmup: u64) -> RunResult {
         self.run_with_stats(records, warmup).0
     }
 
     /// [`ParallelEngine::run`] plus the wall-clock [`EngineStats`] phase
     /// breakdown of the whole run (warmup + measured region).
-    pub fn run_with_stats(mut self, records: u64, warmup: u64) -> (RunResult, EngineStats) {
+    ///
+    /// # Panics
+    ///
+    /// Panics on a contained worker failure — use
+    /// [`Self::try_run_with_stats`] for structured handling.
+    pub fn run_with_stats(self, records: u64, warmup: u64) -> (RunResult, EngineStats) {
+        self.try_run_with_stats(records, warmup)
+            .unwrap_or_else(|e| panic!("parallel engine failed: {e}"))
+    }
+
+    /// [`Self::run`] with contained failures surfaced as [`EngineError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker panic or barrier-watchdog timeout.
+    pub fn try_run(self, records: u64, warmup: u64) -> Result<RunResult, EngineError> {
+        self.try_run_with_stats(records, warmup).map(|(r, _)| r)
+    }
+
+    /// [`Self::run_with_stats`] with contained failures surfaced as
+    /// [`EngineError`] instead of a panic: a worker panic in any parallel
+    /// section, or a stuck barrier phase when the
+    /// `GARIBALDI_BARRIER_TIMEOUT_S` watchdog is armed, cancels the run
+    /// at the next section boundary and is returned with its epoch,
+    /// phase, and failed unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker panic or barrier-watchdog timeout.
+    pub fn try_run_with_stats(
+        mut self,
+        records: u64,
+        warmup: u64,
+    ) -> Result<(RunResult, EngineStats), EngineError> {
         let t0 = std::time::Instant::now();
-        self.advance_to(warmup);
+        self.advance_to(warmup)?;
         self.reset_stats();
         for cl in &mut self.clusters {
             for c in cl.cores.iter_mut() {
                 c.snapshot();
             }
         }
-        self.advance_to(warmup + records);
+        self.advance_to(warmup + records)?;
         let mut stats = self.stats.clone();
         stats.wall_s = t0.elapsed().as_secs_f64();
-        (self.collect(), stats)
+        Ok((self.collect(), stats))
     }
 
     #[inline]
@@ -287,7 +351,7 @@ impl<'p> ParallelEngine<'p> {
         shard_of_set(llc_sets, n_shards, (line.get() % llc_sets as u64) as usize)
     }
 
-    fn advance_to(&mut self, target: u64) {
+    fn advance_to(&mut self, target: u64) -> Result<(), EngineError> {
         let w = self.eng.epoch_cycles as f64;
         let profile = std::env::var_os("GARIBALDI_ENGINE_STATS").is_some();
         let before = self.stats.clone();
@@ -300,9 +364,11 @@ impl<'p> ParallelEngine<'p> {
             let Some(mc) = min_clock else { break };
             let epoch_end = ((mc / w).floor() + 1.0) * w;
             self.stats.epochs += 1;
+            let epoch = self.stats.epochs;
 
             let t0 = std::time::Instant::now();
             let workers = self.eng.workers.min(self.clusters.len()).max(1);
+            let (fail, timeout) = (&self.fail, self.watchdog);
             if self.merge_pending {
                 // Async training: fold the privatized learned-state
                 // exports into the pooled consensus *while* the clusters
@@ -316,45 +382,39 @@ impl<'p> ParallelEngine<'p> {
                 let bg = std::thread::scope(|s| {
                     let h = s.spawn(move || {
                         let tm = std::time::Instant::now();
-                        shards[0].merge_policy_learned(exports, merged);
-                        tm.elapsed().as_secs_f64()
-                    });
-                    if workers == 1 {
-                        for cl in clusters.iter_mut() {
-                            cl.step_epoch(epoch_end, target);
-                        }
-                    } else {
-                        let chunk = clusters.len().div_ceil(workers);
-                        for ch in clusters.chunks_mut(chunk) {
-                            s.spawn(move || {
-                                for cl in ch {
-                                    cl.step_epoch(epoch_end, target);
-                                }
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            fault::engine_hook(fault::Site::Merge, epoch, 0, fail.cancel_flag());
+                            shards[0].merge_policy_learned(exports, merged);
+                        }));
+                        if let Err(p) = res {
+                            fail.record(EngineError {
+                                epoch,
+                                shard: None,
+                                phase: "merge",
+                                payload: payload_str(p),
                             });
                         }
-                    }
-                    h.join().expect("merge worker")
+                        tm.elapsed().as_secs_f64()
+                    });
+                    let ctx = SectionCtx { fail, epoch, phase: "step", timeout };
+                    run_per_cluster(clusters, workers, &ctx, |i, cl| {
+                        fault::engine_hook(fault::Site::Step, epoch, i, fail.cancel_flag());
+                        cl.step_epoch(epoch_end, target);
+                    });
+                    h.join().expect("merge monitor thread")
                 });
                 self.stats.merge_bg_s += bg;
-            } else if workers == 1 {
-                for cl in &mut self.clusters {
-                    cl.step_epoch(epoch_end, target);
-                }
             } else {
-                let chunk = self.clusters.len().div_ceil(workers);
-                std::thread::scope(|s| {
-                    for ch in self.clusters.chunks_mut(chunk) {
-                        s.spawn(move || {
-                            for cl in ch {
-                                cl.step_epoch(epoch_end, target);
-                            }
-                        });
-                    }
+                let ctx = SectionCtx { fail, epoch, phase: "step", timeout };
+                run_per_cluster(&mut self.clusters, workers, &ctx, |i, cl| {
+                    fault::engine_hook(fault::Site::Step, epoch, i, fail.cancel_flag());
+                    cl.step_epoch(epoch_end, target);
                 });
             }
             let t1 = std::time::Instant::now();
             self.stats.step_s += (t1 - t0).as_secs_f64();
-            self.barrier();
+            self.check()?;
+            self.barrier()?;
         }
         if profile {
             // The cluster-step phase and the two shard passes inside the
@@ -388,6 +448,15 @@ impl<'p> ParallelEngine<'p> {
                 );
             }
         }
+        Ok(())
+    }
+
+    /// Surface the first contained failure, aborting the run.
+    fn check(&self) -> Result<(), EngineError> {
+        match self.fail.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Resolves every buffered request: the epoch barrier. Every
@@ -396,10 +465,12 @@ impl<'p> ParallelEngine<'p> {
     /// few shard-count-sized pointer vectors (the borrowed `runs` /
     /// `cmd_runs` / `inval_runs` slice lists, which cannot outlive their
     /// borrow and cost tens of words each).
-    fn barrier(&mut self) {
+    fn barrier(&mut self) -> Result<(), EngineError> {
         let t0 = std::time::Instant::now();
         let n_shards = self.shards.len();
         let workers = self.eng.workers.max(1);
+        let epoch = self.stats.epochs;
+        let timeout = self.watchdog;
         self.stats.barriers += 1;
 
         // Async training: install the consensus merged during the step
@@ -413,14 +484,16 @@ impl<'p> ParallelEngine<'p> {
         if self.merge_pending {
             let tm = std::time::Instant::now();
             let merged = &self.learned_merged;
+            let ctx = SectionCtx { fail: &self.fail, epoch, phase: "install", timeout };
             let _: Vec<()> =
-                run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, _| {
+                run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, &ctx, |_, sh, _| {
                     sh.install_policy_learned(merged)
                 });
             self.merge_pending = false;
             self.stats.learned_syncs += 1;
             self.stats.publish_lag += 1;
             t_install = tm.elapsed();
+            self.check()?;
         }
 
         let snap = ThresholdSnapshot {
@@ -456,8 +529,15 @@ impl<'p> ParallelEngine<'p> {
         // timed individually (worker-independent: the clock spans exactly
         // one shard's work) to feed the imbalance account.
         let td = std::time::Instant::now();
-        let shard_times: Vec<f64> =
-            run_per_shard(&mut self.shards, &mut self.shard_bufs, workers, |sh, buf| {
+        let fail = &self.fail;
+        let drain_ctx = SectionCtx { fail, epoch, phase: "drain", timeout };
+        let shard_times: Vec<f64> = run_per_shard(
+            &mut self.shards,
+            &mut self.shard_bufs,
+            workers,
+            &drain_ctx,
+            |i, sh, buf| {
+                fault::engine_hook(fault::Site::Drain, epoch, i, fail.cancel_flag());
                 let ts = std::time::Instant::now();
                 let ShardBuf { reqs, run_ends, merged, out } = buf;
                 let mut runs: Vec<&[LlcRequest]> = Vec::with_capacity(run_ends.len());
@@ -469,8 +549,10 @@ impl<'p> ParallelEngine<'p> {
                 kway_merge_into(&runs, |r| r.key, merged);
                 sh.drain(merged, snap, out);
                 ts.elapsed().as_secs_f64()
-            });
+            },
+        );
         let t_drain = td.elapsed();
+        self.check()?;
         if self.stats.shard_drain_s.len() != shard_times.len() {
             self.stats.shard_drain_s = vec![0.0; shard_times.len()];
         }
@@ -542,10 +624,17 @@ impl<'p> ParallelEngine<'p> {
                 self.cmd_routed[route(&cmd)].push((k, cmd));
             }
         }
-        let _: Vec<()> =
-            run_per_shard(&mut self.shards, &mut self.cmd_routed, workers, |sh, buf| {
+        let cmds_ctx = SectionCtx { fail: &self.fail, epoch, phase: "apply-cmds", timeout };
+        let _: Vec<()> = run_per_shard(
+            &mut self.shards,
+            &mut self.cmd_routed,
+            workers,
+            &cmds_ctx,
+            |_, sh, buf| {
                 sh.apply_cmds(buf, snap);
-            });
+            },
+        );
+        self.check()?;
 
         // Coherence invalidations flow back to the private tiers (also
         // per-shard sorted runs; at most one invalidation per request, so
@@ -557,8 +646,12 @@ impl<'p> ParallelEngine<'p> {
         let invals = &self.inval_merged;
         self.stats.inval_cmds +=
             invals.iter().map(|(_, c)| c.others.count_ones() as u64).sum::<u64>();
-        let dropped = run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_invals(invals));
+        let invals_ctx = SectionCtx { fail: &self.fail, epoch, phase: "invals", timeout };
+        let dropped = run_per_cluster(&mut self.clusters, workers, &invals_ctx, |_, cl| {
+            cl.apply_invals(invals)
+        });
         self.invalidations += dropped.iter().sum::<u64>();
+        self.check()?;
 
         // Learned-state sync (the ewma fidelity profile only — the
         // optimistic profile stays bit-identical to the pre-estimator
@@ -590,16 +683,36 @@ impl<'p> ParallelEngine<'p> {
                     // byte-identical to each shard merging redundantly,
                     // at 1/n_shards the merge work.
                     TrainMode::Sync => {
-                        self.shards[0]
-                            .merge_policy_learned(&self.learned_exports, &mut self.learned_merged);
+                        let (shards, exports, merged, fail) = (
+                            &self.shards,
+                            &self.learned_exports,
+                            &mut self.learned_merged,
+                            &self.fail,
+                        );
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            fault::engine_hook(fault::Site::Merge, epoch, 0, fail.cancel_flag());
+                            shards[0].merge_policy_learned(exports, merged);
+                        }));
+                        if let Err(p) = res {
+                            fail.record(EngineError {
+                                epoch,
+                                shard: None,
+                                phase: "merge",
+                                payload: payload_str(p),
+                            });
+                        }
+                        self.check()?;
                         let merged = &self.learned_merged;
+                        let ctx = SectionCtx { fail: &self.fail, epoch, phase: "install", timeout };
                         let _: Vec<()> = run_per_shard(
                             &mut self.shards,
                             &mut self.shard_bufs,
                             workers,
-                            |sh, _| sh.install_policy_learned(merged),
+                            &ctx,
+                            |_, sh, _| sh.install_policy_learned(merged),
                         );
                         self.stats.learned_syncs += 1;
+                        self.check()?;
                     }
                     // Defer: the merge overlaps the next epoch's step
                     // phase and the install lands at the next barrier's
@@ -613,13 +726,15 @@ impl<'p> ParallelEngine<'p> {
         }
 
         // Latency corrections + epoch reset.
-        run_per_cluster(&mut self.clusters, workers, |cl| cl.apply_corrections());
+        let corr_ctx = SectionCtx { fail: &self.fail, epoch, phase: "corrections", timeout };
+        run_per_cluster(&mut self.clusters, workers, &corr_ctx, |_, cl| cl.apply_corrections());
         let t_apply = ta.elapsed() - t_sync;
         let total = t0.elapsed();
         self.stats.drain_s += t_drain.as_secs_f64();
         self.stats.merge_s += (t_install + t_sync).as_secs_f64();
         self.stats.apply_s += t_apply.as_secs_f64();
         self.stats.serial_s += (total - t_drain - t_apply - t_install - t_sync).as_secs_f64();
+        self.check()
     }
 
     /// Replays every demand access outcome into the threshold unit and the
@@ -833,64 +948,32 @@ impl<'p> ParallelEngine<'p> {
     }
 }
 
-/// Runs `f` over `(shard, buffer)` pairs, in parallel when `workers > 1`;
-/// results come back indexed by shard regardless of scheduling.
-fn run_per_shard<B: Send, T: Send>(
+/// Runs `f` over `(index, shard, buffer)` triples through the contained
+/// section machinery ([`contain::run_units`]): parallel when `workers >
+/// 1`, panics converted to [`EngineError`]s in `ctx.fail`, watchdog
+/// armed when `ctx.timeout` is set. Results come back indexed by shard
+/// regardless of scheduling (failed/skipped slots are `T::default()`).
+fn run_per_shard<B: Send, T: Send + Default>(
     shards: &mut [LlcShard],
     bufs: &mut [B],
     workers: usize,
-    f: impl Fn(&mut LlcShard, &mut B) -> T + Sync,
+    ctx: &SectionCtx<'_>,
+    f: impl Fn(usize, &mut LlcShard, &mut B) -> T + Sync,
 ) -> Vec<T> {
-    let workers = workers.min(shards.len()).max(1);
-    if workers == 1 {
-        return shards.iter_mut().zip(bufs.iter_mut()).map(|(sh, b)| f(sh, b)).collect();
-    }
-    let chunk = shards.len().div_ceil(workers);
-    let mut out = Vec::with_capacity(shards.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .chunks_mut(chunk)
-            .zip(bufs.chunks_mut(chunk))
-            .map(|(sc, bc)| {
-                let f = &f;
-                s.spawn(move || {
-                    sc.iter_mut().zip(bc.iter_mut()).map(|(sh, b)| f(sh, b)).collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("shard worker"));
-        }
-    });
-    out
+    let items: Vec<(&mut LlcShard, &mut B)> = shards.iter_mut().zip(bufs.iter_mut()).collect();
+    contain::run_units(items, workers, ctx, |i, (sh, b)| f(i, sh, b))
 }
 
-/// Runs `f` over clusters, in parallel when `workers > 1`; results come
-/// back indexed by cluster regardless of scheduling.
-fn run_per_cluster<T: Send>(
-    clusters: &mut [ClusterSim<'_>],
+/// Runs `f` over `(index, cluster)` pairs through the contained section
+/// machinery; see [`run_per_shard`].
+fn run_per_cluster<'p, T: Send + Default>(
+    clusters: &mut [ClusterSim<'p>],
     workers: usize,
-    f: impl Fn(&mut ClusterSim<'_>) -> T + Sync,
+    ctx: &SectionCtx<'_>,
+    f: impl Fn(usize, &mut ClusterSim<'p>) -> T + Sync,
 ) -> Vec<T> {
-    let workers = workers.min(clusters.len()).max(1);
-    if workers == 1 {
-        return clusters.iter_mut().map(f).collect();
-    }
-    let chunk = clusters.len().div_ceil(workers);
-    let mut out = Vec::with_capacity(clusters.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = clusters
-            .chunks_mut(chunk)
-            .map(|ch| {
-                let f = &f;
-                s.spawn(move || ch.iter_mut().map(f).collect::<Vec<T>>())
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("cluster worker"));
-        }
-    });
-    out
+    let items: Vec<&mut ClusterSim<'p>> = clusters.iter_mut().collect();
+    contain::run_units(items, workers, ctx, f)
 }
 
 #[cfg(test)]

@@ -30,17 +30,19 @@ pub mod core_model;
 pub mod energy;
 pub mod engine;
 pub mod experiment;
+pub mod fault;
 pub mod fidelity;
 pub mod hierarchy;
 pub mod metrics;
 pub mod reuse;
 pub mod system;
 
+pub use checkpoint::{CheckpointError, SalvageReport};
 pub use config::{EngineChoice, EngineConfig, LlcScheme, SystemConfig};
 pub use core_model::CpiStack;
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::estimate::{EstimatorKind, LatencyEstimator, TrainMode};
-pub use engine::{EngineStats, ParallelEngine};
+pub use engine::{EngineError, EngineStats, ParallelEngine};
 pub use experiment::{geomean, ExperimentScale, WeightedSpeedup};
 pub use fidelity::{FidelityReport, FidelitySuite};
 pub use hierarchy::MemoryHierarchy;

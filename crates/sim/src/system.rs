@@ -261,6 +261,48 @@ impl SimRunner {
         ParallelEngine::new(&self.cfg, eng, self.mix.clone(), cores).run_with_stats(records, warmup)
     }
 
+    /// [`SimRunner::run_parallel_stats`] with contained engine failures
+    /// surfaced as [`crate::engine::EngineError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker panic or barrier-watchdog timeout.
+    pub fn try_run_parallel_stats(
+        &self,
+        records: u64,
+        warmup: u64,
+        eng: &EngineConfig,
+    ) -> Result<(RunResult, crate::engine::EngineStats), crate::engine::EngineError> {
+        let programs = self.build_programs();
+        let cores = self.build_parallel_cores(&programs, None);
+        ParallelEngine::new(&self.cfg, eng, self.mix.clone(), cores)
+            .try_run_with_stats(records, warmup)
+    }
+
+    /// Graceful degradation: run on the parallel engine, and if it fails
+    /// with a contained [`crate::engine::EngineError`], deterministically
+    /// retry once on the serial engine (byte-identical goldens make the
+    /// fallback safe). Returns the result together with the parallel
+    /// failure, if one happened, so callers can surface it.
+    ///
+    /// Interactive/CLI entry point only: benches and fidelity gates call
+    /// the parallel engine directly, so a degraded environment can never
+    /// silently swap the engine under a measurement.
+    pub fn run_recover(
+        &self,
+        records: u64,
+        warmup: u64,
+        eng: &EngineConfig,
+    ) -> (RunResult, Option<crate::engine::EngineError>) {
+        match self.try_run_parallel_stats(records, warmup, eng) {
+            Ok((r, _)) => (r, None),
+            Err(e) => {
+                eprintln!("[engine] parallel run failed ({e}); retrying on the serial engine");
+                (self.run_serial(records, warmup), Some(e))
+            }
+        }
+    }
+
     /// Replays pre-recorded per-core streams (from
     /// [`SimRunner::generate_streams`] / `garibaldi-cli --dump-trace`) on
     /// the parallel engine; streams shorter than the run wrap around.

@@ -1,6 +1,7 @@
 //! Property tests for the JSON-lines checkpoint serializer: randomized
 //! `RunResult`s round-trip bit-identically, and corrupted files recover
-//! to the last good record.
+//! to the last good record — including a crash-mid-append battery that
+//! cuts the file at every byte offset of its final record.
 
 use garibaldi::GaribaldiStats;
 use garibaldi_cache::CacheStats;
@@ -118,11 +119,8 @@ proptest! {
     }
 }
 
-/// A checkpoint file whose tail was cut mid-line (the crash/kill case)
-/// recovers every record before the cut, and appending resumes cleanly.
-#[test]
-fn truncated_file_resumes_from_last_good_record() {
-    let sample = |ipc: f64| RunResult {
+fn sample(ipc: f64) -> RunResult {
+    RunResult {
         scheme: "LRU".into(),
         cores: vec![CoreResult {
             workload: "tpcc".into(),
@@ -142,7 +140,13 @@ fn truncated_file_resumes_from_last_good_record() {
         energy: garibaldi_sim::EnergyReport::default(),
         qbs_cycles: 0,
         invalidations: 0,
-    };
+    }
+}
+
+/// A checkpoint file whose tail was cut mid-line (the crash/kill case)
+/// recovers every record before the cut, and appending resumes cleanly.
+#[test]
+fn truncated_file_resumes_from_last_good_record() {
     let dir = std::env::temp_dir().join("garibaldi-checkpoint-truncation");
     let _ = std::fs::remove_dir_all(&dir);
     let path = dir.join("runs.jsonl");
@@ -157,15 +161,67 @@ fn truncated_file_resumes_from_last_good_record() {
     let keep = text.len() - lines[2].len() / 2;
     std::fs::write(&path, &text.as_bytes()[..keep]).unwrap();
 
-    let m = checkpoint::load(&path);
+    let (m, rep) = checkpoint::load_report(&path).unwrap();
     assert_eq!(m.len(), 2, "the truncated record is dropped, the rest survive");
+    assert!(rep.truncated_tail, "the cut is reported as a torn tail");
+    assert_eq!((rep.parsed, rep.skipped_garbage, rep.version_mismatches), (2, 0, 0));
     assert!((m["a"].cores[0].ipc - 1.0).abs() < 1e-12);
     assert!((m["b"].cores[0].ipc - 2.0).abs() < 1e-12);
 
     // Resuming appends after the partial line; the file stays loadable.
+    // The glue newline turns the torn frame into one complete-but-corrupt
+    // line, which the CRC rejects as garbage on the next load.
     checkpoint::append(&path, "c", &sample(3.0)).unwrap();
-    let m = checkpoint::load(&path);
+    let (m, rep) = checkpoint::load_report(&path).unwrap();
     assert_eq!(m.len(), 3, "re-run of the lost record resumes the sweep");
+    assert!(!rep.truncated_tail, "the resumed file commits with a newline");
+    assert_eq!((rep.parsed, rep.skipped_garbage), (3, 1), "the sealed torn frame fails its CRC");
     assert!((m["c"].cores[0].ipc - 3.0).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The crash-mid-append battery: cutting a valid checkpoint at **every**
+/// byte offset of its final record salvages exactly the records before
+/// the cut — never a partial record, never a hang, never an error — and
+/// flags the torn tail precisely when the cut leaves uncommitted bytes.
+#[test]
+fn truncation_at_every_byte_offset_salvages_the_exact_prefix() {
+    let dir = std::env::temp_dir().join("garibaldi-checkpoint-offsets");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("runs.jsonl");
+
+    checkpoint::append(&path, "a", &sample(1.0)).unwrap();
+    checkpoint::append(&path, "b", &sample(2.0)).unwrap();
+    checkpoint::append(&path, "c", &sample(3.0)).unwrap();
+
+    let full = std::fs::read(&path).unwrap();
+    // Start of the final record = one past the second-to-last newline.
+    let last_start =
+        full[..full.len() - 1].iter().rposition(|&b| b == b'\n').map(|i| i + 1).unwrap();
+
+    for cut in last_start..=full.len() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (m, rep) = checkpoint::load_report(&path)
+            .unwrap_or_else(|e| panic!("cut at byte {cut}: load must salvage, got {e}"));
+        let whole = cut == full.len();
+        let expect = if whole { 3 } else { 2 };
+        assert_eq!(m.len(), expect, "cut at byte {cut} keeps the committed prefix");
+        assert_eq!(rep.parsed, expect, "cut at byte {cut}");
+        assert_eq!(
+            rep.truncated_tail,
+            !whole && cut > last_start,
+            "torn tail flagged iff uncommitted bytes remain (cut at byte {cut})"
+        );
+        assert_eq!(
+            (rep.skipped_garbage, rep.version_mismatches),
+            (0, 0),
+            "a clean prefix never reports garbage (cut at byte {cut})"
+        );
+        assert!((m["a"].cores[0].ipc - 1.0).abs() < 1e-12);
+        assert!((m["b"].cores[0].ipc - 2.0).abs() < 1e-12);
+        if whole {
+            assert!((m["c"].cores[0].ipc - 3.0).abs() < 1e-12);
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

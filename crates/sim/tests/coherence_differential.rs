@@ -354,7 +354,17 @@ fn shared_family_serial_matches_golden_baselines() {
         return;
     }
 
-    let goldens = checkpoint::load(&golden_path());
+    let (goldens, salvage) =
+        checkpoint::load_report(&golden_path()).unwrap_or_else(|e| panic!("{e}"));
+    // Legacy unframed goldens are fine (they count as version mismatches);
+    // garbage or a torn tail means the committed file was damaged.
+    assert_eq!(
+        salvage.skipped_garbage,
+        0,
+        "golden file {} is damaged ({salvage})",
+        golden_path().display()
+    );
+    assert!(!salvage.truncated_tail, "golden file {} has a torn tail", golden_path().display());
     assert!(
         !goldens.is_empty(),
         "no golden baselines at {} — generate them with GARIBALDI_BLESS=1 \

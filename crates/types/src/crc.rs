@@ -1,0 +1,105 @@
+//! CRC-32 (ISO-HDLC / IEEE 802.3) over byte slices.
+//!
+//! The checkpoint layer frames every record with a payload checksum so a
+//! torn or bit-flipped line is detected on load instead of being parsed
+//! into a silently wrong `RunResult`. This is the standard reflected
+//! CRC-32 (polynomial `0xEDB88320`, initial value and final XOR of
+//! `0xFFFF_FFFF`) — the same variant produced by zlib, gzip and
+//! `cksum -o 3`, so framed checkpoint lines can be checked with stock
+//! tooling. Vendored-deps policy: implemented here rather than pulling in
+//! a `crc32fast`-style crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use garibaldi_types::crc::crc32;
+//!
+//! // The canonical CRC-32 check vector.
+//! assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+//! ```
+
+/// Reflected CRC-32 polynomial (IEEE 802.3).
+const POLY: u32 = 0xEDB8_8320;
+
+/// One-byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { POLY ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/ISO-HDLC of `bytes` in one shot.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    update(!0, bytes) ^ !0
+}
+
+/// Fold `bytes` into a running raw CRC state (pre-inversion form).
+///
+/// Streaming use: seed with `!0`, chain `update` calls over successive
+/// chunks, then XOR the result with `!0` — `crc32(b"ab")` equals
+/// `update(update(!0, b"a"), b"b") ^ !0`.
+#[must_use]
+pub fn update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_canonical_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Computed with zlib's crc32().
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_update_matches_one_shot() {
+        let data = b"pairwise instruction-data management";
+        for cut in 0..=data.len() {
+            let (a, b) = data.split_at(cut);
+            assert_eq!(update(update(!0, a), b) ^ !0, crc32(data));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let line = b"GCKP1 payload with a checksum";
+        let base = crc32(line);
+        let mut copy = *line;
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {byte} bit {bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

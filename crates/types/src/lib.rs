@@ -21,6 +21,7 @@
 
 pub mod access;
 pub mod addr;
+pub mod crc;
 pub mod fasthash;
 pub mod hint;
 pub mod ids;

@@ -13,7 +13,7 @@ use std::sync::Mutex;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-const VARS: [&str; 7] = [
+const VARS: [&str; 8] = [
     "GARIBALDI_ENGINE",
     "GARIBALDI_WORKERS",
     "GARIBALDI_SHARDS",
@@ -21,6 +21,7 @@ const VARS: [&str; 7] = [
     "GARIBALDI_ESTIMATOR",
     "GARIBALDI_SYNC_EVERY",
     "GARIBALDI_TRAIN_MODE",
+    "GARIBALDI_BARRIER_TIMEOUT_S",
 ];
 
 /// Runs `f` with exactly `vars` set, restoring a clean slate after.
@@ -194,6 +195,39 @@ fn bare_workers_still_selects_parallel() {
     match choice {
         EngineChoice::Parallel(c) => assert_eq!(c.workers, 3),
         EngineChoice::Serial => panic!("GARIBALDI_WORKERS must select the parallel engine"),
+    }
+}
+
+/// `GARIBALDI_BARRIER_TIMEOUT_S` arms the barrier watchdog at engine
+/// construction: a generous timeout never fires and never changes results
+/// (determinism is engine-geometry-only), and malformed values fail
+/// loudly on the main thread, naming the variable.
+#[test]
+fn barrier_timeout_env_is_validated_and_result_invisible() {
+    let r = runner();
+    let s = ExperimentScale::smoke();
+    let eng = EngineConfig::default();
+    let reference = r.run_parallel(s.records_per_core, s.warmup_per_core, &eng);
+    let timed = with_env(&[("GARIBALDI_BARRIER_TIMEOUT_S", "120")], || {
+        r.run_parallel(s.records_per_core, s.warmup_per_core, &eng)
+    });
+    assert_eq!(reference, timed, "an armed (idle) watchdog never changes results");
+    for bad in ["0", "soon", "-5"] {
+        let err = with_env(&[("GARIBALDI_BARRIER_TIMEOUT_S", bad)], || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                r.run_parallel(s.records_per_core, s.warmup_per_core, &eng)
+            }))
+            .expect_err(&format!("GARIBALDI_BARRIER_TIMEOUT_S={bad} must panic"))
+        });
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("GARIBALDI_BARRIER_TIMEOUT_S"),
+            "panic for {bad} names the variable: {msg:?}"
+        );
     }
 }
 

@@ -103,7 +103,12 @@ fn run_jobs(suite: &FidelitySuite, jobs: &[FidelityJob]) -> Vec<RunResult> {
 
 fn load_goldens() -> HashMap<String, RunResult> {
     let path = golden_path();
-    let m = checkpoint::load(&path);
+    let (m, salvage) = checkpoint::load_report(&path).unwrap_or_else(|e| panic!("{e}"));
+    // The committed goldens predate the framed format — they load as
+    // version mismatches by design — but any *garbage* or torn tail means
+    // the file was damaged, which a gate must never paper over.
+    assert_eq!(salvage.skipped_garbage, 0, "golden file {} is damaged ({salvage})", path.display());
+    assert!(!salvage.truncated_tail, "golden file {} has a torn tail", path.display());
     assert!(
         !m.is_empty(),
         "no golden baselines at {} — generate them with \
